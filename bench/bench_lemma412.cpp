@@ -1,0 +1,42 @@
+// E6 — Lemma 4.12 (i)–(vii): end-to-end simulated running times under PWS
+// for the paper's Type-1/2 HBP algorithm suite, with both cache and block
+// misses accounted.  The lemma's claim, observable here: makespan ≈
+// (W + b·Q)/p + s_P·T∞ — near-linear speedup with bounded overhead once
+// the input exceeds Mp.
+#include "common.h"
+
+using namespace ro;
+using namespace ro::bench;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  Table t("E6: Lemma 4.12 — simulated runtimes under PWS (M=4096, B=32, b=32)");
+  t.header({"algorithm", "case", "p", "seq-time", "pws-time", "speedup",
+            "cache-miss", "blk-miss", "steals"});
+
+  auto emit = [&](const char* name, const char* lcase, const TaskGraph& g) {
+    const SimConfig c1 = cfg(1, 1 << 12, 32);
+    const Metrics seq = simulate(g, SchedKind::kSeq, c1);
+    for (uint32_t p : {4u, 16u}) {
+      const SimConfig c = cfg(p, 1 << 12, 32);
+      const Metrics m = simulate(g, SchedKind::kPws, c);
+      t.row({name, lcase, Table::num(p), Table::num(seq.makespan),
+             Table::num(m.makespan), fmt_speedup(seq.makespan, m.makespan),
+             Table::num(m.cache_misses()), Table::num(m.block_misses()),
+             Table::num(m.steals())});
+    }
+  };
+
+  emit("Scans (M-Sum)", "(i)", rec_msum(size_t{1} << 16));
+  emit("Scans (PS)", "(i)", rec_ps(size_t{1} << 15));
+  emit("MT (BI)", "(ii)", rec_mt(128));
+  emit("RM to BI", "(ii)", rec_rm2bi(128));
+  emit("Strassen (BI)", "(iii)", rec_strassen(32));
+  emit("Depth-n-MM (BI)", "(iv)", rec_mm(32));
+  emit("BI-RM (gap RM)", "(v)", rec_bi2rm_gap(128));
+  emit("BI-RM for FFT", "(vi)", rec_bi2rm_fft(128));
+  emit("FFT", "(vii)", rec_fft(size_t{1} << 14));
+  t.print();
+  if (cli.has("csv")) t.write_csv("lemma412.csv");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// E13 — the headline comparison: PWS vs RWS across the algorithm suite.
+//
+// The paper's claim: PWS achieves lower caching overhead due to steals than
+// the RWS bounds of [18, 6, 13], with deterministic schedules.  Observables:
+// steals, steal attempts (RWS pays random failed probes), cache+block
+// misses, makespan.  RWS rows are averaged over 3 seeds.
+#include "common.h"
+
+using namespace ro;
+using namespace ro::bench;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  Table t("E13: PWS vs RWS (p=8, M=4096, B=32)");
+  t.header({"algorithm", "sched", "steals", "attempts", "cache-miss",
+            "blk-miss", "makespan", "speedup-vs-seq"});
+
+  auto emit = [&](const char* name, const TaskGraph& g) {
+    const SimConfig c1 = cfg(1, 1 << 12, 32);
+    const Metrics seq = simulate(g, SchedKind::kSeq, c1);
+    const SimConfig c = cfg(8, 1 << 12, 32);
+    const Metrics pws = simulate(g, SchedKind::kPws, c);
+    t.row({name, "PWS", Table::num(pws.steals()),
+           Table::num(pws.steal_attempts()), Table::num(pws.cache_misses()),
+           Table::num(pws.block_misses()), Table::num(pws.makespan),
+           fmt_speedup(seq.makespan, pws.makespan)});
+    uint64_t steals = 0, attempts = 0, cache = 0, block = 0, mk = 0;
+    const int kSeeds = 3;
+    for (int s = 0; s < kSeeds; ++s) {
+      SimConfig cr = c;
+      cr.seed = 1000 + s;
+      const Metrics rws = simulate(g, SchedKind::kRws, cr);
+      steals += rws.steals();
+      attempts += rws.steal_attempts();
+      cache += rws.cache_misses();
+      block += rws.block_misses();
+      mk += rws.makespan;
+    }
+    t.row({name, "RWS*", Table::num(steals / kSeeds),
+           Table::num(attempts / kSeeds), Table::num(cache / kSeeds),
+           Table::num(block / kSeeds), Table::num(mk / kSeeds),
+           fmt_speedup(seq.makespan, mk / kSeeds)});
+  };
+
+  emit("M-Sum 64K", rec_msum(size_t{1} << 16));
+  emit("PS 32K", rec_ps(size_t{1} << 15));
+  emit("MT-BI 128", rec_mt(128));
+  emit("RM->BI 128", rec_rm2bi(128));
+  emit("BI->RM gap 128", rec_bi2rm_gap(128));
+  emit("Strassen 32", rec_strassen(32));
+  emit("Depth-n-MM 32", rec_mm(32));
+  emit("FFT 16K", rec_fft(size_t{1} << 14));
+  emit("Sort 8K", rec_sort(size_t{1} << 13));
+  emit("LR 4K", rec_lr(size_t{1} << 12));
+  t.print();
+  if (cli.has("csv")) t.write_csv("pws_vs_rws.csv");
+  std::printf("\n(RWS* = mean of 3 seeds.)\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// E15b — engine micro-benchmarks (google-benchmark): trace recording rate,
+// replay rate per scheduler, LRU cache ops.  These bound how large the
+// experiment sweeps can go.
+#include <benchmark/benchmark.h>
+
+#include "common.h"
+#include "ro/sim/cache.h"
+
+namespace {
+
+using namespace ro;
+using namespace ro::bench;
+
+void BM_RecordScan(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    TaskGraph g = rec_msum(n);
+    benchmark::DoNotOptimize(g.accesses.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RecordScan)->Arg(1 << 14)->Arg(1 << 16);
+
+void BM_ReplaySeq(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  TaskGraph g = rec_msum(n);
+  const SimConfig c = cfg(1, 1 << 12, 32);
+  for (auto _ : state) {
+    Metrics m = simulate(g, SchedKind::kSeq, c);
+    benchmark::DoNotOptimize(m.makespan);
+  }
+  state.SetItemsProcessed(state.iterations() * g.accesses.size());
+}
+BENCHMARK(BM_ReplaySeq)->Arg(1 << 16);
+
+void BM_ReplayPws(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  TaskGraph g = rec_msum(n);
+  const SimConfig c = cfg(static_cast<uint32_t>(state.range(1)), 1 << 12, 32);
+  for (auto _ : state) {
+    Metrics m = simulate(g, SchedKind::kPws, c);
+    benchmark::DoNotOptimize(m.makespan);
+  }
+  state.SetItemsProcessed(state.iterations() * g.accesses.size());
+}
+BENCHMARK(BM_ReplayPws)->Args({1 << 16, 8})->Args({1 << 16, 64});
+
+void BM_ReplayRws(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  TaskGraph g = rec_msum(n);
+  const SimConfig c = cfg(8, 1 << 12, 32);
+  for (auto _ : state) {
+    Metrics m = simulate(g, SchedKind::kRws, c);
+    benchmark::DoNotOptimize(m.makespan);
+  }
+  state.SetItemsProcessed(state.iterations() * g.accesses.size());
+}
+BENCHMARK(BM_ReplayRws)->Arg(1 << 16);
+
+void BM_LruCacheTouch(benchmark::State& state) {
+  LruCache c(256);
+  for (uint64_t b = 0; b < 256; ++b) c.insert(b);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    c.touch(i % 256);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruCacheTouch);
+
+void BM_LruCacheMissEvict(benchmark::State& state) {
+  LruCache c(256);
+  uint64_t b = 0;
+  for (auto _ : state) {
+    if (!c.contains(b)) c.insert(b);
+    ++b;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruCacheMissEvict);
+
+}  // namespace

@@ -1,0 +1,94 @@
+// A full matrix pipeline in the paper's intended composition: the input
+// arrives row-major, is converted to bit-interleaved, multiplied with
+// Strassen (all-BI, O(1) block sharing), and converted back with the gapped
+// BI→RM conversion — then validated against the naive product.
+//
+//   $ ./matmul_pipeline [--side=64] [--p=8]
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "ro/alg/layout.h"
+#include "ro/alg/rm_bi.h"
+#include "ro/alg/strassen.h"
+#include "ro/core/trace_ctx.h"
+#include "ro/sched/run.h"
+#include "ro/util/cli.h"
+#include "ro/util/rng.h"
+#include "ro/util/table.h"
+
+using namespace ro;
+using alg::i64;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const uint32_t n = static_cast<uint32_t>(cli.get_int("side", 64));
+  const uint32_t p = static_cast<uint32_t>(cli.get_int("p", 8));
+  RO_CHECK(is_pow2(n));
+  const size_t m = static_cast<size_t>(n) * n;
+
+  // Row-major inputs.
+  std::vector<i64> a_rm(m), b_rm(m);
+  Rng rng(99);
+  for (size_t i = 0; i < m; ++i) {
+    a_rm[i] = static_cast<i64>(rng.next_below(19)) - 9;
+    b_rm[i] = static_cast<i64>(rng.next_below(19)) - 9;
+  }
+
+  TraceCtx cx;
+  auto a = cx.alloc<i64>(m, "A.rm");
+  auto b = cx.alloc<i64>(m, "B.rm");
+  std::copy(a_rm.begin(), a_rm.end(), a.raw());
+  std::copy(b_rm.begin(), b_rm.end(), b.raw());
+  auto abi = cx.alloc<i64>(m, "A.bi");
+  auto bbi = cx.alloc<i64>(m, "B.bi");
+  auto cbi = cx.alloc<i64>(m, "C.bi");
+  auto c_rm = cx.alloc<i64>(m, "C.rm");
+
+  TaskGraph g = cx.run(8 * m, [&] {
+    alg::rm_to_bi(cx, a.slice(), abi.slice(), n);
+    alg::rm_to_bi(cx, b.slice(), bbi.slice(), n);
+    alg::strassen_bi(cx, abi.slice(), bbi.slice(), cbi.slice(), n, 4);
+    alg::bi_to_rm_gap(cx, cbi.slice(), c_rm.slice(), n);
+  });
+
+  // Validate against the naive product.
+  size_t bad = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < n; ++j) {
+      i64 want = 0;
+      for (uint32_t k = 0; k < n; ++k) {
+        want += a_rm[alg::rm_index(n, i, k)] * b_rm[alg::rm_index(n, k, j)];
+      }
+      if (c_rm.raw()[alg::rm_index(n, i, j)] != want) ++bad;
+    }
+  }
+  RO_CHECK(bad == 0);
+  const GraphStats st = g.analyze();
+  std::printf("pipeline RM->BI -> Strassen -> gapped BI->RM on %ux%u: "
+              "validated.\n  work=%llu  span=%llu  parallelism=%.1f\n",
+              n, n, static_cast<unsigned long long>(st.work),
+              static_cast<unsigned long long>(st.span),
+              static_cast<double>(st.work) / st.span);
+
+  Table t("pipeline under the schedulers (M=4096 words, B=32)");
+  t.header({"sched", "p", "makespan", "speedup", "cache-miss", "block-miss"});
+  SimConfig cfg;
+  cfg.M = 1 << 12;
+  cfg.B = 32;
+  cfg.p = 1;
+  const Metrics seq = simulate(g, SchedKind::kSeq, cfg);
+  for (uint32_t pp : {2u, p}) {
+    cfg.p = pp;
+    for (auto kind : {SchedKind::kPws, SchedKind::kRws}) {
+      const Metrics mm = simulate(g, kind, cfg);
+      char sp[16];
+      std::snprintf(sp, sizeof sp, "%.2fx",
+                    static_cast<double>(seq.makespan) / mm.makespan);
+      t.row({sched_name(kind), Table::num(pp), Table::num(mm.makespan), sp,
+             Table::num(mm.cache_misses()), Table::num(mm.block_misses())});
+    }
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,237 @@
+// Euler tour and tree computations (§4.6) — "simple applications of the
+// parallel list ranking algorithm", with the same complexity as LR.
+//
+// Input: an n-vertex tree as an edge list and a root.  Edge e = (u, v)
+// yields arcs 2e (u→v) and 2e+1 (v→u); twin(a) = a XOR 1.  The tour
+// successor of arc (u, v) is twin(next incoming arc of v after (u, v)) in
+// v's adjacency order — built with one sort + sort-routed scatter/gather.
+// The tour is cut into a list at the root, then:
+//   * unweighted LR gives tour positions,
+//   * tour positions orient arcs (down = towards child),
+//   * ±1-weighted LR gives vertex depths,
+//   * the down arc into v gives parent(v).
+#pragma once
+
+#include "ro/alg/listrank.h"
+#include "ro/alg/route.h"
+#include "ro/alg/scan.h"
+#include "ro/alg/sort.h"
+#include "ro/core/context.h"
+#include "ro/mem/varray.h"
+#include "ro/util/check.h"
+
+namespace ro::alg {
+
+struct EulerResult {
+  VArray<i64> tour_pos;  // per arc: 1-based position in the tour
+  VArray<i64> parent;    // per vertex (parent[root] = root)
+  VArray<i64> depth;     // per vertex (depth[root] = 0)
+};
+
+namespace detail {
+
+// (v:20 bits | u:20 bits | arc:23 bits): sorting groups arcs by target v,
+// ordered by source u inside each group.
+inline i64 pack_vua(i64 v, i64 u, i64 arc) {
+  RO_CHECK(v < (1 << 20) && u < (1 << 20) && arc < (1 << 23));
+  return (v << 43) | (u << 23) | arc;
+}
+inline i64 vua_v(i64 p) { return p >> 43; }
+inline i64 vua_arc(i64 p) { return p & ((1 << 23) - 1); }
+
+}  // namespace detail
+
+/// Computes the Euler tour of the tree given by edges (eu[i], ev[i]),
+/// i < n-1, rooted at `root`.  All vertex ids < n < 2^20.
+template <class Ctx>
+EulerResult euler_tour(Ctx& cx, size_t n, Slice<i64> eu, Slice<i64> ev,
+                       i64 root, ListRankOptions opt = {}) {
+  RO_CHECK(n >= 1 && eu.n == n - 1 && ev.n == n - 1);
+  const size_t grain = opt.grain;
+  const size_t k = 2 * (n - 1);  // arcs
+  EulerResult res;
+  res.tour_pos = cx.template alloc<i64>(std::max<size_t>(1, k), "eu.pos");
+  res.parent = cx.template alloc<i64>(n, "eu.parent");
+  res.depth = cx.template alloc<i64>(n, "eu.depth");
+  if (n == 1) {
+    res.parent.raw()[0] = root;
+    res.depth.raw()[0] = 0;
+    return res;
+  }
+
+  // 1. Sort arcs by (target, source).
+  auto recs = cx.template alloc<i64>(k, "eu.recs");
+  auto sorted = cx.template alloc<i64>(k, "eu.sorted");
+  {
+    auto rs = recs.slice();
+    bp_range(cx, 0, n - 1, grain, 4, [&](size_t lo, size_t hi) {
+      for (size_t e = lo; e < hi; ++e) {
+        const i64 u = cx.get(eu, e);
+        const i64 v = cx.get(ev, e);
+        cx.set(rs, 2 * e, detail::pack_vua(v, u, 2 * e));          // u→v
+        cx.set(rs, 2 * e + 1, detail::pack_vua(u, v, 2 * e + 1));  // v→u
+      }
+    });
+  }
+  msort(cx, recs.slice(), sorted.slice(), 8, grain);
+
+  // 2. first_idx[v] = first sorted position of v's group (scatter of group
+  //    starts; every vertex of a tree has degree >= 1).
+  auto first_idx = cx.template alloc<i64>(n, "eu.first");
+  {
+    auto srt = sorted.slice();
+    auto fi = first_idx.slice();
+    bp_range(cx, 0, k, grain, 3, [&](size_t lo, size_t hi) {
+      for (size_t j = lo; j < hi; ++j) {
+        const i64 v = detail::vua_v(cx.get(srt, j));
+        const bool start =
+            j == 0 || detail::vua_v(cx.get(srt, j - 1)) != v;
+        if (start) cx.set(fi, static_cast<size_t>(v), static_cast<i64>(j));
+      }
+    });
+  }
+
+  // 3. Tour successors.  succ[arc at j] = twin(arc at next position in the
+  //    group, wrapping to the group start).  The wrap reads are routed with
+  //    a gather; the root's wrap arc becomes the list tail.
+  auto succ = cx.template alloc<i64>(k, "eu.succ");
+  {
+    // wrap_target[j] = arc id at first_idx[v_j], for all j (one gather).
+    auto vkeys = cx.template alloc<i64>(k, "eu.vkeys");
+    {
+      auto srt = sorted.slice();
+      auto vk = vkeys.slice();
+      auto fi = first_idx.slice();
+      bp_range(cx, 0, k, grain, 3, [&](size_t lo, size_t hi) {
+        for (size_t j = lo; j < hi; ++j) {
+          const i64 v = detail::vua_v(cx.get(srt, j));
+          cx.set(vk, j, cx.get(fi, static_cast<size_t>(v)));
+        }
+      });
+    }
+    auto wrap_arc = cx.template alloc<i64>(k, "eu.wrap");
+    {
+      // arc ids at sorted positions (for gather values).
+      auto arc_at = cx.template alloc<i64>(k, "eu.arc_at");
+      {
+        auto srt = sorted.slice();
+        auto aa = arc_at.slice();
+        bp_range(cx, 0, k, grain, 2, [&](size_t lo, size_t hi) {
+          for (size_t j = lo; j < hi; ++j) {
+            cx.set(aa, j, detail::vua_arc(cx.get(srt, j)));
+          }
+        });
+      }
+      gather(cx, StridedView{vkeys.slice(), 1},
+             StridedView{arc_at.slice(), 1}, StridedView{wrap_arc.slice(), 1},
+             k, grain);
+    }
+    auto srt = sorted.slice();
+    auto sc = succ.slice();
+    auto wa = wrap_arc.slice();
+    bp_range(cx, 0, k, grain, 5, [&](size_t lo, size_t hi) {
+      for (size_t j = lo; j < hi; ++j) {
+        const i64 rec = cx.get(srt, j);
+        const i64 v = detail::vua_v(rec);
+        const i64 arc = detail::vua_arc(rec);
+        const bool last_of_group =
+            j + 1 == k || detail::vua_v(cx.get(srt, j + 1)) != v;
+        i64 next_arc;
+        if (!last_of_group) {
+          next_arc = detail::vua_arc(cx.get(srt, j + 1));
+        } else {
+          next_arc = cx.get(wa, j);  // wrap to group start
+        }
+        if (last_of_group && v == root) {
+          // Cut the tour: this arc ends the traversal at the root.
+          cx.set(sc, static_cast<size_t>(arc), arc);
+        } else {
+          cx.set(sc, static_cast<size_t>(arc), next_arc ^ 1);  // twin
+        }
+      }
+    });
+  }
+
+  // 4. Unweighted LR -> tour positions (pos = k - rank, 1-based).
+  auto rank_u = cx.template alloc<i64>(k, "eu.rank_u");
+  list_rank(cx, succ.slice(), rank_u.slice(), opt);
+  {
+    auto ru = rank_u.slice();
+    auto tp = res.tour_pos.slice();
+    bp_range(cx, 0, k, grain, 2, [&](size_t lo, size_t hi) {
+      for (size_t j = lo; j < hi; ++j) {
+        cx.set(tp, j, static_cast<i64>(k) - cx.get(ru, j));
+      }
+    });
+  }
+
+  // 5. Orientation: arc a is a *down* arc iff it appears before its twin.
+  //    ±1-weighted LR gives depths: depth(v) = 2 - rank_w(down arc into v);
+  //    parent(v) = source of the down arc into v.
+  auto w = cx.template alloc<i64>(k, "eu.w");
+  {
+    auto ru = rank_u.slice();
+    auto wsl = w.slice();
+    bp_range(cx, 0, k, grain, 3, [&](size_t lo, size_t hi) {
+      for (size_t j = lo; j < hi; ++j) {
+        const bool down = cx.get(ru, j) > cx.get(ru, j ^ 1);
+        cx.set(wsl, j, down ? i64{1} : i64{-1});
+      }
+    });
+  }
+  auto rank_w = cx.template alloc<i64>(k, "eu.rank_w");
+  list_rank_weighted(cx, succ.slice(), w.slice(), rank_w.slice(), opt);
+  {
+    auto ru = rank_u.slice();
+    auto rw = rank_w.slice();
+    auto par = res.parent.slice();
+    auto dep = res.depth.slice();
+    cx.set(par, static_cast<size_t>(root), root);
+    cx.set(dep, static_cast<size_t>(root), i64{0});
+    bp_range(cx, 0, n - 1, grain, 8, [&](size_t lo, size_t hi) {
+      for (size_t e = lo; e < hi; ++e) {
+        const i64 u = cx.get(eu, e);
+        const i64 v = cx.get(ev, e);
+        const bool uv_down = cx.get(ru, 2 * e) > cx.get(ru, 2 * e + 1);
+        const size_t down_arc = uv_down ? 2 * e : 2 * e + 1;
+        const i64 child = uv_down ? v : u;
+        const i64 par_v = uv_down ? u : v;
+        cx.set(par, static_cast<size_t>(child), par_v);
+        cx.set(dep, static_cast<size_t>(child),
+               2 - cx.get(rw, down_arc));
+      }
+    });
+  }
+  return res;
+}
+
+/// Subtree sizes from an Euler tour (§4.6 tree computations): the tour
+/// enters v's subtree at the down arc into v and leaves at its twin, so
+/// |subtree(v)| = (pos(up) − pos(down) + 1) / 2; the root gets n.
+/// A single BP pass over the edges (each vertex's size written once).
+template <class Ctx>
+VArray<i64> subtree_sizes(Ctx& cx, size_t n, Slice<i64> eu, Slice<i64> ev,
+                          i64 root, EulerResult& res, size_t grain = 1) {
+  auto size = cx.template alloc<i64>(n, "eu.subsz");
+  auto ss = size.slice();
+  cx.set(ss, static_cast<size_t>(root), static_cast<i64>(n));
+  if (n == 1) return size;
+  auto tp = res.tour_pos.slice();
+  auto par = res.parent.slice();
+  bp_range(cx, 0, n - 1, grain, 6, [&](size_t lo, size_t hi) {
+    for (size_t e = lo; e < hi; ++e) {
+      const i64 u = cx.get(eu, e);
+      const i64 v = cx.get(ev, e);
+      const i64 pu = cx.get(tp, 2 * e);      // arc u→v
+      const i64 pv = cx.get(tp, 2 * e + 1);  // arc v→u
+      // The child end of the edge is the one whose parent is the other.
+      const i64 child = cx.get(par, static_cast<size_t>(v)) == u ? v : u;
+      const i64 down = child == v ? pu : pv;
+      const i64 up = child == v ? pv : pu;
+      cx.set(ss, static_cast<size_t>(child), (up - down + 1) / 2);
+    }
+  });
+  return size;
+}
+
+}  // namespace ro::alg

@@ -1,0 +1,157 @@
+// FFT — the six-step variant ([4, 21], cache-oblivious per [17]), exposed as
+// a Type-2 HBP computation with c = 2 collections of v(n) = Θ(√n) recursive
+// subproblems of size Θ(√n), with transposes (and a twiddle pass) between
+// them (§3.2).
+//
+// n = n1·n2 with n1 = 2^⌈k/2⌉, n2 = 2^⌊k/2⌋.  Every stage writes a fresh
+// local array, so the computation is limited access.  Transposes are either
+//   * cache-oblivious row-major transposes (f(r) = √r — the overall bound
+//     the paper states for FFT once conversions are included), or
+//   * the BI composition rm_to_bi → MT(BI) → BI-RM-for-FFT when the matrix
+//     is square (opt.bi_transpose), the paper's O(1)-block-sharing route.
+//
+// W = O(n log n), T∞ = O(log n · log log n), Q = O((n/B) log_M n).
+#pragma once
+
+#include "ro/alg/fft_plan.h"
+#include "ro/alg/mt.h"
+#include "ro/alg/rm_bi.h"
+#include "ro/alg/scan.h"
+#include "ro/core/context.h"
+#include "ro/mem/varray.h"
+#include "ro/util/check.h"
+
+namespace ro::alg {
+
+struct FftOptions {
+  uint32_t base = 8;         // direct DFT below this size
+  size_t grain = 1;          // BP leaf grain
+  bool bi_transpose = false; // use the BI route for square transposes
+  bool inverse = false;      // inverse transform (unscaled)
+};
+
+namespace detail {
+
+/// Cache-oblivious out-of-place transpose of a `rows`×`cols` row-major
+/// matrix region; splits the longer dimension ([17]).
+template <class Ctx, class T>
+void transpose_rm_rec(Ctx& cx, Slice<T> in, Slice<T> out, size_t rows,
+                      size_t cols, size_t r0, size_t c0, size_t dr, size_t dc,
+                      size_t grain) {
+  if (dr * dc <= grain || (dr == 1 && dc == 1)) {
+    for (size_t r = r0; r < r0 + dr; ++r) {
+      for (size_t c = c0; c < c0 + dc; ++c) {
+        cx.set(out, c * rows + r, cx.get(in, r * cols + c));
+      }
+    }
+    return;
+  }
+  const uint64_t w = words_per_v<T>;
+  if (dr >= dc) {
+    const size_t h = dr / 2;
+    cx.fork2(
+        2 * h * dc * w,
+        [&] {
+          transpose_rm_rec(cx, in, out, rows, cols, r0, c0, h, dc, grain);
+        },
+        2 * (dr - h) * dc * w, [&] {
+          transpose_rm_rec(cx, in, out, rows, cols, r0 + h, c0, dr - h, dc,
+                           grain);
+        });
+  } else {
+    const size_t h = dc / 2;
+    cx.fork2(
+        2 * dr * h * w,
+        [&] {
+          transpose_rm_rec(cx, in, out, rows, cols, r0, c0, dr, h, grain);
+        },
+        2 * dr * (dc - h) * w, [&] {
+          transpose_rm_rec(cx, in, out, rows, cols, r0, c0 + h, dr, dc - h,
+                           grain);
+        });
+  }
+}
+
+/// Transpose dispatcher: BI route for square matrices when requested.
+template <class Ctx>
+void fft_transpose(Ctx& cx, Slice<cplx> in, Slice<cplx> out, size_t rows,
+                   size_t cols, const FftOptions& opt) {
+  if (opt.bi_transpose && rows == cols) {
+    const uint32_t s = static_cast<uint32_t>(rows);
+    auto bi = cx.template local<cplx>(in.n);
+    auto bit = cx.template local<cplx>(in.n);
+    rm_to_bi(cx, in, bi.slice(), s, opt.grain);
+    mt_bi(cx, bi.slice(), bit.slice(), s, opt.grain);
+    bi_to_rm_fft(cx, bit.slice(), out, s, opt.grain);
+    return;
+  }
+  transpose_rm_rec(cx, in, out, rows, cols, 0, 0, rows, cols, opt.grain);
+}
+
+template <class Ctx>
+void fft_rec(Ctx& cx, Slice<cplx> x, Slice<cplx> y, const FftOptions& opt) {
+  const size_t n = x.n;
+  RO_CHECK(is_pow2(n) && y.n == n);
+  if (n <= opt.base) {
+    // Direct DFT in-task: O(base²) = O(1) work at fixed base.
+    for (size_t k = 0; k < n; ++k) {
+      cplx acc = 0;
+      for (size_t j = 0; j < n; ++j) {
+        acc += cx.get(x, j) * unit_root(j * k, n, opt.inverse);
+      }
+      cx.set(y, k, acc);
+    }
+    return;
+  }
+  const uint32_t lg = log2_floor(n);
+  const size_t n1 = size_t{1} << ((lg + 1) / 2);  // cols of the input view
+  const size_t n2 = n / n1;                       // rows of the input view
+
+  // Five fresh stage buffers (local, Θ(n) each: exactly linear space).
+  auto m1 = cx.template local<cplx>(n);
+  auto m2 = cx.template local<cplx>(n);
+  auto m3 = cx.template local<cplx>(n);
+  auto m4 = cx.template local<cplx>(n);
+  auto m5 = cx.template local<cplx>(n);
+
+  // Step 1: transpose the n2×n1 input view -> n1×n2 (rows j1).
+  fft_transpose(cx, x, m1.slice(), n2, n1, opt);
+  // Step 2: n1 recursive FFTs of size n2 (collection 1).
+  fork_range(cx, 0, n1, 2 * n2 * words_per_v<cplx>, [&](size_t j1) {
+    fft_rec(cx, m1.slice().sub(j1 * n2, n2), m2.slice().sub(j1 * n2, n2),
+            opt);
+  });
+  // Step 3: twiddle M3[j1][k2] = M2[j1][k2] · w_n^{j1·k2} (BP pass).
+  {
+    auto s2 = m2.slice();
+    auto s3 = m3.slice();
+    bp_range(cx, 0, n, opt.grain, 2 * words_per_v<cplx>,
+             [&](size_t lo, size_t hi) {
+               for (size_t i = lo; i < hi; ++i) {
+                 const uint64_t j1 = i / n2;
+                 const uint64_t k2 = i % n2;
+                 cx.set(s3, i,
+                        cx.get(s2, i) * unit_root(j1 * k2, n, opt.inverse));
+               }
+             });
+  }
+  // Step 4: transpose n1×n2 -> n2×n1 (rows k2).
+  fft_transpose(cx, m3.slice(), m4.slice(), n1, n2, opt);
+  // Step 5: n2 recursive FFTs of size n1 (collection 2).
+  fork_range(cx, 0, n2, 2 * n1 * words_per_v<cplx>, [&](size_t k2) {
+    fft_rec(cx, m4.slice().sub(k2 * n1, n1), m5.slice().sub(k2 * n1, n1),
+            opt);
+  });
+  // Step 6: transpose n2×n1 -> n1×n2: y[k1·n2 + k2].
+  fft_transpose(cx, m5.slice(), y, n2, n1, opt);
+}
+
+}  // namespace detail
+
+/// y = DFT(x) (unscaled; set opt.inverse for the inverse transform).
+template <class Ctx>
+void fft(Ctx& cx, Slice<cplx> x, Slice<cplx> y, FftOptions opt = {}) {
+  detail::fft_rec(cx, x, y, opt);
+}
+
+}  // namespace ro::alg

@@ -1,0 +1,22 @@
+#include "ro/alg/fft_plan.h"
+
+#include <cmath>
+
+namespace ro::alg {
+
+cplx unit_root(uint64_t num, uint64_t den, bool inverse) {
+  const double ang = (inverse ? 2.0 : -2.0) * M_PI *
+                     static_cast<double>(num % den) /
+                     static_cast<double>(den);
+  return cplx(std::cos(ang), std::sin(ang));
+}
+
+void dft_ref(const cplx* x, cplx* y, size_t n, bool inverse) {
+  for (size_t k = 0; k < n; ++k) {
+    cplx acc = 0;
+    for (size_t j = 0; j < n; ++j) acc += x[j] * unit_root(j * k, n, inverse);
+    y[k] = acc;
+  }
+}
+
+}  // namespace ro::alg

@@ -1,0 +1,17 @@
+// Non-template FFT support: unit roots and a reference DFT used by tests.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+
+namespace ro::alg {
+
+using cplx = std::complex<double>;
+
+/// exp(∓2πi · num / den): the twiddle w_den^num (minus sign for forward).
+cplx unit_root(uint64_t num, uint64_t den, bool inverse);
+
+/// Naive O(n²) DFT (forward or inverse, unscaled): reference for tests.
+void dft_ref(const cplx* x, cplx* y, size_t n, bool inverse);
+
+}  // namespace ro::alg

@@ -1,0 +1,152 @@
+#include "ro/alg/graphgen.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "ro/util/check.h"
+#include "ro/util/rng.h"
+
+namespace ro::alg {
+
+std::vector<int64_t> random_list(size_t n, uint64_t seed, int64_t* head_out,
+                                 int64_t* tail_out) {
+  RO_CHECK(n >= 1);
+  Rng rng(seed);
+  std::vector<int64_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  for (size_t i = n; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.next_below(i)]);
+  }
+  std::vector<int64_t> succ(n);
+  for (size_t i = 0; i + 1 < n; ++i) succ[order[i]] = order[i + 1];
+  succ[order[n - 1]] = order[n - 1];
+  if (head_out) *head_out = order[0];
+  if (tail_out) *tail_out = order[n - 1];
+  return succ;
+}
+
+std::vector<int64_t> list_rank_ref(const std::vector<int64_t>& succ) {
+  const size_t n = succ.size();
+  // Find the tail, then walk backwards via an inverse map.
+  std::vector<int64_t> pred(n, -1);
+  int64_t tail = -1;
+  for (size_t i = 0; i < n; ++i) {
+    if (succ[i] == static_cast<int64_t>(i)) {
+      tail = static_cast<int64_t>(i);
+    } else {
+      pred[succ[i]] = static_cast<int64_t>(i);
+    }
+  }
+  RO_CHECK(tail >= 0);
+  std::vector<int64_t> rank(n, 0);
+  int64_t cur = tail;
+  int64_t r = 0;
+  while (pred[cur] >= 0) {
+    cur = pred[cur];
+    rank[cur] = ++r;
+  }
+  return rank;
+}
+
+EdgeList random_tree(size_t n, uint64_t seed) {
+  RO_CHECK(n >= 1);
+  Rng rng(seed);
+  EdgeList e;
+  e.u.reserve(n - 1);
+  e.v.reserve(n - 1);
+  for (size_t i = 1; i < n; ++i) {
+    e.u.push_back(static_cast<int64_t>(rng.next_below(i)));
+    e.v.push_back(static_cast<int64_t>(i));
+  }
+  return e;
+}
+
+EdgeList random_graph(size_t n, size_t extra, size_t groups, uint64_t seed) {
+  RO_CHECK(n >= 1 && groups >= 1 && groups <= n);
+  Rng rng(seed);
+  // Random assignment of vertices to groups, each group non-empty.
+  std::vector<std::vector<int64_t>> members(groups);
+  std::vector<int64_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  for (size_t i = n; i > 1; --i) std::swap(perm[i - 1], perm[rng.next_below(i)]);
+  for (size_t g = 0; g < groups; ++g) members[g].push_back(perm[g]);
+  for (size_t i = groups; i < n; ++i) {
+    members[rng.next_below(groups)].push_back(perm[i]);
+  }
+  EdgeList e;
+  for (auto& mem : members) {
+    for (size_t i = 1; i < mem.size(); ++i) {
+      e.u.push_back(mem[rng.next_below(i)]);
+      e.v.push_back(mem[i]);
+    }
+  }
+  for (size_t x = 0; x < extra; ++x) {
+    const auto& mem = members[rng.next_below(groups)];
+    if (mem.size() < 2) continue;
+    const int64_t a = mem[rng.next_below(mem.size())];
+    const int64_t b = mem[rng.next_below(mem.size())];
+    if (a != b) {
+      e.u.push_back(a);
+      e.v.push_back(b);
+    }
+  }
+  return e;
+}
+
+namespace {
+struct Dsu {
+  std::vector<int64_t> p;
+  explicit Dsu(size_t n) : p(n) { std::iota(p.begin(), p.end(), 0); }
+  int64_t find(int64_t x) {
+    while (p[x] != x) {
+      p[x] = p[p[x]];
+      x = p[x];
+    }
+    return x;
+  }
+  void unite(int64_t a, int64_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (a > b) std::swap(a, b);
+    p[b] = a;  // smaller id wins -> labels are component minima
+  }
+};
+}  // namespace
+
+std::vector<int64_t> cc_ref(size_t n, const EdgeList& e) {
+  Dsu d(n);
+  for (size_t i = 0; i < e.u.size(); ++i) d.unite(e.u[i], e.v[i]);
+  std::vector<int64_t> label(n);
+  for (size_t v = 0; v < n; ++v) label[v] = d.find(v);
+  return label;
+}
+
+TreeRef tree_ref(size_t n, const EdgeList& e, int64_t root) {
+  std::vector<std::vector<int64_t>> adj(n);
+  for (size_t i = 0; i < e.u.size(); ++i) {
+    adj[e.u[i]].push_back(e.v[i]);
+    adj[e.v[i]].push_back(e.u[i]);
+  }
+  TreeRef t;
+  t.parent.assign(n, -1);
+  t.depth.assign(n, -1);
+  std::deque<int64_t> q{root};
+  t.parent[root] = root;
+  t.depth[root] = 0;
+  while (!q.empty()) {
+    const int64_t v = q.front();
+    q.pop_front();
+    for (int64_t w : adj[v]) {
+      if (t.depth[w] < 0) {
+        t.depth[w] = t.depth[v] + 1;
+        t.parent[w] = v;
+        q.push_back(w);
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace ro::alg

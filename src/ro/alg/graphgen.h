@@ -1,0 +1,41 @@
+// Workload generators and reference (sequential) implementations used by
+// tests, benches and examples.  All deterministic given the seed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ro::alg {
+
+/// Random linked list over nodes 0..n-1: returns succ[] with succ[tail] =
+/// tail; `*head_out`/`*tail_out` optionally receive the endpoints.
+std::vector<int64_t> random_list(size_t n, uint64_t seed,
+                                 int64_t* head_out = nullptr,
+                                 int64_t* tail_out = nullptr);
+
+/// Reference list ranking (sequential walk).
+std::vector<int64_t> list_rank_ref(const std::vector<int64_t>& succ);
+
+/// Random tree on n vertices (random attachment): n-1 edges (u[i], v[i]).
+struct EdgeList {
+  std::vector<int64_t> u;
+  std::vector<int64_t> v;
+};
+EdgeList random_tree(size_t n, uint64_t seed);
+
+/// Random undirected graph with `groups` guaranteed-connected vertex groups
+/// (spanning tree per group + `extra` random intra-group edges).
+EdgeList random_graph(size_t n, size_t extra, size_t groups, uint64_t seed);
+
+/// Reference connected components (union-find): label = min id in component.
+std::vector<int64_t> cc_ref(size_t n, const EdgeList& e);
+
+/// Reference BFS depths/parents from `root` for a tree.
+struct TreeRef {
+  std::vector<int64_t> parent;
+  std::vector<int64_t> depth;
+};
+TreeRef tree_ref(size_t n, const EdgeList& e, int64_t root);
+
+}  // namespace ro::alg

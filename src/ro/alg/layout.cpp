@@ -1,0 +1,21 @@
+#include "ro/alg/layout.h"
+
+namespace ro::alg {
+
+void rm_to_bi_ref(const int64_t* rm, int64_t* bi, uint32_t n) {
+  for (uint32_t r = 0; r < n; ++r)
+    for (uint32_t c = 0; c < n; ++c) bi[bi_index(r, c)] = rm[rm_index(n, r, c)];
+}
+
+void bi_to_rm_ref(const int64_t* bi, int64_t* rm, uint32_t n) {
+  for (uint32_t r = 0; r < n; ++r)
+    for (uint32_t c = 0; c < n; ++c) rm[rm_index(n, r, c)] = bi[bi_index(r, c)];
+}
+
+void transpose_ref(const int64_t* in, int64_t* out, uint32_t n) {
+  for (uint32_t r = 0; r < n; ++r)
+    for (uint32_t c = 0; c < n; ++c)
+      out[rm_index(n, c, r)] = in[rm_index(n, r, c)];
+}
+
+}  // namespace ro::alg

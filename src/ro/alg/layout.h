@@ -1,0 +1,34 @@
+// Matrix layouts (§3.2): row-major (RM) and bit-interleaved (BI).
+//
+// BI recursively places the top-left quadrant, then top-right, bottom-left,
+// bottom-right — i.e. Morton / Z-order.  Its virtue for HBP algorithms is
+// that every recursive quadrant is a *contiguous* subarray, giving BP tasks
+// f(r) = O(1) and L(r) = O(1).
+#pragma once
+
+#include <cstdint>
+
+#include "ro/util/bits.h"
+
+namespace ro::alg {
+
+/// Index of (row, col) in a row-major n×n matrix.
+constexpr uint64_t rm_index(uint64_t n, uint32_t row, uint32_t col) {
+  return static_cast<uint64_t>(row) * n + col;
+}
+
+/// Index of (row, col) in a bit-interleaved n×n matrix (n a power of two).
+constexpr uint64_t bi_index(uint32_t row, uint32_t col) {
+  return morton_encode(row, col);
+}
+
+/// Inverse of bi_index.
+constexpr RowCol bi_coords(uint64_t z) { return morton_decode(z); }
+
+/// Reference conversions on plain buffers (unaccounted; used by tests and
+/// input preparation).
+void rm_to_bi_ref(const int64_t* rm, int64_t* bi, uint32_t n);
+void bi_to_rm_ref(const int64_t* bi, int64_t* rm, uint32_t n);
+void transpose_ref(const int64_t* in, int64_t* out, uint32_t n);
+
+}  // namespace ro::alg

@@ -1,0 +1,71 @@
+// Depth-n-MM — the 8-way recursive matrix multiply of [17], modified as in
+// the companion paper [13] to be limited access (§3.2, §6): instead of
+// accumulating in place (which writes each output location n times), each
+// task computes the two halves of its result into fresh local arrays and
+// adds them with one BP pass.
+//
+// Type-2 HBP with c = 2 collections of v = 4 parallel recursive products of
+// size m/4 each — the recursion shape of Lemma 4.1(iii)/4.2(iii).
+// W = Θ(n³), T∞ = O(n), Q = Θ(n³/(B√M)).  BI layout; f(r)=O(1), L(r)=O(1).
+#pragma once
+
+#include "ro/alg/layout.h"
+#include "ro/alg/scan.h"
+#include "ro/alg/strassen.h"  // mm_base_bi
+#include "ro/core/context.h"
+#include "ro/mem/varray.h"
+#include "ro/util/check.h"
+
+namespace ro::alg {
+
+namespace detail {
+
+template <class Ctx>
+void depth_n_mm_rec(Ctx& cx, Slice<i64> a, Slice<i64> b, Slice<i64> c,
+                    uint32_t s, uint32_t base, size_t grain) {
+  if (s <= base) {
+    mm_base_bi(cx, a, b, c, s);
+    return;
+  }
+  const size_t q = (static_cast<size_t>(s) * s) / 4;
+  const size_t m = 4 * q;
+  auto A = [&](int k) { return a.sub(k * q, q); };
+  auto B = [&](int k) { return b.sub(k * q, q); };
+
+  // Local halves T1, T2 (Θ(m) local space: exactly linear, Def 3.6).
+  auto T1 = cx.template local<i64>(m);
+  auto T2 = cx.template local<i64>(m);
+  const uint32_t h = s / 2;
+
+  // Collection 1: C_ij half 1 = A_i1 · B_1j  (4 parallel products).
+  // |τ| ≈ 8q: two input quadrants, the output quadrant, and the Θ(q)
+  // local space of the recursion (Def 3.6).
+  fork_range(cx, 0, 4, 8 * q, [&](size_t k) {
+    const int i = static_cast<int>(k) / 2;
+    const int j = static_cast<int>(k) % 2;
+    depth_n_mm_rec(cx, A(2 * i), B(j), T1.slice().sub(k * q, q), h, base,
+                   grain);
+  });
+  // Collection 2: C_ij half 2 = A_i2 · B_2j.
+  fork_range(cx, 0, 4, 8 * q, [&](size_t k) {
+    const int i = static_cast<int>(k) / 2;
+    const int j = static_cast<int>(k) % 2;
+    depth_n_mm_rec(cx, A(2 * i + 1), B(2 + j), T2.slice().sub(k * q, q), h,
+                   base, grain);
+  });
+  // Combine: C = T1 + T2 (MA, one BP pass; writes each C location once).
+  matrix_add(cx, T1.slice(), T2.slice(), c, grain);
+}
+
+}  // namespace detail
+
+/// C = A·B for n×n BI matrices via the limited-access Depth-n-MM.
+template <class Ctx>
+void depth_n_mm(Ctx& cx, Slice<i64> a, Slice<i64> b, Slice<i64> c, uint32_t n,
+                uint32_t base = 2, size_t grain = 1) {
+  RO_CHECK(is_pow2(n) && base >= 1);
+  RO_CHECK(a.n == static_cast<size_t>(n) * n && b.n == a.n && c.n == a.n);
+  detail::depth_n_mm_rec(cx, a, b, c, n, base, grain);
+}
+
+}  // namespace ro::alg

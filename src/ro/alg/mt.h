@@ -1,0 +1,50 @@
+// MT — matrix transposition in the bit-interleaved layout (§3.2).
+//
+// Out-of-place quadrant recursion: out.TL = T(in.TL), out.TR = T(in.BL),
+// out.BL = T(in.TR), out.BR = T(in.BR).  Every recursive task reads and
+// writes contiguous BI subarrays, so f(r) = O(1) and L(r) = O(1); each
+// location is written exactly once (limited access).  A single BP
+// computation (Type-1 HBP).
+#pragma once
+
+#include "ro/alg/layout.h"
+#include "ro/core/context.h"
+#include "ro/mem/varray.h"
+#include "ro/util/check.h"
+
+namespace ro::alg {
+
+namespace detail {
+
+template <class Ctx, class T>
+void mt_bi_rec(Ctx& cx, Slice<T> in, Slice<T> out, size_t grain) {
+  const size_t m = in.n;  // elements in this (sub)matrix, a power of 4
+  if (m <= grain || m == 1) {
+    // Transpose the tile locally: out[(r,c)] = in[(c,r)] in tile-local
+    // BI coordinates.
+    for (size_t i = 0; i < m; ++i) {
+      const RowCol rc = bi_coords(i);
+      cx.set(out, i, cx.get(in, bi_index(rc.col, rc.row)));
+    }
+    return;
+  }
+  const size_t q = m / 4;
+  // Child order (output quadrant): TL<-TL, TR<-BL, BL<-TR, BR<-BR.
+  static constexpr size_t kSrc[4] = {0, 2, 1, 3};
+  fork_range(cx, 0, 4, 2 * q * words_per_v<T>, [&](size_t k) {
+    mt_bi_rec(cx, in.sub(kSrc[k] * q, q), out.sub(k * q, q), grain);
+  });
+}
+
+}  // namespace detail
+
+/// Transposes the n×n BI matrix `in` into `out` (n a power of two).
+template <class Ctx, class T>
+void mt_bi(Ctx& cx, Slice<T> in, Slice<T> out, uint32_t n,
+           size_t grain = 1) {
+  RO_CHECK(is_pow2(n));
+  RO_CHECK(in.n == static_cast<size_t>(n) * n && out.n == in.n);
+  detail::mt_bi_rec(cx, in, out, grain);
+}
+
+}  // namespace ro::alg

@@ -1,0 +1,172 @@
+// Layout conversions between row-major (RM) and bit-interleaved (BI)
+// (§3.2), including the two improved BI→RM algorithms:
+//
+//   rm_to_bi        — BP; writes in BI order (L(r)=O(1)), reads √r-friendly.
+//   bi_to_rm_direct — BP; both L(r) and f(r) are √r (the baseline the
+//                     gapping technique improves on).
+//   bi_to_rm_gap    — writes into a *gapped* RM destination (RowGapLayout,
+//                     gap r/log²r between side-r subarrays) so tasks of size
+//                     ≥ ~B log²B share no blocks, then compacts with a BP
+//                     pass.  O(n²) work, O(log n) depth.
+//   bi_to_rm_fft    — Type-2 HBP (c=1, v(n²)=n, s(n²)=n): recursively
+//                     converts n tiles of side √n, then one BP copy whose
+//                     writes are in RM order (L(r)=O(1)); O(n² log log n)
+//                     work.
+//
+// All are limited access (each output location written once).
+#pragma once
+
+#include "ro/alg/layout.h"
+#include "ro/alg/scan.h"
+#include "ro/core/context.h"
+#include "ro/mem/gap.h"
+#include "ro/mem/varray.h"
+#include "ro/util/check.h"
+
+namespace ro::alg {
+
+namespace detail {
+
+/// Quadrant recursion shared by rm_to_bi / bi_to_rm_direct:
+/// walks BI subarrays, tracking the top-left (r0, c0) of each tile.
+/// `BiToRm` selects the copy direction.
+template <bool kBiToRm, class Ctx, class T>
+void conv_rec(Ctx& cx, Slice<T> rm_full, Slice<T> bi, uint32_t n,
+              uint32_t r0, uint32_t c0, uint32_t s, size_t grain) {
+  const size_t m = static_cast<size_t>(s) * s;
+  if (m <= grain || s == 1) {
+    for (size_t i = 0; i < m; ++i) {
+      const RowCol rc = bi_coords(i);
+      const size_t rm_i = rm_index(n, r0 + rc.row, c0 + rc.col);
+      if constexpr (kBiToRm) {
+        cx.set(rm_full, rm_i, cx.get(bi, i));
+      } else {
+        cx.set(bi, i, cx.get(rm_full, rm_i));
+      }
+    }
+    return;
+  }
+  const size_t q = m / 4;
+  const uint32_t h = s / 2;
+  const uint32_t dr[4] = {0, 0, h, h};
+  const uint32_t dc[4] = {0, h, 0, h};
+  fork_range(cx, 0, 4, 2 * q * words_per_v<T>, [&](size_t k) {
+    conv_rec<kBiToRm>(cx, rm_full, bi.sub(k * q, q), n, r0 + dr[k],
+                      c0 + dc[k], h, grain);
+  });
+}
+
+/// Gapped-destination variant of the BI→RM recursion.
+template <class Ctx, class T>
+void gap_rec(Ctx& cx, Slice<T> gapped, Slice<T> bi,
+             const RowGapLayout& lay, uint32_t r0, uint32_t c0, uint32_t s,
+             size_t grain) {
+  const size_t m = static_cast<size_t>(s) * s;
+  if (m <= grain || s == 1) {
+    for (size_t i = 0; i < m; ++i) {
+      const RowCol rc = bi_coords(i);
+      cx.set(gapped, lay.slot(r0 + rc.row, c0 + rc.col), cx.get(bi, i));
+    }
+    return;
+  }
+  const size_t q = m / 4;
+  const uint32_t h = s / 2;
+  const uint32_t dr[4] = {0, 0, h, h};
+  const uint32_t dc[4] = {0, h, 0, h};
+  fork_range(cx, 0, 4, 2 * q * words_per_v<T>, [&](size_t k) {
+    gap_rec(cx, gapped, bi.sub(k * q, q), lay, r0 + dr[k], c0 + dc[k], h,
+            grain);
+  });
+}
+
+}  // namespace detail
+
+/// RM → BI.  Single BP computation (Type-1 HBP); L(r)=O(1) writes.
+template <class Ctx, class T>
+void rm_to_bi(Ctx& cx, Slice<T> rm, Slice<T> bi, uint32_t n,
+              size_t grain = 1) {
+  RO_CHECK(is_pow2(n) && rm.n == static_cast<size_t>(n) * n && bi.n == rm.n);
+  detail::conv_rec</*kBiToRm=*/false>(cx, rm, bi, n, 0, 0, n, grain);
+}
+
+/// Direct BI → RM.  Single BP computation; both f and L are √r.
+template <class Ctx, class T>
+void bi_to_rm_direct(Ctx& cx, Slice<T> bi, Slice<T> rm, uint32_t n,
+                     size_t grain = 1) {
+  RO_CHECK(is_pow2(n) && rm.n == static_cast<size_t>(n) * n && bi.n == rm.n);
+  detail::conv_rec</*kBiToRm=*/true>(cx, rm, bi, n, 0, 0, n, grain);
+}
+
+/// BI → RM (gap RM): gapped writes + BP compaction (§3.2 method 1).
+template <class Ctx, class T>
+void bi_to_rm_gap(Ctx& cx, Slice<T> bi, Slice<T> rm, uint32_t n,
+                  size_t grain = 1) {
+  RO_CHECK(is_pow2(n) && rm.n == static_cast<size_t>(n) * n && bi.n == rm.n);
+  const RowGapLayout lay(n);
+  auto gapped = cx.template alloc<T>(lay.space(), "bi2rm.gapped");
+  detail::gap_rec(cx, gapped.slice(), bi, lay, 0, 0, n, grain);
+  // Compaction: a BP pass in RM order (reads are sequential-with-holes,
+  // writes contiguous — the "standard scan" of §3.2).
+  bp_range(cx, 0, rm.n, grain, 2, [&](size_t lo, size_t hi) {
+    auto gs = gapped.slice();
+    for (size_t i = lo; i < hi; ++i) {
+      const uint32_t r = static_cast<uint32_t>(i / n);
+      const uint32_t c = static_cast<uint32_t>(i % n);
+      cx.set(rm, i, cx.get(gs, lay.slot(r, c)));
+    }
+  });
+}
+
+namespace detail {
+
+/// BI → RM for FFT, recursive core.  `side` is the current matrix side;
+/// tiles have side t = 2^⌊log₂(side)/2⌋ (≈ √side), so the recursion works
+/// for every power-of-two side.  Output of each level goes to `out`, a
+/// tile-side-major temporary: tile (tr,tc) in BI order, RM inside the tile.
+template <class Ctx, class T>
+void bi_rm_fft_rec(Ctx& cx, Slice<T> bi, Slice<T> rm, uint32_t side,
+                   size_t grain) {
+  const size_t m = static_cast<size_t>(side) * side;
+  if (side <= 2 || m <= grain) {
+    for (size_t i = 0; i < m; ++i) {
+      const RowCol rc = bi_coords(i);
+      cx.set(rm, rm_index(side, rc.row, rc.col), cx.get(bi, i));
+    }
+    return;
+  }
+  const uint32_t t = uint32_t{1} << (log2_floor(side) / 2);  // tile side
+  const uint32_t g = side / t;  // tiles per side
+  const size_t tile_elems = static_cast<size_t>(t) * t;
+  // Recursively convert each tile (contiguous BI subtree) into a local
+  // temporary laid out tile-major, RM inside each tile.
+  auto tmp = cx.template local<T>(m);
+  auto ts = tmp.slice();
+  fork_range(cx, 0, static_cast<size_t>(g) * g, 2 * tile_elems * words_per_v<T>,
+             [&](size_t tile) {
+               bi_rm_fft_rec(cx, bi.sub(tile * tile_elems, tile_elems),
+                             ts.sub(tile * tile_elems, tile_elems), t, grain);
+             });
+  // BP copy into the true RM output; writes are in RM order (L(r)=O(1)).
+  bp_range(cx, 0, m, grain, 2 * words_per_v<T>, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      const uint32_t r = static_cast<uint32_t>(i / side);
+      const uint32_t c = static_cast<uint32_t>(i % side);
+      const uint64_t tile = morton_encode(r / t, c / t);
+      const size_t src = tile * tile_elems + rm_index(t, r % t, c % t);
+      cx.set(rm, i, cx.get(ts, src));
+    }
+  });
+}
+
+}  // namespace detail
+
+/// BI → RM for FFT (§3.2 method 2): O(n² log log n) work, O(log n) depth,
+/// L(r)=O(1), f(r)=O(√r) with a tall cache.
+template <class Ctx, class T>
+void bi_to_rm_fft(Ctx& cx, Slice<T> bi, Slice<T> rm, uint32_t n,
+                  size_t grain = 1) {
+  RO_CHECK(is_pow2(n) && rm.n == static_cast<size_t>(n) * n && bi.n == rm.n);
+  detail::bi_rm_fft_rec(cx, bi, rm, n, grain);
+}
+
+}  // namespace ro::alg

@@ -1,0 +1,111 @@
+// Sort-routed gather/scatter — the cache-oblivious way the paper's graph
+// algorithms ([3, 11, 6] style) turn random access into sorting + scanning.
+//
+//   gather:  out[i] = values[idx[i]]        (requests routed by sort)
+//   scatter: out[idx[i]] = values[i]        (idx a permutation subset)
+//
+// Both cost O(sort(n)) cache misses instead of n random misses.  Packing:
+// records are (hi << 32) | lo with both halves < 2^31, checked.
+#pragma once
+
+#include "ro/alg/scan.h"
+#include "ro/alg/sort.h"
+#include "ro/core/context.h"
+#include "ro/mem/varray.h"
+#include "ro/util/check.h"
+
+namespace ro::alg {
+
+namespace detail {
+
+inline i64 pack2(i64 hi, i64 lo) {
+  RO_CHECK_MSG(hi >= 0 && hi < (i64{1} << 31) && lo >= -(i64{1} << 31) &&
+                   lo < (i64{1} << 31),
+               "route: hi must fit 31 bits unsigned, lo 32 bits signed");
+  return (hi << 32) | (lo & 0xFFFFFFFFll);
+}
+inline i64 hi32(i64 p) { return p >> 32; }
+inline i64 lo32(i64 p) {  // sign-extended payload
+  return static_cast<int32_t>(static_cast<uint32_t>(p & 0xFFFFFFFFll));
+}
+
+}  // namespace detail
+
+/// StridedView: logical index j lives at slice position j·stride — the
+/// paper's gapping layout for list ranking (§3.2).
+struct StridedView {
+  Slice<i64> s;
+  uint64_t stride = 1;
+  template <class Ctx>
+  i64 get(Ctx& cx, size_t j) const {
+    return cx.get(s, j * stride);
+  }
+  template <class Ctx>
+  void set(Ctx& cx, size_t j, i64 v) const {
+    Slice<i64> t = s;
+    cx.set(t, j * stride, v);
+  }
+  size_t size() const { return stride ? (s.n + stride - 1) / stride : 0; }
+};
+
+/// out[i] = values[idx[i]], where idx[i] ∈ [0, values.size()).
+/// Implemented as: sort (idx[i], i) by idx; scan `values` in sorted target
+/// order (monotone -> scan-friendly); sort (i, value) back by i; unpack.
+template <class Ctx>
+void gather(Ctx& cx, const StridedView& idx, const StridedView& values,
+            const StridedView& out, size_t m, size_t grain = 1) {
+  auto req = cx.template alloc<i64>(m, "route.req");
+  auto req_sorted = cx.template alloc<i64>(m, "route.req_sorted");
+  auto resp = cx.template alloc<i64>(m, "route.resp");
+  auto resp_sorted = cx.template alloc<i64>(m, "route.resp_sorted");
+  auto rq = req.slice();
+  auto rqs = req_sorted.slice();
+  auto rp = resp.slice();
+  auto rps = resp_sorted.slice();
+
+  bp_range(cx, 0, m, grain, 3, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      cx.set(rq, i, detail::pack2(idx.get(cx, i), static_cast<i64>(i)));
+    }
+  });
+  msort(cx, rq, rqs, 8, grain);
+  // Read values in sorted target order; emit (origin, value).
+  bp_range(cx, 0, m, grain, 4, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      const i64 p = cx.get(rqs, i);
+      const i64 v = values.get(cx, static_cast<size_t>(detail::hi32(p)));
+      cx.set(rp, i, detail::pack2(detail::lo32(p), v));
+    }
+  });
+  msort(cx, rp, rps, 8, grain);
+  bp_range(cx, 0, m, grain, 2, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      out.set(cx, i, detail::lo32(cx.get(rps, i)));
+    }
+  });
+}
+
+/// out[idx[i]] = values[i] (idx distinct; unaffected slots keep old data).
+/// Sorting by destination makes the writes a monotone scan.
+template <class Ctx>
+void scatter(Ctx& cx, const StridedView& idx, const StridedView& values,
+             const StridedView& out, size_t m, size_t grain = 1) {
+  auto req = cx.template alloc<i64>(m, "scatter.req");
+  auto req_sorted = cx.template alloc<i64>(m, "scatter.req_sorted");
+  auto rq = req.slice();
+  auto rqs = req_sorted.slice();
+  bp_range(cx, 0, m, grain, 3, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      cx.set(rq, i, detail::pack2(idx.get(cx, i), values.get(cx, i)));
+    }
+  });
+  msort(cx, rq, rqs, 8, grain);
+  bp_range(cx, 0, m, grain, 2, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      const i64 p = cx.get(rqs, i);
+      out.set(cx, static_cast<size_t>(detail::hi32(p)), detail::lo32(p));
+    }
+  });
+}
+
+}  // namespace ro::alg

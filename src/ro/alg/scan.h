@@ -1,0 +1,207 @@
+// Scans — the paper's Type-1 HBP building blocks (§2, §3.2):
+//   * bp_range      — generic balanced-parallel loop (the BP skeleton)
+//   * msum          — M-Sum, the paper's running example
+//   * map_bp / zip  — elementwise kernels (Matrix Addition is zip with +)
+//   * prefix_sums   — PS as a sequence of two BP computations
+//   * pack          — stable compaction (prefix sums + scatter), used by the
+//                     gapped conversions and list ranking
+//
+// All have f(r) = O(1) and L(r) = O(1): a task works on O(1) contiguous
+// ranges, and the only blocks it can share with parallel tasks are the O(1)
+// boundary blocks of those ranges.
+//
+// `grain` is the leaf size: Def 3.2 leaves do O(1) work; tests use grain 1,
+// benches may use a small constant (still far below any simulated B).
+#pragma once
+
+#include <cstdint>
+
+#include "ro/core/context.h"
+#include "ro/mem/varray.h"
+#include "ro/util/check.h"
+
+namespace ro::alg {
+
+using i64 = int64_t;
+
+/// Generic BP skeleton over the index range [lo, hi): forks a balanced
+/// binary tree with leaves of at most `grain` indices; `words_per_elem`
+/// declares each index's contribution to task size |τ|.
+template <class Ctx, class Body>
+void bp_range(Ctx& cx, size_t lo, size_t hi, size_t grain,
+              uint64_t words_per_elem, Body&& body) {
+  RO_CHECK(grain >= 1);
+  const size_t count = hi - lo;
+  if (count <= grain) {
+    body(lo, hi);
+    return;
+  }
+  const size_t mid = lo + count / 2;
+  cx.fork2(
+      (mid - lo) * words_per_elem,
+      [&] { bp_range(cx, lo, mid, grain, words_per_elem, body); },
+      (hi - mid) * words_per_elem,
+      [&] { bp_range(cx, mid, hi, grain, words_per_elem, body); });
+}
+
+/// M-Sum: Σ a[i], returned through the fork-join frame chain.
+template <class Ctx>
+i64 msum_rec(Ctx& cx, Slice<i64> a, size_t grain) {
+  if (a.n <= grain) {
+    i64 s = 0;
+    for (size_t i = 0; i < a.n; ++i) s += cx.get(a, i);
+    return s;
+  }
+  const size_t half = a.n / 2;
+  i64 s1 = 0;
+  i64 s2 = 0;
+  cx.fork2(
+      half, [&] { s1 = msum_rec(cx, a.first(half), grain); },
+      a.n - half, [&] { s2 = msum_rec(cx, a.drop(half), grain); });
+  return s1 + s2;
+}
+
+/// M-Sum with the result stored to out[0].
+template <class Ctx>
+void msum(Ctx& cx, Slice<i64> a, Slice<i64> out, size_t grain = 1) {
+  cx.set(out, 0, msum_rec(cx, a, grain));
+}
+
+/// Elementwise map: out[i] = f(a[i]).
+template <class Ctx, class F>
+void map_bp(Ctx& cx, Slice<i64> a, Slice<i64> out, F&& f, size_t grain = 1) {
+  RO_CHECK(a.n == out.n);
+  bp_range(cx, 0, a.n, grain, 2, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) cx.set(out, i, f(cx.get(a, i)));
+  });
+}
+
+/// Elementwise zip: out[i] = f(a[i], b[i]).  Matrix Addition (MA) is
+/// zip_bp with + over the flat (layout-agnostic) element arrays.
+template <class Ctx, class F>
+void zip_bp(Ctx& cx, Slice<i64> a, Slice<i64> b, Slice<i64> out, F&& f,
+            size_t grain = 1) {
+  RO_CHECK(a.n == b.n && a.n == out.n);
+  bp_range(cx, 0, a.n, grain, 3, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i)
+      cx.set(out, i, f(cx.get(a, i), cx.get(b, i)));
+  });
+}
+
+/// Matrix addition, the paper's MA.
+template <class Ctx>
+void matrix_add(Ctx& cx, Slice<i64> a, Slice<i64> b, Slice<i64> out,
+                size_t grain = 1) {
+  zip_bp(cx, a, b, out, [](i64 x, i64 y) { return x + y; }, grain);
+}
+
+namespace detail {
+
+/// Number of tree nodes for `n` leaves of size `grain` (in-order layout).
+inline size_t ps_tree_nodes(size_t n, size_t grain) {
+  if (n <= grain) return 1;
+  const size_t half = n / 2;
+  return ps_tree_nodes(half, grain) + ps_tree_nodes(n - half, grain) + 1;
+}
+
+/// Up-sweep: fills `tree` (in-order layout, §3.3 "Data Layout in a BP
+/// Computation") with subtree sums; returns this subtree's sum.
+template <class Ctx>
+i64 ps_up(Ctx& cx, Slice<i64> a, Slice<i64> tree, size_t grain) {
+  if (a.n <= grain) {
+    i64 s = 0;
+    for (size_t i = 0; i < a.n; ++i) s += cx.get(a, i);
+    cx.set(tree, 0, s);
+    return s;
+  }
+  const size_t half = a.n / 2;
+  const size_t lcount = ps_tree_nodes(half, grain);
+  const size_t rcount = ps_tree_nodes(a.n - half, grain);
+  i64 s1 = 0;
+  i64 s2 = 0;
+  // |τ| counts all words a subtree touches: the array half + its tree part.
+  cx.fork2(
+      3 * half,
+      [&] { s1 = ps_up(cx, a.first(half), tree.sub(0, lcount), grain); },
+      3 * (a.n - half), [&] {
+        s2 = ps_up(cx, a.drop(half), tree.sub(lcount + 1, rcount), grain);
+      });
+  cx.set(tree, lcount, s1 + s2);  // in-order: root sits between subtrees
+  return s1 + s2;
+}
+
+/// Down-sweep: out[i] = carry + Σ_{j<=i} a[j] (inclusive prefix + carry).
+template <class Ctx>
+void ps_down(Ctx& cx, Slice<i64> a, Slice<i64> tree, Slice<i64> out,
+             i64 carry, size_t grain) {
+  if (a.n <= grain) {
+    i64 run = carry;
+    for (size_t i = 0; i < a.n; ++i) {
+      run += cx.get(a, i);
+      cx.set(out, i, run);
+    }
+    return;
+  }
+  const size_t half = a.n / 2;
+  const size_t lcount = ps_tree_nodes(half, grain);
+  const size_t rcount = ps_tree_nodes(a.n - half, grain);
+  // The left subtree's total sits at the left subtree's in-order root.
+  const size_t lroot = half <= grain ? 0 : ps_tree_nodes(half / 2, grain);
+  const i64 lsum = cx.get(tree, lroot);
+  cx.fork2(
+      4 * half,
+      [&] {
+        ps_down(cx, a.first(half), tree.sub(0, lcount), out.first(half),
+                carry, grain);
+      },
+      4 * (a.n - half), [&] {
+        ps_down(cx, a.drop(half), tree.sub(lcount + 1, rcount),
+                out.drop(half), carry + lsum, grain);
+      });
+}
+
+}  // namespace detail
+
+/// Inclusive prefix sums: out[i] = Σ_{j<=i} a[j].  A sequence of two BP
+/// computations (Type-1 HBP), exactly as in §3.2.
+template <class Ctx>
+void prefix_sums(Ctx& cx, Slice<i64> a, Slice<i64> out, size_t grain = 1) {
+  RO_CHECK(a.n == out.n && a.n >= 1);
+  const size_t nodes = detail::ps_tree_nodes(a.n, grain);
+  auto tree = cx.template alloc<i64>(nodes, "ps.tree");
+  detail::ps_up(cx, a, tree.slice(), grain);
+  detail::ps_down(cx, a, tree.slice(), out, 0, grain);
+}
+
+/// Exclusive prefix sums: out[i] = Σ_{j<i} a[j].
+template <class Ctx>
+void prefix_sums_exclusive(Ctx& cx, Slice<i64> a, Slice<i64> out,
+                           size_t grain = 1) {
+  RO_CHECK(a.n == out.n && a.n >= 1);
+  const size_t nodes = detail::ps_tree_nodes(a.n, grain);
+  auto tree = cx.template alloc<i64>(nodes, "ps.tree");
+  detail::ps_up(cx, a, tree.slice(), grain);
+  auto shifted = cx.template alloc<i64>(a.n, "ps.shift");
+  detail::ps_down(cx, a, tree.slice(), shifted.slice(), 0, grain);
+  // out[i] = inclusive[i] - a[i], elementwise (keeps everything BP).
+  zip_bp(cx, shifted.slice(), a, out,
+         [](i64 inc, i64 v) { return inc - v; }, grain);
+}
+
+/// Stable pack: appends a[i] (for keep[i] != 0) to out in order; returns the
+/// number of survivors via out_count[0].  pos must be the exclusive prefix
+/// sums of keep (callers often already have it).
+template <class Ctx>
+void scatter_pack(Ctx& cx, Slice<i64> a, Slice<i64> keep, Slice<i64> pos,
+                  Slice<i64> out, size_t grain = 1) {
+  RO_CHECK(a.n == keep.n && a.n == pos.n);
+  bp_range(cx, 0, a.n, grain, 4, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      if (cx.get(keep, i) != 0) {
+        cx.set(out, static_cast<size_t>(cx.get(pos, i)), cx.get(a, i));
+      }
+    }
+  });
+}
+
+}  // namespace ro::alg

@@ -1,0 +1,141 @@
+// Strassen's matrix multiplication on the BI layout (§3.2).
+//
+// Type-2 HBP: c = 1 collection of v = 7 recursive products of size m/4
+// (m = n² matrix elements), with MA-style BP computations before (the ten
+// S-matrices) and after (the four output quadrants).  The recursion computes
+// the seven products into *fresh local arrays* declared by the calling task
+// (Def 3.6 exactly-linear-space-bounded), so every variable is written O(1)
+// times — the algorithm is inherently limited access.  With BI layout every
+// quadrant is a contiguous subarray: f(r) = O(1), L(r) = O(1).
+//
+// W(n) = Θ(n^log₂7), T∞ = O(log²n), Q = Θ(n^λ / (B·M^(λ/2-1))).
+#pragma once
+
+#include "ro/alg/layout.h"
+#include "ro/alg/scan.h"
+#include "ro/core/context.h"
+#include "ro/mem/varray.h"
+#include "ro/util/check.h"
+
+namespace ro::alg {
+
+namespace detail {
+
+/// Direct O(s³) multiply of BI tiles (recursion base).
+template <class Ctx>
+void mm_base_bi(Ctx& cx, Slice<i64> a, Slice<i64> b, Slice<i64> c,
+                uint32_t s) {
+  for (uint32_t i = 0; i < s; ++i) {
+    for (uint32_t j = 0; j < s; ++j) {
+      i64 acc = 0;
+      for (uint32_t k = 0; k < s; ++k) {
+        acc += cx.get(a, bi_index(i, k)) * cx.get(b, bi_index(k, j));
+      }
+      cx.set(c, bi_index(i, j), acc);
+    }
+  }
+}
+
+template <class Ctx>
+void strassen_rec(Ctx& cx, Slice<i64> a, Slice<i64> b, Slice<i64> c,
+                  uint32_t s, uint32_t base, size_t grain) {
+  if (s <= base) {
+    mm_base_bi(cx, a, b, c, s);
+    return;
+  }
+  const size_t q = (static_cast<size_t>(s) * s) / 4;
+  // BI quadrants are contiguous: 0=TL(11), 1=TR(12), 2=BL(21), 3=BR(22).
+  auto A = [&](int k) { return a.sub(k * q, q); };
+  auto B = [&](int k) { return b.sub(k * q, q); };
+  auto C = [&](int k) { return c.sub(k * q, q); };
+
+  // Local variables of this task: ten sums/differences + seven products.
+  auto S = cx.template local<i64>(10 * q);
+  auto P = cx.template local<i64>(7 * q);
+  auto Sk = [&](int k) { return S.slice().sub(k * q, q); };
+  auto Pk = [&](int k) { return P.slice().sub(k * q, q); };
+
+  const auto plus = [](i64 x, i64 y) { return x + y; };
+  const auto minus = [](i64 x, i64 y) { return x - y; };
+
+  // Collection 1: the ten MA computations (a BP collection of zips).
+  struct AddSpec {
+    int out;
+    int x;
+    int y;
+    bool sub;
+    bool x_is_a;  // operands both come from the same matrix per spec
+    bool y_is_a;
+  };
+  // S0=B12-B22  S1=A11+A12  S2=A21+A22  S3=B21-B11  S4=A11+A22
+  // S5=B11+B22  S6=A12-A22  S7=B21+B22  S8=A11-A21  S9=B11+B12
+  static constexpr AddSpec kAdds[10] = {
+      {0, 1, 3, true, false, false}, {1, 0, 1, false, true, true},
+      {2, 2, 3, false, true, true},  {3, 2, 0, true, false, false},
+      {4, 0, 3, false, true, true},  {5, 0, 3, false, false, false},
+      {6, 1, 3, true, true, true},   {7, 2, 3, false, false, false},
+      {8, 0, 2, true, true, true},   {9, 0, 1, false, false, false}};
+  fork_range(cx, 0, 10, 3 * q, [&](size_t k) {
+    const AddSpec& sp = kAdds[k];
+    auto x = sp.x_is_a ? A(sp.x) : B(sp.x);
+    auto y = sp.y_is_a ? A(sp.y) : B(sp.y);
+    if (sp.sub) {
+      zip_bp(cx, x, y, Sk(sp.out), minus, grain);
+    } else {
+      zip_bp(cx, x, y, Sk(sp.out), plus, grain);
+    }
+  });
+
+  // Collection 2: the seven recursive products (|τ| ≈ 8q with locals).
+  // P0=A11·S0  P1=S1·B22  P2=S2·B11  P3=A22·S3  P4=S4·S5  P5=S6·S7  P6=S8·S9
+  const uint32_t h = s / 2;
+  fork_range(cx, 0, 7, 8 * q, [&](size_t k) {
+    switch (k) {
+      case 0: strassen_rec(cx, A(0), Sk(0), Pk(0), h, base, grain); break;
+      case 1: strassen_rec(cx, Sk(1), B(3), Pk(1), h, base, grain); break;
+      case 2: strassen_rec(cx, Sk(2), B(0), Pk(2), h, base, grain); break;
+      case 3: strassen_rec(cx, A(3), Sk(3), Pk(3), h, base, grain); break;
+      case 4: strassen_rec(cx, Sk(4), Sk(5), Pk(4), h, base, grain); break;
+      case 5: strassen_rec(cx, Sk(6), Sk(7), Pk(5), h, base, grain); break;
+      case 6: strassen_rec(cx, Sk(8), Sk(9), Pk(6), h, base, grain); break;
+    }
+  });
+
+  // Collection 3: write the four output quadrants (BP collection).
+  // With P6 = (A11−A21)(B11+B12) = −M6 of the classical formulation:
+  // C11=P4+P3-P1+P5  C12=P0+P1  C21=P2+P3  C22=P4+P0-P2-P6
+  fork_range(cx, 0, 4, 5 * q, [&](size_t quad) {
+    bp_range(cx, 0, q, grain, 5, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) {
+        i64 v = 0;
+        switch (quad) {
+          case 0:
+            v = cx.get(Pk(4), i) + cx.get(Pk(3), i) - cx.get(Pk(1), i) +
+                cx.get(Pk(5), i);
+            break;
+          case 1: v = cx.get(Pk(0), i) + cx.get(Pk(1), i); break;
+          case 2: v = cx.get(Pk(2), i) + cx.get(Pk(3), i); break;
+          case 3:
+            v = cx.get(Pk(4), i) + cx.get(Pk(0), i) - cx.get(Pk(2), i) -
+                cx.get(Pk(6), i);
+            break;
+        }
+        cx.set(C(static_cast<int>(quad)), i, v);
+      }
+    });
+  });
+}
+
+}  // namespace detail
+
+/// C = A·B for n×n matrices in BI layout (n a power of two).
+/// `base` is the side below which the direct cubic multiply is used.
+template <class Ctx>
+void strassen_bi(Ctx& cx, Slice<i64> a, Slice<i64> b, Slice<i64> c,
+                 uint32_t n, uint32_t base = 2, size_t grain = 1) {
+  RO_CHECK(is_pow2(n) && base >= 1);
+  RO_CHECK(a.n == static_cast<size_t>(n) * n && b.n == a.n && c.n == a.n);
+  detail::strassen_rec(cx, a, b, c, n, base, grain);
+}
+
+}  // namespace ro::alg

@@ -1,0 +1,75 @@
+// The execution-context concept every algorithm is written against, plus
+// fork-tree helpers for v-ary HBP recursion (§3.1 "Forking recursive tasks").
+//
+// A Context provides:
+//   * get/set        — accounted element accesses through Slice<T>
+//   * alloc<T>       — global arrays (procedure-declared, Def 3.1)
+//   * local<T>       — frame-resident temporaries on the execution stack
+//   * fork2          — binary fork-join with declared task sizes
+//
+// Contexts: SeqCtx (plain execution), TraceCtx (execution + recording),
+// rt::ParCtx (real threads).  Algorithms are templates over the context, so
+// one implementation serves correctness tests, trace-based simulation, and
+// wall-clock runs.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <utility>
+
+#include "ro/mem/varray.h"
+
+namespace ro {
+
+template <class C>
+concept Context = requires(C& cx, Slice<int64_t> s, size_t i, int64_t v,
+                           uint64_t sz) {
+  { cx.get(s, i) } -> std::same_as<int64_t>;
+  { cx.set(s, i, v) };
+  { cx.template alloc<int64_t>(i) } -> std::same_as<VArray<int64_t>>;
+  { cx.template local<int64_t>(i) } -> std::same_as<Local<int64_t>>;
+  { cx.fork2(sz, [] {}, sz, [] {}) };
+};
+
+/// Forks f(lo..hi) as a balanced binary tree (BP-like tree of depth
+/// ⌈log₂(hi-lo)⌉, §3.1), with every leaf task declared at `leaf_size` words.
+/// Internal tree nodes carry the summed size of their range so the balance
+/// condition (Def 3.2 vi) holds with α = 1/2.
+template <class Ctx, class F>
+void fork_range(Ctx& cx, size_t lo, size_t hi, uint64_t leaf_size, F&& f) {
+  const size_t count = hi - lo;
+  if (count == 0) return;
+  if (count == 1) {
+    f(lo);
+    return;
+  }
+  const size_t mid = lo + count / 2;
+  cx.fork2(
+      (mid - lo) * leaf_size, [&] { fork_range(cx, lo, mid, leaf_size, f); },
+      (hi - mid) * leaf_size, [&] { fork_range(cx, mid, hi, leaf_size, f); });
+}
+
+/// Variant with per-leaf sizes given by a callable `sz(i)`; internal nodes
+/// use the range sum (computed on the fly; the trees are shallow).
+template <class Ctx, class SizeF, class F>
+void fork_range_sized(Ctx& cx, size_t lo, size_t hi, SizeF&& sz, F&& f) {
+  const size_t count = hi - lo;
+  if (count == 0) return;
+  if (count == 1) {
+    f(lo);
+    return;
+  }
+  const size_t mid = lo + count / 2;
+  auto range_size = [&](size_t a, size_t b) {
+    uint64_t t = 0;
+    for (size_t i = a; i < b; ++i) t += sz(i);
+    return t;
+  };
+  cx.fork2(
+      range_size(lo, mid),
+      [&] { fork_range_sized(cx, lo, mid, sz, f); },
+      range_size(mid, hi),
+      [&] { fork_range_sized(cx, mid, hi, sz, f); });
+}
+
+}  // namespace ro

@@ -1,0 +1,44 @@
+#include "ro/core/graph.h"
+
+#include "ro/util/check.h"
+
+namespace ro {
+
+uint64_t TaskGraph::seg_cost(const Segment& s) const {
+  uint64_t c = 0;
+  for (uint64_t i = s.acc_begin; i < s.acc_end; ++i) c += accesses[i].len;
+  return c;
+}
+
+GraphStats TaskGraph::analyze() const {
+  GraphStats st;
+  st.activations = acts.size();
+  st.accesses = accesses.size();
+  for (const auto& acc : accesses) st.work += acc.len;
+
+  // Span: activations are created parent-before-child, so children have
+  // larger ids; a reverse sweep sees every child's span before its parent.
+  std::vector<uint64_t> span(acts.size(), 0);
+  for (size_t ai = acts.size(); ai-- > 0;) {
+    const Activation& a = acts[ai];
+    uint64_t s = 0;
+    bool leaf = true;
+    for (uint32_t k = 0; k < a.num_segs; ++k) {
+      const Segment& seg = segments[a.first_seg + k];
+      s += seg_cost(seg);
+      if (seg.has_fork()) {
+        leaf = false;
+        s += kForkCost + kJoinCost +
+             std::max(span[seg.left], span[seg.right]);
+        st.work += kForkCost + kJoinCost;
+      }
+    }
+    span[ai] = s;
+    if (leaf) ++st.leaves;
+    st.max_depth = std::max<uint32_t>(st.max_depth, a.depth);
+  }
+  st.span = span.empty() ? 0 : span[root];
+  return st;
+}
+
+}  // namespace ro

@@ -1,0 +1,46 @@
+// Empirical probes for the paper's structural parameters:
+//   f(r) — cache-friendliness (Def 2.1): a size-r task touches
+//          O(r/B + f(r)) blocks;
+//   L(r) — block sharing (Def 2.3): a size-r task shares O(L(r)) blocks with
+//          tasks that could be scheduled in parallel with it.
+//
+// Both are measured per sampled activation from the recorded trace for a
+// probe block size B.  The L probe is a slight over-estimate: a block counts
+// as shared if any activation that is neither an ancestor nor a descendant
+// of τ touches it (sequenced-but-never-parallel phases are not excluded).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ro/core/graph.h"
+
+namespace ro {
+
+struct TaskProbe {
+  uint32_t act = 0;
+  uint32_t depth = 0;
+  uint64_t r = 0;             // declared task size |τ|
+  uint64_t blocks = 0;        // distinct blocks touched by τ's subtree
+  uint64_t shared_blocks = 0; // blocks also touched by potentially-parallel tasks
+  double f_excess = 0.0;      // blocks - r/B  (≈ f(r))
+};
+
+/// Probes the given activations with block size B (words).
+std::vector<TaskProbe> probe_tasks(const TaskGraph& g, uint32_t block_words,
+                                   const std::vector<uint32_t>& acts);
+
+/// Picks up to `per_depth` activations at every depth (first-come), skipping
+/// depth 0 (the root shares nothing by definition).
+std::vector<uint32_t> sample_acts_per_depth(const TaskGraph& g,
+                                            uint32_t per_depth);
+
+/// DFS intervals: for each activation, [in, out] such that u is an ancestor
+/// of v iff in(u) <= in(v) && out(v) <= out(u).
+struct Interval {
+  uint32_t in = 0;
+  uint32_t out = 0;
+};
+std::vector<Interval> dfs_intervals(const TaskGraph& g);
+
+}  // namespace ro

@@ -1,0 +1,51 @@
+// Sequential execution context: runs the algorithm directly, no recording.
+// Used for golden outputs in tests and as the fallback executor.
+#pragma once
+
+#include <cstdint>
+
+#include "ro/core/context.h"
+#include "ro/mem/varray.h"
+
+namespace ro {
+
+class SeqCtx {
+ public:
+  static constexpr bool kRecording = false;
+
+  template <class T>
+  T get(const Slice<T>& s, size_t i) {
+    return s.ptr[i];
+  }
+
+  template <class T>
+  void set(const Slice<T>& s, size_t i, T v) {
+    s.ptr[i] = v;
+  }
+
+  template <class T>
+  VArray<T> alloc(size_t n, const char* /*name*/ = "") {
+    return VArray<T>(n);
+  }
+
+  template <class T>
+  Local<T> local(size_t n) {
+    return Local<T>(n, 0, kNoAct);
+  }
+
+  template <class F, class G>
+  void fork2(uint64_t /*size_left*/, F&& f, uint64_t /*size_right*/, G&& g) {
+    f();
+    g();
+  }
+
+  /// Runs the whole computation (no graph to return).
+  template <class F>
+  void run(uint64_t /*root_size*/, F&& f) {
+    f();
+  }
+};
+
+static_assert(Context<SeqCtx>);
+
+}  // namespace ro

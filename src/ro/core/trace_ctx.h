@@ -1,0 +1,137 @@
+// Recording execution context.
+//
+// Executes the algorithm exactly like SeqCtx (so outputs are real and
+// testable) while building the TaskGraph: every get/set appends an Access,
+// every fork2 creates two child activations and splits the current
+// activation into segments.  Frame-local temporaries (`local<T>`) reserve
+// symbolic offsets in the owning activation's stack frame; their concrete
+// addresses are chosen by the scheduler at replay time, because they depend
+// on which core's execution-stack arena the activation lands on (§3.3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ro/core/context.h"
+#include "ro/core/graph.h"
+#include "ro/mem/varray.h"
+#include "ro/mem/vspace.h"
+#include "ro/util/bits.h"
+#include "ro/util/check.h"
+
+namespace ro {
+
+class TraceCtx {
+ public:
+  static constexpr bool kRecording = true;
+
+  struct Options {
+    bool padded = false;         // padded BP/HBP frames (Def 3.3)
+    uint64_t align_words = 4096; // VSpace allocation alignment
+  };
+
+  TraceCtx() : TraceCtx(Options{}) {}
+  explicit TraceCtx(Options opt);
+
+  // ---- accounted element access ----
+  template <class T>
+  T get(const Slice<T>& s, size_t i) {
+    record(s, i, /*write=*/false);
+    return s.ptr[i];
+  }
+
+  template <class T>
+  void set(const Slice<T>& s, size_t i, T v) {
+    record(s, i, /*write=*/true);
+    s.ptr[i] = v;
+  }
+
+  // ---- allocation ----
+  template <class T>
+  VArray<T> alloc(size_t n, const char* name = "") {
+    return VArray<T>(vspace_, n, name);
+  }
+
+  template <class T>
+  Local<T> local(size_t n) {
+    RO_CHECK_MSG(!stack_.empty(), "local<T>() outside run()");
+    Builder& b = stack_.back();
+    vaddr_t off = b.locals_words;
+    b.locals_words += static_cast<uint32_t>(n * words_per_v<T>);
+    return Local<T>(n, off, b.act);
+  }
+
+  // ---- forking ----
+  template <class F, class G>
+  void fork2(uint64_t size_left, F&& f, uint64_t size_right, G&& g) {
+    RO_CHECK_MSG(!stack_.empty(), "fork2() outside run()");
+    const uint32_t parent = stack_.back().act;
+    const uint32_t local_seg =
+        static_cast<uint32_t>(stack_.back().segs.size());
+    const uint16_t depth = static_cast<uint16_t>(g_.acts[parent].depth + 1);
+    const uint32_t left = new_act(parent, local_seg, 0, depth, size_left);
+    const uint32_t right = new_act(parent, local_seg, 1, depth, size_right);
+    {
+      Builder& b = stack_.back();
+      b.segs.push_back(Segment{b.acc_begin, g_.accesses.size(),
+                               static_cast<int32_t>(left),
+                               static_cast<int32_t>(right)});
+    }
+    begin_act(left);
+    f();
+    end_act();
+    begin_act(right);
+    g();
+    end_act();
+    stack_.back().acc_begin = g_.accesses.size();
+  }
+
+  /// Records the whole computation; returns the graph (ctx is then spent).
+  template <class F>
+  TaskGraph run(uint64_t root_size, F&& f) {
+    RO_CHECK_MSG(stack_.empty(), "run() is not reentrant");
+    const uint32_t root =
+        new_act(kNoAct, 0, 0, /*depth=*/0, root_size);
+    g_.root = root;
+    begin_act(root);
+    f();
+    end_act();
+    g_.data_top = vspace_.top();
+    g_.align_words = vspace_.alignment();
+    return std::move(g_);
+  }
+
+  VSpace& vspace() { return vspace_; }
+
+ private:
+  struct Builder {
+    uint32_t act = 0;
+    uint64_t acc_begin = 0;
+    uint32_t locals_words = 0;
+    std::vector<Segment> segs;
+  };
+
+  template <class T>
+  void record(const Slice<T>& s, size_t i, bool write) {
+    RO_CHECK_MSG(!stack_.empty(), "access outside run()");
+    g_.accesses.push_back(
+        Access{s.base + i * words_per_v<T>, s.act,
+               static_cast<uint16_t>(words_per_v<T>),
+               static_cast<uint16_t>(write ? 1 : 0)});
+  }
+
+  uint32_t new_act(uint32_t parent, uint32_t parent_seg, uint8_t slot,
+                   uint16_t depth, uint64_t size);
+  void begin_act(uint32_t id);
+  void end_act();
+
+  Options opt_;
+  VSpace vspace_;
+  TaskGraph g_;
+  std::vector<Builder> stack_;
+};
+
+static_assert(Context<TraceCtx>);
+
+}  // namespace ro

@@ -1,0 +1,49 @@
+// Structural validators for HBP properties.
+//
+// These check, on a recorded TaskGraph, the definitional requirements the
+// paper's analysis rests on:
+//   * limited access (Def 2.4): every writable location is written O(1) times
+//   * balance condition (Def 3.2 vi): sibling tasks have sizes within
+//     constant factors, and sizes decay geometrically with depth
+//   * BP head work (Def 3.2 i-iii): non-terminal segments perform O(1) work
+//
+// Tests assert these for every algorithm; benches report them.
+#pragma once
+
+#include <cstdint>
+
+#include "ro/core/graph.h"
+
+namespace ro {
+
+struct LimitedAccessReport {
+  uint32_t max_writes_per_location = 0;  // over global memory
+  uint32_t max_frame_writes = 0;         // over (activation, frame offset)
+  uint64_t locations_written = 0;
+  uint64_t total_writes = 0;
+};
+
+/// Counts writes per (virtual) location across the whole trace.
+LimitedAccessReport check_limited_access(const TaskGraph& g);
+
+struct BalanceReport {
+  double max_sibling_ratio = 1.0;   // max over forks of max(|L|,|R|)/min
+  double max_child_fraction = 0.0;  // max over forks of |child| / |parent|  (α·c₂)
+  double per_depth_ratio = 1.0;     // max over depths of (max size / min size)
+  uint32_t forks = 0;
+};
+
+/// Checks Def 3.2(vi): sibling sizes within a constant factor and per-depth
+/// size uniformity (the property PWS priorities rely on, §4.1).
+BalanceReport check_balance(const TaskGraph& g);
+
+struct HeadWorkReport {
+  uint64_t max_fork_segment_cost = 0;  // words accessed by any fork segment
+  uint64_t max_terminal_cost = 0;      // leaf / up-pass tail work
+};
+
+/// Checks Def 3.2(i,ii,iii): O(1) computation at fork heads and leaves
+/// (the caller supplies what "O(1)" means for its grain).
+HeadWorkReport check_head_work(const TaskGraph& g);
+
+}  // namespace ro

@@ -1,0 +1,90 @@
+// Gapped layouts — the paper's *gapping* technique (§3.2).
+//
+// Two flavours are used by the algorithms:
+//   * RowGapLayout: for BI→RM (gap RM), rows of an r×r destination get a gap
+//     of r/log²r words between recursive subarrays so that writer tasks of
+//     size ≥ ~B·log²B share zero blocks.
+//   * StrideLayout: for list ranking, a list of size n/x² is written in space
+//     n/x using every x-th location, so once the list is ≤ n/B² no two
+//     distinct elements share a block.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "ro/util/bits.h"
+#include "ro/util/check.h"
+
+namespace ro {
+
+/// Maps logical index -> strided index (every `stride`-th slot used).
+struct StrideLayout {
+  uint64_t stride = 1;
+  uint64_t slot(uint64_t logical) const { return logical * stride; }
+  /// Space needed to hold `count` logical elements.
+  uint64_t space(uint64_t count) const { return count ? (count - 1) * stride + 1 : 0; }
+};
+
+/// Gap assigned to subarrays of size `r` in the gapped-RM destination:
+/// r / log²r (clamped to ≥1 for tiny r), per §3.2 "BI-RM (gap RM)".
+inline uint64_t gap_for(uint64_t r) {
+  if (r < 4) return 1;
+  uint64_t lg = log2_floor(r);
+  uint64_t g = r / (lg * lg);
+  return g ? g : 1;
+}
+
+/// Row-major destination where every row of each aligned 2^k-sized run of
+/// columns is followed by a gap.  Computes the padded position of logical
+/// (row, col) in an n×n gapped row-major array, and the total padded size.
+///
+/// The construction mirrors the recursion: for each level k (subarrays of
+/// side s=2^k, s from 2 up to n), a gap of gap_for(s) words is inserted after
+/// every s columns of every row.  Summing gap_for over levels adds only a
+/// constant factor of space (Σ 1/log²s converges).
+class RowGapLayout {
+ public:
+  RowGapLayout() = default;
+  explicit RowGapLayout(uint64_t n) : n_(n) {
+    RO_CHECK(is_pow2(n));
+    // padded width of a side-s subrow, bottom-up.
+    uint64_t w = 1;
+    for (uint64_t s = 2; s <= n; s *= 2) {
+      w = 2 * w + gap_for(s);
+      widths_[log2_floor(s)] = w;
+    }
+    padded_row_ = w;
+  }
+
+  /// Padded offset of logical (row, col), both in [0, n).
+  uint64_t slot(uint64_t row, uint64_t col) const {
+    // Walk down the recursion: at each level the column lands in the left or
+    // right half; right half starts after left width + gap.
+    uint64_t off = row * padded_row_;
+    uint64_t s = n_;
+    uint64_t c = col;
+    while (s > 1) {
+      uint64_t half = s / 2;
+      uint64_t w_half = half == 1 ? 1 : widths_.at(log2_floor(half));
+      if (c >= half) {
+        off += w_half + gap_for(s);
+        c -= half;
+      }
+      s = half;
+    }
+    return off;
+  }
+
+  /// Total words of the padded n×n destination.
+  uint64_t space() const { return n_ * padded_row_; }
+  uint64_t padded_row() const { return padded_row_; }
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_ = 0;
+  uint64_t padded_row_ = 1;
+  // widths_[k] = padded width of a side-2^k subrow.
+  std::array<uint64_t, 64> widths_{};
+};
+
+}  // namespace ro

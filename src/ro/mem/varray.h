@@ -1,0 +1,103 @@
+// Typed memory references shared by all execution contexts.
+//
+// Algorithms never touch raw pointers: they receive `Slice<T>` views and go
+// through the context's get/set so that the recording context can log every
+// access against the virtual address space.  A slice is either
+//   * global  — backed by a `VArray<T>` registered in a VSpace, or
+//   * frame   — a task-local array living on the owning activation's
+//               execution-stack frame (Def 3.6 "exactly linear space"),
+//               whose concrete address is only fixed at replay time.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "ro/mem/vspace.h"
+
+namespace ro {
+
+/// Sentinel activation id for global (non-frame) memory.
+inline constexpr uint32_t kNoAct = 0xFFFFFFFFu;
+
+/// Number of 8-byte words occupied by one element of T.
+template <class T>
+struct words_per {
+  static_assert(sizeof(T) % 8 == 0, "element type must be word-sized");
+  static constexpr uint32_t value = sizeof(T) / 8;
+};
+template <class T>
+inline constexpr uint32_t words_per_v = words_per<T>::value;
+
+/// A typed view of memory the contexts know how to account.
+/// `base` is a global vaddr when `act == kNoAct`, otherwise an offset (in
+/// words) into activation `act`'s stack frame.
+template <class T>
+struct Slice {
+  T* ptr = nullptr;
+  vaddr_t base = 0;
+  uint32_t act = kNoAct;
+  size_t n = 0;
+
+  Slice sub(size_t off, size_t len) const {
+    RO_CHECK(off + len <= n);
+    return Slice{ptr + off, base + off * words_per_v<T>, act, len};
+  }
+  Slice first(size_t len) const { return sub(0, len); }
+  Slice drop(size_t off) const { return sub(off, n - off); }
+  size_t size() const { return n; }
+  bool empty() const { return n == 0; }
+};
+
+/// Owning global array: real storage plus a virtual base address.
+/// Initialization through raw() is deliberately unaccounted — it models the
+/// input being placed in main memory before the computation starts.
+template <class T>
+class VArray {
+ public:
+  VArray() = default;
+  VArray(VSpace& vs, size_t n, std::string name = "")
+      : data_(std::make_unique<T[]>(n ? n : 1)),
+        base_(vs.allocate(n * words_per_v<T>, std::move(name))),
+        n_(n) {}
+  /// Context-free constructor (sequential / real-thread contexts).
+  explicit VArray(size_t n)
+      : data_(std::make_unique<T[]>(n ? n : 1)), base_(0), n_(n) {}
+
+  Slice<T> slice() { return Slice<T>{data_.get(), base_, kNoAct, n_}; }
+  Slice<T> slice(size_t off, size_t len) { return slice().sub(off, len); }
+  T* raw() { return data_.get(); }
+  const T* raw() const { return data_.get(); }
+  size_t size() const { return n_; }
+  vaddr_t vbase() const { return base_; }
+
+ private:
+  std::unique_ptr<T[]> data_;
+  vaddr_t base_ = 0;
+  size_t n_ = 0;
+};
+
+/// Owning frame-local array handed out by `ctx.local<T>(n)`.
+/// Real memory lives as long as the C++ object (the recording happens while
+/// it is alive); the trace only keeps (activation, offset).
+template <class T>
+class Local {
+ public:
+  Local() = default;
+  Local(size_t n, vaddr_t frame_off, uint32_t act)
+      : data_(std::make_unique<T[]>(n ? n : 1)), off_(frame_off), act_(act),
+        n_(n) {}
+
+  Slice<T> slice() { return Slice<T>{data_.get(), off_, act_, n_}; }
+  Slice<T> slice(size_t off, size_t len) { return slice().sub(off, len); }
+  size_t size() const { return n_; }
+
+ private:
+  std::unique_ptr<T[]> data_;
+  vaddr_t off_ = 0;
+  uint32_t act_ = kNoAct;
+  size_t n_ = 0;
+};
+
+}  // namespace ro

@@ -1,0 +1,23 @@
+#include "ro/mem/vspace.h"
+
+namespace ro {
+
+VSpace::VSpace(uint64_t alignment_words) : alignment_(alignment_words) {
+  RO_CHECK_MSG(is_pow2(alignment_words), "alignment must be a power of two");
+}
+
+vaddr_t VSpace::allocate(uint64_t words, std::string name) {
+  vaddr_t base = round_up_pow2(top_, alignment_);
+  top_ = base + words;
+  regions_.push_back(Region{base, words, std::move(name)});
+  return base;
+}
+
+std::string VSpace::region_of(vaddr_t a) const {
+  for (const auto& r : regions_) {
+    if (a >= r.base && a < r.base + r.words) return r.name;
+  }
+  return "?";
+}
+
+}  // namespace ro

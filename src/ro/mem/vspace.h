@@ -1,0 +1,59 @@
+// Virtual address space for trace recording.
+//
+// The paper's machine organizes data in blocks of B words.  We record every
+// algorithm's memory accesses against a *virtual* word-addressed space so
+// that a single recorded trace can be replayed on any simulated machine
+// (p, M, B): block ids are computed at replay time as vaddr / B.
+//
+// Allocations are aligned to `alignment_words` (>= the largest block size we
+// ever simulate), which realizes the paper's system property that "whenever a
+// core requests space it is allocated in block sized units; allocations to
+// different cores are disjoint and entail no block sharing" (§2.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ro/util/bits.h"
+#include "ro/util/check.h"
+
+namespace ro {
+
+/// Virtual address, in 8-byte words.
+using vaddr_t = uint64_t;
+
+/// Bump allocator over the virtual space; also keeps a registry of named
+/// regions so probes and error messages can say what a block belongs to.
+class VSpace {
+ public:
+  /// `alignment_words` must be a power of two; every allocation starts at a
+  /// multiple of it.  Default 4096 words = 32 KiB, an upper bound on any
+  /// block size used in experiments.
+  explicit VSpace(uint64_t alignment_words = 4096);
+
+  /// Reserves `words` words; returns the (aligned) base address.
+  vaddr_t allocate(uint64_t words, std::string name = "");
+
+  /// First address beyond any allocation.
+  vaddr_t top() const { return top_; }
+
+  uint64_t alignment() const { return alignment_; }
+
+  /// Name of the region containing `a` ("?" if none).
+  std::string region_of(vaddr_t a) const;
+
+  struct Region {
+    vaddr_t base;
+    uint64_t words;
+    std::string name;
+  };
+  const std::vector<Region>& regions() const { return regions_; }
+
+ private:
+  uint64_t alignment_;
+  vaddr_t top_ = 0;
+  std::vector<Region> regions_;
+};
+
+}  // namespace ro

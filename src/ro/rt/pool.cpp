@@ -1,0 +1,130 @@
+#include "ro/rt/pool.h"
+
+#include "ro/util/check.h"
+
+namespace ro::rt {
+
+namespace {
+thread_local unsigned t_worker_id = 0;
+thread_local Pool* t_pool = nullptr;
+thread_local uint32_t t_depth = 0;
+}  // namespace
+
+uint32_t current_depth() { return t_depth; }
+void set_depth(uint32_t d) { t_depth = d; }
+
+Pool::Pool(unsigned threads, StealPolicy policy, uint64_t seed)
+    : policy_(policy) {
+  RO_CHECK(threads >= 1 && threads <= 256);
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+    workers_.back()->rng = Rng(splitmix64(seed ^ i));
+  }
+  for (unsigned i = 1; i < threads; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+Pool::~Pool() {
+  shutdown_.store(true, std::memory_order_release);
+  for (auto& t : threads_) t.join();
+}
+
+unsigned Pool::current_worker() { return t_worker_id; }
+
+void Pool::run(const std::function<void()>& root) {
+  t_worker_id = 0;
+  t_pool = this;
+  active_.store(true, std::memory_order_release);
+  root();
+  active_.store(false, std::memory_order_release);
+  t_pool = nullptr;
+}
+
+void Pool::push_job(Job* j) {
+  workers_[t_worker_id]->dq.push(j);
+}
+
+void Pool::run_job(Job* j) {
+  const uint32_t saved = t_depth;
+  t_depth = j->depth;
+  j->fn(j->arg);
+  t_depth = saved;
+  j->done.store(true, std::memory_order_release);
+}
+
+void Pool::join(Job* j) {
+  Worker& me = *workers_[t_worker_id];
+  // Fast path: our own bottom job is the one we are waiting for.
+  while (true) {
+    Job* own = me.dq.pop();
+    if (own == j) {
+      run_job(j);  // run inline (we are also the waiter)
+      return;
+    }
+    if (own != nullptr) {
+      run_job(own);  // deeper pending work of ours; execute and keep looking
+      continue;
+    }
+    break;  // our deque is empty: the job was stolen
+  }
+  // Help while waiting.
+  while (!j->done.load(std::memory_order_acquire)) {
+    if (!try_execute_stolen()) std::this_thread::yield();
+  }
+}
+
+bool Pool::try_execute_stolen() {
+  const unsigned p = threads();
+  Worker& me = *workers_[t_worker_id];
+  if (p <= 1) return false;
+  Job* j = nullptr;
+  if (policy_ == StealPolicy::kPriority) {
+    // Scan all victims; steal the shallowest (highest-priority) top job.
+    unsigned best = p;
+    uint32_t best_depth = UINT32_MAX;
+    for (unsigned v = 0; v < p; ++v) {
+      if (v == t_worker_id) continue;
+      Job* top = workers_[v]->dq.peek_top();
+      if (top != nullptr && top->depth < best_depth) {
+        best_depth = top->depth;
+        best = v;
+      }
+    }
+    if (best < p) j = workers_[best]->dq.steal();
+  } else {
+    const unsigned v0 = static_cast<unsigned>(me.rng.next_below(p - 1));
+    const unsigned v = v0 >= t_worker_id ? v0 + 1 : v0;
+    j = workers_[v]->dq.steal();
+  }
+  if (j == nullptr) {
+    me.failed.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  me.steals.fetch_add(1, std::memory_order_relaxed);
+  run_job(j);
+  return true;
+}
+
+void Pool::worker_loop(unsigned id) {
+  t_worker_id = id;
+  t_pool = this;
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    if (!active_.load(std::memory_order_acquire) || !try_execute_stolen()) {
+      std::this_thread::yield();
+    }
+  }
+  t_pool = nullptr;
+}
+
+PoolStats Pool::stats() const {
+  PoolStats s;
+  for (const auto& w : workers_) {
+    s.steals += w->steals.load(std::memory_order_relaxed);
+    s.failed_steals += w->failed.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+}  // namespace ro::rt

@@ -1,0 +1,101 @@
+// Real-thread work-stealing pool running the same templated algorithms as
+// the simulator, via rt::ParCtx (par_ctx.h).
+//
+// Two steal policies mirroring the paper's schedulers:
+//   kRandom   — RWS: uniformly random victim, steal its top.
+//   kPriority — PWS-flavoured: scan victims, steal the top job of smallest
+//               fork depth (the executable rendering of priority rounds; the
+//               distributed round protocol of §4.7 is simulated, not run, on
+//               real threads).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "ro/rt/deque.h"
+#include "ro/util/rng.h"
+
+namespace ro::rt {
+
+enum class StealPolicy : uint8_t { kRandom, kPriority };
+
+/// Current fork depth of the calling worker thread (priority tag source).
+uint32_t current_depth();
+void set_depth(uint32_t d);
+
+struct Job {
+  void (*fn)(void*) = nullptr;
+  void* arg = nullptr;
+  uint32_t depth = 0;
+  std::atomic<bool> done{false};
+};
+
+struct PoolStats {
+  uint64_t steals = 0;
+  uint64_t failed_steals = 0;
+};
+
+class Pool {
+ public:
+  /// Spawns `threads` workers (including the caller as worker 0, so
+  /// `threads - 1` OS threads are created).
+  explicit Pool(unsigned threads, StealPolicy policy = StealPolicy::kRandom,
+                uint64_t seed = 0xF00D);
+  ~Pool();
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  unsigned threads() const { return static_cast<unsigned>(workers_.size()); }
+  StealPolicy policy() const { return policy_; }
+
+  /// Runs `root` on worker 0 to completion (other workers help via steals).
+  void run(const std::function<void()>& root);
+
+  /// Called by ParCtx: fork f / g as a depth-tagged pair and join.
+  /// Must run on a pool worker thread (inside run()).
+  template <class F, class G>
+  void fork_join(uint32_t depth, F&& f, G&& g) {
+    Job job;
+    job.fn = [](void* p) { (*static_cast<G*>(p))(); };
+    job.arg = &g;
+    job.depth = depth;
+    const uint32_t saved = current_depth();
+    set_depth(depth);
+    push_job(&job);
+    f();
+    join(&job);
+    set_depth(saved);
+  }
+
+  PoolStats stats() const;
+
+  /// Worker id of the calling thread (0 if not a pool thread).
+  static unsigned current_worker();
+
+ private:
+  struct Worker {
+    Deque dq;
+    Rng rng{0};
+    std::atomic<uint64_t> steals{0};
+    std::atomic<uint64_t> failed{0};
+  };
+
+  void push_job(Job* j);
+  void join(Job* j);
+  bool try_execute_stolen();
+  void worker_loop(unsigned id);
+  void run_job(Job* j);
+
+  StealPolicy policy_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<bool> active_{false};
+};
+
+}  // namespace ro::rt

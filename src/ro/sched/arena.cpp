@@ -1,0 +1,2 @@
+// ArenaSet is header-only; this TU anchors the library target.
+#include "ro/sched/arena.h"

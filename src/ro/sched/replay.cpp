@@ -1,0 +1,446 @@
+#include "ro/sched/replay.h"
+
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "ro/sched/arena.h"
+#include "ro/sim/cache.h"
+#include "ro/sim/directory.h"
+#include "ro/util/bits.h"
+#include "ro/util/check.h"
+#include "ro/util/rng.h"
+
+namespace ro {
+
+uint32_t SimConfig::effective_steal_latency() const {
+  if (steal_latency != 0) return steal_latency;
+  return miss_latency * (1 + log2_ceil(p ? p : 1));
+}
+
+const char* sched_name(SchedKind k) {
+  switch (k) {
+    case SchedKind::kSeq: return "SEQ";
+    case SchedKind::kPws: return "PWS";
+    case SchedKind::kRws: return "RWS";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr uint32_t kNoCore = 0xFFFFFFFFu;
+constexpr vaddr_t kUnresolved = ~vaddr_t{0};
+
+class Engine {
+ public:
+  Engine(const TaskGraph& g, SchedKind kind, const SimConfig& cfg)
+      : g_(g), kind_(kind), cfg_(cfg),
+        sp_(cfg.effective_steal_latency()),
+        arenas_(round_up_pow2(g.data_top + 1, g.align_words ? g.align_words
+                                                            : 4096),
+                g.align_words ? g.align_words : 4096, cfg.chunk_words),
+        rng_(cfg.seed) {
+    RO_CHECK_MSG(cfg_.p >= 1 && cfg_.p <= 64, "p must be in [1, 64]");
+    RO_CHECK_MSG(cfg_.M / cfg_.B >= 1, "cache must hold >= 1 block");
+    if (kind_ == SchedKind::kSeq) {
+      RO_CHECK_MSG(cfg_.p == 1, "sequential schedule needs p == 1");
+    }
+    const uint32_t lines = static_cast<uint32_t>(cfg_.M / cfg_.B);
+    const uint32_t l2_lines =
+        cfg_.M2 ? static_cast<uint32_t>(cfg_.M2 / cfg_.p / cfg_.B) : 0;
+    cores_.reserve(cfg_.p);
+    for (uint32_t i = 0; i < cfg_.p; ++i) {
+      cores_.emplace_back(i, lines, l2_lines);
+    }
+    astate_.resize(g_.acts.size());
+    sstate_.resize(g_.segments.size());
+  }
+
+  Metrics run() {
+    start_act(cores_[0], g_.root, /*stolen=*/false);
+    while (!done_) {
+      Core& c = pick_core();
+      step(c);
+    }
+    Metrics m;
+    m.core.reserve(cores_.size());
+    for (auto& c : cores_) {
+      c.m.finish = c.last_productive;
+      m.makespan = std::max(m.makespan, c.last_productive);
+      m.core.push_back(c.m);
+    }
+    m.steals_per_priority = std::move(steals_per_priority_);
+    auto ts = dir_.transfer_stats();
+    m.max_block_transfers = ts.max_transfers;
+    m.total_block_transfers = ts.total_transfers;
+    m.stack_words = arenas_.bump() - g_.data_top;
+    return m;
+  }
+
+ private:
+  struct Frame {
+    uint32_t act = 0;
+    uint32_t seg = 0;   // local segment index
+    uint64_t acc = 0;   // absolute cursor into g_.accesses
+  };
+
+  struct Core {
+    Core(uint32_t id_, uint32_t lines, uint32_t l2_lines)
+        : id(id_), cache(lines), l2(l2_lines ? l2_lines : 1) {}
+    uint32_t id;
+    uint64_t time = 0;
+    uint64_t last_productive = 0;
+    bool busy = false;
+    Frame fr;
+    uint32_t cur_arena = kNoCore;  // stack the core pushes frames on
+    std::deque<uint32_t> dq;  // stealable right children; back = bottom
+    LruCache cache;                            // private L1
+    LruCache l2;                               // L2 partition (§5.2)
+    std::unordered_set<uint64_t> invalidated;  // blocks lost to coherence
+    std::vector<uint64_t> ever;                // ever-loaded bitset
+    CoreMetrics m;
+  };
+
+  struct ActState {
+    vaddr_t frame_base = kUnresolved;
+    ArenaSet::FrameToken token;
+    bool started = false;
+  };
+
+  struct SegState {
+    uint8_t pending = 0;
+    uint32_t fork_core = kNoCore;
+  };
+
+  // ---- scheduling loop ----
+
+  Core& pick_core() {
+    Core* best = &cores_[0];
+    for (auto& c : cores_) {
+      if (c.time < best->time) best = &c;
+    }
+    return *best;
+  }
+
+  void step(Core& c) {
+    if (!c.busy) {
+      idle_step(c);
+      return;
+    }
+    const Activation& a = g_.acts[c.fr.act];
+    const Segment& seg = g_.segments[a.first_seg + c.fr.seg];
+    if (c.fr.acc < seg.acc_end) {
+      const Access& acc = g_.accesses[c.fr.acc];
+      if (replay_access(c, acc)) ++c.fr.acc;  // else: waiting on a hold
+      c.last_productive = c.time;
+      return;
+    }
+    if (seg.has_fork()) {
+      do_fork(c, a, seg);
+    } else {
+      complete_act(c, c.fr.act);
+    }
+    c.last_productive = c.time;
+  }
+
+  void idle_step(Core& c) {
+    // Work-first: resume own deque bottom before stealing.
+    if (!c.dq.empty()) {
+      const uint32_t act = c.dq.back();
+      c.dq.pop_back();
+      start_act(c, act, /*stolen=*/false);
+      return;
+    }
+    if (kind_ == SchedKind::kSeq) {
+      // Nothing to resume and no stealing: only legal when done.
+      RO_CHECK_MSG(done_, "sequential executor starved");
+      return;
+    }
+    attempt_steal(c);
+  }
+
+  void attempt_steal(Core& c) {
+    RO_CHECK_MSG(cfg_.p >= 2, "steal attempted with a single core");
+    ++c.m.steal_attempts;
+    uint32_t victim = kNoCore;
+    if (kind_ == SchedKind::kPws) {
+      // Steal the globally highest-priority stealable task (min depth).
+      uint32_t best_depth = 0xFFFFFFFFu;
+      for (const auto& v : cores_) {
+        if (v.id == c.id || v.dq.empty()) continue;
+        const uint32_t d = g_.acts[v.dq.front()].depth;
+        if (d < best_depth) {
+          best_depth = d;
+          victim = v.id;
+        }
+      }
+    } else {  // RWS: uniformly random victim (may be empty -> failed attempt)
+      const uint32_t v =
+          static_cast<uint32_t>(rng_.next_below(cfg_.p - 1));
+      const uint32_t vid = v >= c.id ? v + 1 : v;
+      if (!cores_[vid].dq.empty()) victim = vid;
+    }
+    if (victim == kNoCore) {
+      fail_steal(c);
+      return;
+    }
+    Core& v = cores_[victim];
+    const uint32_t act = v.dq.front();
+    v.dq.pop_front();
+    c.time += sp_;
+    c.m.steal_cycles += sp_;
+    ++c.m.steals;
+    ++steals_per_priority_[g_.acts[act].depth];
+    start_act(c, act, /*stolen=*/true);
+  }
+
+  void fail_steal(Core& c) {
+    // Wait one steal period; jump ahead to the next busy core's time if the
+    // whole machine is further along (avoids micro-polling).
+    uint64_t target = c.time + sp_;
+    uint64_t min_busy = ~uint64_t{0};
+    bool any_busy = false;
+    for (const auto& o : cores_) {
+      if (o.id != c.id && (o.busy || !o.dq.empty())) {
+        any_busy = true;
+        min_busy = std::min(min_busy, o.time);
+      }
+    }
+    RO_CHECK_MSG(any_busy || done_, "deadlock: all cores idle");
+    if (any_busy && min_busy > target) target = min_busy;
+    c.m.idle += target - c.time;
+    c.m.steal_cycles += sp_;
+    c.time = target;
+  }
+
+  // ---- activation lifecycle ----
+
+  void start_act(Core& c, uint32_t act, bool stolen) {
+    ActState& st = astate_[act];
+    RO_CHECK(!st.started);
+    st.started = true;
+    const Activation& a = g_.acts[act];
+    if (stolen || a.parent == kNoAct) {
+      c.cur_arena = arenas_.new_arena();  // fresh S_τ for a stolen kernel
+    }
+    RO_CHECK(c.cur_arena != kNoCore);
+    st.token = arenas_.push(c.cur_arena, a.frame_words);
+    st.frame_base = st.token.base;
+    c.busy = true;
+    c.fr = Frame{act, 0, g_.segments[a.first_seg].acc_begin};
+  }
+
+  void do_fork(Core& c, const Activation& a, const Segment& seg) {
+    const uint32_t gseg =
+        static_cast<uint32_t>(&seg - g_.segments.data());
+    SegState& ss = sstate_[gseg];
+    ss.pending = 2;
+    ss.fork_core = c.id;
+    if (cfg_.inject_frame_traffic) {
+      const vaddr_t slots = fork_slot_addr(c.fr.act, c.fr.seg);
+      touch(c, slots, 1, /*write=*/true, /*stack=*/true);
+      touch(c, slots + 1, 1, /*write=*/true, /*stack=*/true);
+    }
+    c.dq.push_back(static_cast<uint32_t>(seg.right));
+    start_act(c, static_cast<uint32_t>(seg.left), /*stolen=*/false);
+  }
+
+  void complete_act(Core& c, uint32_t act) {
+    const Activation& a = g_.acts[act];
+    ActState& st = astate_[act];
+    arenas_.complete(st.token);
+    if (a.parent == kNoAct) {
+      done_ = true;
+      c.busy = false;
+      return;
+    }
+    const uint32_t gseg = g_.acts[a.parent].first_seg + a.parent_seg;
+    if (cfg_.inject_frame_traffic) {
+      // Deposit this child's result into the parent's fork slot.
+      const vaddr_t slot =
+          fork_slot_addr(a.parent, a.parent_seg) + a.child_slot;
+      touch(c, slot, 1, /*write=*/true, /*stack=*/true);
+    }
+    SegState& ss = sstate_[gseg];
+    RO_CHECK(ss.pending > 0);
+    if (--ss.pending > 0) {
+      // Sibling still outstanding: this kernel thread blocks here; the core
+      // resumes its own deque bottom (the sibling, if unstolen) or steals.
+      c.busy = false;
+      return;
+    }
+    // Last finisher continues the parent's next segment (up-pass).
+    if (ss.fork_core != c.id) ++c.m.usurpations;
+    if (cfg_.inject_frame_traffic) {
+      const vaddr_t slots = fork_slot_addr(a.parent, a.parent_seg);
+      touch(c, slots, 1, /*write=*/false, /*stack=*/true);
+      touch(c, slots + 1, 1, /*write=*/false, /*stack=*/true);
+    }
+    const Activation& pa = g_.acts[a.parent];
+    const uint32_t next_seg = a.parent_seg + 1;
+    RO_CHECK(next_seg < pa.num_segs);
+    c.busy = true;
+    c.fr = Frame{a.parent, next_seg,
+                 g_.segments[pa.first_seg + next_seg].acc_begin};
+  }
+
+  vaddr_t fork_slot_addr(uint32_t act, uint32_t local_seg) const {
+    const Activation& a = g_.acts[act];
+    RO_CHECK(astate_[act].frame_base != kUnresolved);
+    return astate_[act].frame_base + a.fork_slot_base + 2 * local_seg;
+  }
+
+  // ---- memory system ----
+
+  /// Returns false when the access must be retried because another core's
+  /// write hold is active on one of its blocks (§5.1): the core's clock is
+  /// advanced to the hold expiry instead of performing the access.
+  bool replay_access(Core& c, const Access& acc) {
+    vaddr_t addr = acc.addr;
+    bool stack = false;
+    if (acc.act != kNoAct) {
+      RO_CHECK_MSG(astate_[acc.act].frame_base != kUnresolved,
+                   "frame access before frame allocation");
+      addr += astate_[acc.act].frame_base;
+      stack = true;
+    }
+    if (cfg_.write_hold != 0) {
+      const uint64_t until = hold_barrier(c, addr, acc.len, acc.is_write());
+      if (until > c.time) {
+        c.m.hold_waits += until - c.time;
+        c.time = until;
+        return false;
+      }
+    }
+    touch(c, addr, acc.len, acc.is_write(), stack);
+    return true;
+  }
+
+  /// Latest active hold (by another core) over the blocks this access needs
+  /// to transfer or invalidate; 0 when the access may proceed.
+  uint64_t hold_barrier(const Core& c, vaddr_t addr, uint16_t len,
+                        bool write) {
+    uint64_t until = 0;
+    const uint64_t b0 = addr / cfg_.B;
+    const uint64_t b1 = (addr + len - 1) / cfg_.B;
+    for (uint64_t b = b0; b <= b1; ++b) {
+      const Directory::Entry& d = dir_.at(b);
+      if (d.hold_owner == 0xFF || d.hold_owner == c.id) continue;
+      if (d.hold_until <= c.time) continue;
+      // A hold only gates actions that would disturb the holder: taking a
+      // copy we do not have, or invalidating the holder with a write.
+      if (!c.cache.contains(b) || write) {
+        until = std::max(until, d.hold_until);
+      }
+    }
+    return until;
+  }
+
+  void touch(Core& c, vaddr_t addr, uint16_t len, bool write, bool stack) {
+    c.time += len;
+    c.m.compute += len;
+    const uint64_t b0 = addr / cfg_.B;
+    const uint64_t b1 = (addr + len - 1) / cfg_.B;
+    for (uint64_t b = b0; b <= b1; ++b) touch_block(c, b, write, stack);
+  }
+
+  void touch_block(Core& c, uint64_t block, bool write, bool stack) {
+    Directory::Entry& d = dir_.at(block);
+    const uint64_t me = uint64_t{1} << c.id;
+    if (c.cache.contains(block)) {
+      c.cache.touch(block);
+    } else {
+      // Miss: classify.
+      MissClass cls;
+      if (c.invalidated.erase(block) > 0) {
+        cls = MissClass::kCoherence;
+      } else if (ever_loaded(c, block)) {
+        cls = MissClass::kCapacity;
+      } else {
+        cls = MissClass::kCold;
+      }
+      mark_loaded(c, block);
+      ++c.m.miss[stack ? 1 : 0][static_cast<int>(cls)];
+      // §5.2 partitioned hierarchy: an L1 miss served by the core's L2
+      // partition pays l2_latency; otherwise the full miss latency.
+      if (cfg_.M2 && c.l2.contains(block)) {
+        c.l2.touch(block);
+        ++c.m.l2_hits;
+        c.time += cfg_.l2_latency;
+      } else {
+        c.time += cfg_.miss_latency;
+        if (cfg_.M2) {
+          if (auto l2victim = c.l2.insert(block)) {
+            // Inclusive hierarchy: dropping from L2 drops from L1 too.
+            if (*l2victim != block) {
+              c.cache.invalidate(*l2victim);
+              if (!c.l2.contains(*l2victim)) {
+                dir_.at(*l2victim).holders &= ~me;
+              }
+            }
+          }
+        }
+      }
+      if (d.holders & ~me) ++d.transfers;  // cache-to-cache move (Def 2.2)
+      if (auto victim = c.cache.insert(block)) {
+        // With a hierarchy the L2 still holds the victim; without one the
+        // core no longer holds it at all.
+        if (!cfg_.M2 || !c.l2.contains(*victim)) {
+          dir_.at(*victim).holders &= ~me;
+        }
+      }
+      d.holders |= me;
+    }
+    if (write) {
+      uint64_t others = d.holders & ~me;
+      while (others) {
+        const uint32_t h = static_cast<uint32_t>(std::countr_zero(others));
+        others &= others - 1;
+        cores_[h].cache.invalidate(block);
+        cores_[h].l2.invalidate(block);
+        cores_[h].invalidated.insert(block);
+      }
+      d.holders = me;
+      if (cfg_.write_hold) {
+        d.hold_owner = static_cast<uint8_t>(c.id);
+        d.hold_until = c.time + cfg_.write_hold;
+      }
+    }
+  }
+
+  bool ever_loaded(const Core& c, uint64_t block) const {
+    const uint64_t w = block / 64;
+    return w < c.ever.size() && (c.ever[w] >> (block % 64)) & 1;
+  }
+
+  void mark_loaded(Core& c, uint64_t block) {
+    const uint64_t w = block / 64;
+    if (w >= c.ever.size()) c.ever.resize(w + 1 + w / 2, 0);
+    c.ever[w] |= uint64_t{1} << (block % 64);
+  }
+
+  const TaskGraph& g_;
+  SchedKind kind_;
+  SimConfig cfg_;
+  uint32_t sp_;
+  ArenaSet arenas_;
+  Rng rng_;
+  Directory dir_;
+  std::vector<Core> cores_;
+  std::vector<ActState> astate_;
+  std::vector<SegState> sstate_;
+  std::map<uint32_t, uint32_t> steals_per_priority_;
+  bool done_ = false;
+};
+
+}  // namespace
+
+Metrics simulate(const TaskGraph& g, SchedKind kind, const SimConfig& cfg) {
+  SimConfig c = cfg;
+  if (kind == SchedKind::kSeq) c.p = 1;
+  Engine e(g, kind, c);
+  return e.run();
+}
+
+}  // namespace ro

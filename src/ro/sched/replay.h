@@ -1,0 +1,70 @@
+// Scheduler replay engine.
+//
+// Replays a recorded TaskGraph on a simulated machine with p cores, private
+// LRU caches of M words, blocks of B words, write-invalidate coherence and a
+// configurable miss latency b — the machine of §1/§2.  Three schedulers:
+//
+//   kSeq — one core, depth-first.  Its cold+capacity misses are the
+//          sequential cache complexity Q(n, M, B).
+//   kPws — Priority Work Stealing (§4): an idle core steals the stealable
+//          task of globally highest priority (smallest fork depth; ties by
+//          victim id).  This is the executable rendering of the paper's
+//          priority rounds; the distributed O(log p)-per-round machinery of
+//          §4.7 is charged through `steal_latency`.
+//   kRws — randomized work stealing baseline: uniformly random victim,
+//          steal the top of its deque (the setting of [18, 6] and the
+//          companion paper [13]).
+//
+// Work-stealing semantics follow §2 exactly: forked right children go to the
+// bottom of the owner's deque, owners resume their own bottom entry first,
+// thieves take from the top, and the last child to finish a join continues
+// the parent (usurpation, Def 4.1).  Fork/join bookkeeping traffic (two
+// frame-slot writes at a fork, a result write into the parent frame at child
+// completion, two reads at the join) is injected here because its addresses
+// depend on which arena the activation's frame landed on.
+#pragma once
+
+#include <cstdint>
+
+#include "ro/core/graph.h"
+#include "ro/sim/metrics.h"
+
+namespace ro {
+
+enum class SchedKind : uint8_t { kSeq, kPws, kRws };
+
+struct SimConfig {
+  uint32_t p = 4;              // cores, <= 64
+  uint64_t M = 1 << 14;        // private cache size, words
+  uint32_t B = 64;             // block size, words
+  uint32_t miss_latency = 32;  // b, cycles per L2/memory miss
+  // s_P / s_C: cycles per steal (attempt).  0 = auto: b * (1 + ceil(log2 p)),
+  // the padded-HBP distributed-PWS cost of §4.7.
+  uint32_t steal_latency = 0;
+  bool inject_frame_traffic = true;  // fork/join stack bookkeeping
+  uint64_t seed = 0x5EED;            // RWS victim RNG
+  uint64_t chunk_words = 1 << 14;    // arena chunk granularity
+
+  // §5.2 cache hierarchy: when M2 > 0, each core also owns a 1/p partition
+  // of a shared level-2 cache of M2 words (the paper's "simple but
+  // non-optimal" partitioned use of a shared cache).  An L1 miss that hits
+  // the L2 partition costs l2_latency instead of miss_latency.
+  uint64_t M2 = 0;
+  uint32_t l2_latency = 8;
+
+  // §5.1 2-core block sharing mitigation: after a write, the writer holds
+  // the block for `write_hold` cycles; another core fetching it waits until
+  // the hold expires, letting the writer finish its run of writes instead
+  // of ping-ponging per word.  0 = plain invalidation protocol.
+  uint32_t write_hold = 0;
+
+  uint32_t effective_steal_latency() const;
+};
+
+/// Replays `g` under the given scheduler; deterministic for kSeq/kPws and
+/// for kRws at fixed seed.
+Metrics simulate(const TaskGraph& g, SchedKind kind, const SimConfig& cfg);
+
+const char* sched_name(SchedKind k);
+
+}  // namespace ro

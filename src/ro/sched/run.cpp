@@ -1,0 +1,17 @@
+#include "ro/sched/run.h"
+
+namespace ro {
+
+SchedComparison compare_schedulers(const TaskGraph& g, const SimConfig& cfg) {
+  SchedComparison r;
+  r.seq = simulate(g, SchedKind::kSeq, cfg);
+  r.pws = simulate(g, SchedKind::kPws, cfg);
+  r.rws = simulate(g, SchedKind::kRws, cfg);
+  return r;
+}
+
+uint64_t q_seq(const TaskGraph& g, const SimConfig& cfg) {
+  return simulate(g, SchedKind::kSeq, cfg).cache_misses();
+}
+
+}  // namespace ro

@@ -1,0 +1,2 @@
+// LruCache is header-only; this TU anchors the library target.
+#include "ro/sim/cache.h"

@@ -1,0 +1,66 @@
+// Fully-associative LRU cache over block ids.
+//
+// The paper's model assumes an optimal replacement policy and notes LRU
+// suffices for its algorithms (§1); we implement LRU exactly.  Capacity is
+// M/B lines.  Coherence invalidations remove lines out from under the
+// owner — see sched/replay.cpp for the protocol.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "ro/util/check.h"
+
+namespace ro {
+
+class LruCache {
+ public:
+  explicit LruCache(uint32_t lines = 1) : capacity_(lines) {
+    RO_CHECK_MSG(lines >= 1, "cache must hold at least one block");
+  }
+
+  bool contains(uint64_t block) const { return map_.count(block) > 0; }
+
+  /// Marks `block` most-recently-used; no-op if absent.
+  void touch(uint64_t block) {
+    auto it = map_.find(block);
+    if (it == map_.end()) return;
+    lru_.splice(lru_.begin(), lru_, it->second);
+  }
+
+  /// Inserts `block` (must be absent); returns the evicted block, if any.
+  std::optional<uint64_t> insert(uint64_t block) {
+    RO_CHECK(!contains(block));
+    std::optional<uint64_t> victim;
+    if (map_.size() >= capacity_) {
+      victim = lru_.back();
+      map_.erase(lru_.back());
+      lru_.pop_back();
+    }
+    lru_.push_front(block);
+    map_[block] = lru_.begin();
+    return victim;
+  }
+
+  /// Removes `block` if present (coherence invalidation); returns whether it
+  /// was present.
+  bool invalidate(uint64_t block) {
+    auto it = map_.find(block);
+    if (it == map_.end()) return false;
+    lru_.erase(it->second);
+    map_.erase(it);
+    return true;
+  }
+
+  size_t size() const { return map_.size(); }
+  uint32_t capacity() const { return capacity_; }
+
+ private:
+  uint32_t capacity_;
+  std::list<uint64_t> lru_;  // front = MRU
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> map_;
+};
+
+}  // namespace ro

@@ -1,0 +1,2 @@
+// Directory is header-only; this TU anchors the library target.
+#include "ro/sim/directory.h"

@@ -1,0 +1,52 @@
+// Coherence directory: per block, the set of cores holding a copy.
+//
+// Implements the paper's §2.2 protocol: a write into a location of block β
+// by core C invalidates every other cached copy of β; the next access of β
+// by an invalidated core is a *block miss*.  Also tracks per-block transfer
+// counts (Def 2.2 block delay): a fetch of a block currently held by some
+// other cache counts as one cache-to-cache move.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ro/util/check.h"
+
+namespace ro {
+
+class Directory {
+ public:
+  struct Entry {
+    uint64_t holders = 0;    // bitmask over cores (p <= 64)
+    uint32_t transfers = 0;  // cache-to-cache moves of this block
+    // §5.1 delayed release: last writer and when its hold expires.
+    uint64_t hold_until = 0;
+    uint8_t hold_owner = 0xFF;
+  };
+
+  Entry& at(uint64_t block) {
+    if (block >= entries_.size()) entries_.resize(block + 1 + block / 2);
+    return entries_[block];
+  }
+
+  uint64_t size() const { return entries_.size(); }
+
+  /// Highest transfer count over all blocks, and the total.
+  struct TransferStats {
+    uint64_t max_transfers = 0;
+    uint64_t total_transfers = 0;
+  };
+  TransferStats transfer_stats() const {
+    TransferStats t;
+    for (const auto& e : entries_) {
+      t.max_transfers = std::max<uint64_t>(t.max_transfers, e.transfers);
+      t.total_transfers += e.transfers;
+    }
+    return t;
+  }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace ro

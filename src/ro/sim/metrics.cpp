@@ -1,0 +1,86 @@
+#include "ro/sim/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace ro {
+
+uint64_t Metrics::compute() const {
+  uint64_t t = 0;
+  for (const auto& c : core) t += c.compute;
+  return t;
+}
+
+uint64_t Metrics::cache_misses() const {
+  uint64_t t = 0;
+  for (const auto& c : core) t += c.cache_misses();
+  return t;
+}
+
+uint64_t Metrics::block_misses() const {
+  uint64_t t = 0;
+  for (const auto& c : core) t += c.block_misses();
+  return t;
+}
+
+uint64_t Metrics::stack_misses() const {
+  uint64_t t = 0;
+  for (const auto& c : core)
+    for (int k = 0; k < 3; ++k) t += c.miss[1][k];
+  return t;
+}
+
+uint64_t Metrics::steals() const {
+  uint64_t t = 0;
+  for (const auto& c : core) t += c.steals;
+  return t;
+}
+
+uint64_t Metrics::steal_attempts() const {
+  uint64_t t = 0;
+  for (const auto& c : core) t += c.steal_attempts;
+  return t;
+}
+
+uint64_t Metrics::usurpations() const {
+  uint64_t t = 0;
+  for (const auto& c : core) t += c.usurpations;
+  return t;
+}
+
+uint64_t Metrics::idle() const {
+  uint64_t t = 0;
+  for (const auto& c : core) t += c.idle;
+  return t;
+}
+
+uint64_t Metrics::l2_hits() const {
+  uint64_t t = 0;
+  for (const auto& c : core) t += c.l2_hits;
+  return t;
+}
+
+uint64_t Metrics::hold_waits() const {
+  uint64_t t = 0;
+  for (const auto& c : core) t += c.hold_waits;
+  return t;
+}
+
+uint32_t Metrics::max_steals_at_one_priority() const {
+  uint32_t m = 0;
+  for (const auto& [d, n] : steals_per_priority) m = std::max(m, n);
+  return m;
+}
+
+std::string Metrics::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "makespan=%" PRIu64 " cache_miss=%" PRIu64
+                " block_miss=%" PRIu64 " steals=%" PRIu64 " usurp=%" PRIu64
+                " idle=%" PRIu64,
+                makespan, cache_misses(), block_misses(), steals(),
+                usurpations(), idle());
+  return buf;
+}
+
+}  // namespace ro

@@ -1,0 +1,65 @@
+// Measured quantities of a simulated execution — the observables the
+// paper's lemmas bound.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ro {
+
+enum class MissClass : uint8_t { kCold = 0, kCapacity = 1, kCoherence = 2 };
+
+struct CoreMetrics {
+  uint64_t compute = 0;           // word-access cycles
+  uint64_t miss[2][3] = {};       // [data=0 / stack=1][MissClass]
+  uint64_t steals = 0;            // successful steals by this core
+  uint64_t steal_attempts = 0;    // successful + failed
+  uint64_t usurpations = 0;       // kernel takeovers at joins (Def 4.1)
+  uint64_t idle = 0;              // cycles spent with no work
+  uint64_t steal_cycles = 0;      // cycles charged to steal machinery
+  uint64_t finish = 0;            // local time of last productive step
+  uint64_t l2_hits = 0;           // L1 misses served by the L2 partition
+  uint64_t hold_waits = 0;        // cycles spent waiting on held blocks
+
+  uint64_t misses(MissClass c) const {
+    return miss[0][static_cast<int>(c)] + miss[1][static_cast<int>(c)];
+  }
+  uint64_t cache_misses() const {  // classical: cold + capacity
+    return misses(MissClass::kCold) + misses(MissClass::kCapacity);
+  }
+  uint64_t block_misses() const {  // false-sharing / coherence
+    return misses(MissClass::kCoherence);
+  }
+};
+
+struct Metrics {
+  std::vector<CoreMetrics> core;
+  uint64_t makespan = 0;  // max finish time over cores
+  // Steals per PWS priority level (depth); Obs 4.3 bounds each by p-1.
+  std::map<uint32_t, uint32_t> steals_per_priority;
+  // Block delay statistics (Def 2.2).
+  uint64_t max_block_transfers = 0;
+  uint64_t total_block_transfers = 0;
+  // Stack arena high-water (words of simulated execution-stack space).
+  uint64_t stack_words = 0;
+
+  uint64_t compute() const;
+  uint64_t cache_misses() const;
+  uint64_t block_misses() const;
+  uint64_t total_misses() const { return cache_misses() + block_misses(); }
+  uint64_t stack_misses() const;  // all classes, stack addresses only
+  uint64_t steals() const;
+  uint64_t steal_attempts() const;
+  uint64_t usurpations() const;
+  uint64_t idle() const;
+  uint64_t l2_hits() const;
+  uint64_t hold_waits() const;
+  uint32_t max_steals_at_one_priority() const;
+
+  /// One-line summary for logs.
+  std::string summary() const;
+};
+
+}  // namespace ro

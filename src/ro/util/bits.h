@@ -1,0 +1,93 @@
+// Small bit-manipulation helpers used by layouts (bit-interleaved matrices),
+// the virtual address space and the FFT.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "ro/util/check.h"
+
+namespace ro {
+
+/// True iff x is a power of two (0 is not).
+constexpr bool is_pow2(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// floor(log2(x)) for x >= 1.
+constexpr uint32_t log2_floor(uint64_t x) {
+  return 63u - static_cast<uint32_t>(std::countl_zero(x | 1));
+}
+
+/// ceil(log2(x)) for x >= 1.
+constexpr uint32_t log2_ceil(uint64_t x) {
+  return x <= 1 ? 0 : log2_floor(x - 1) + 1;
+}
+
+/// Smallest power of two >= x.
+constexpr uint64_t next_pow2(uint64_t x) {
+  return x <= 1 ? 1 : uint64_t{1} << log2_ceil(x);
+}
+
+/// Round x up to a multiple of a (a must be a power of two).
+constexpr uint64_t round_up_pow2(uint64_t x, uint64_t a) {
+  return (x + a - 1) & ~(a - 1);
+}
+
+/// Integer square root (floor).
+constexpr uint64_t isqrt(uint64_t x) {
+  if (x < 2) return x;
+  uint64_t r = static_cast<uint64_t>(std::bit_width(x) + 1) / 2;
+  uint64_t g = uint64_t{1} << r;  // g >= sqrt(x)
+  while (true) {
+    uint64_t h = (g + x / g) / 2;
+    if (h >= g) return g;
+    g = h;
+  }
+}
+
+/// Interleave the low 16 bits of x into even positions (Morton helper).
+constexpr uint64_t spread_bits16(uint64_t x) {
+  x &= 0xFFFFull;
+  x = (x | (x << 8)) & 0x00FF00FFull;
+  x = (x | (x << 4)) & 0x0F0F0F0Full;
+  x = (x | (x << 2)) & 0x3333333333ull;
+  x = (x | (x << 1)) & 0x5555555555ull;
+  return x;
+}
+
+/// Compact every other bit (inverse of spread_bits16).
+constexpr uint64_t compact_bits16(uint64_t x) {
+  x &= 0x5555555555ull;
+  x = (x | (x >> 1)) & 0x3333333333ull;
+  x = (x | (x >> 2)) & 0x0F0F0F0Full;
+  x = (x | (x >> 4)) & 0x00FF00FFull;
+  x = (x | (x >> 8)) & 0x0000FFFFull;
+  return x;
+}
+
+/// Morton (Z-order) index of (row, col); row bits go to odd positions so that
+/// quadrant order is (TL, TR, BL, BR) — the paper's bit-interleaved (BI)
+/// layout order (§3.2).
+constexpr uint64_t morton_encode(uint32_t row, uint32_t col) {
+  return (spread_bits16(row) << 1) | spread_bits16(col);
+}
+
+/// Inverse of morton_encode; returns row in .first, col in .second.
+struct RowCol {
+  uint32_t row;
+  uint32_t col;
+};
+constexpr RowCol morton_decode(uint64_t z) {
+  return RowCol{static_cast<uint32_t>(compact_bits16(z >> 1)),
+                static_cast<uint32_t>(compact_bits16(z))};
+}
+
+/// Reverse the low `bits` bits of x (used by iterative FFT base cases).
+constexpr uint64_t bit_reverse(uint64_t x, uint32_t bits) {
+  uint64_t r = 0;
+  for (uint32_t i = 0; i < bits; ++i) {
+    r = (r << 1) | ((x >> i) & 1);
+  }
+  return r;
+}
+
+}  // namespace ro

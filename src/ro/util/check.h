@@ -1,0 +1,29 @@
+// Checked assertions that stay on in release builds.
+//
+// The simulator and validators rely on invariants for correctness of the
+// *measurements*, not just of outputs, so we never compile checks out.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ro {
+
+[[noreturn]] inline void check_fail(const char* expr, const char* file,
+                                    int line, const char* msg) {
+  std::fprintf(stderr, "RO_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace ro
+
+#define RO_CHECK(expr)                                    \
+  do {                                                    \
+    if (!(expr)) ::ro::check_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define RO_CHECK_MSG(expr, msg)                               \
+  do {                                                        \
+    if (!(expr)) ::ro::check_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

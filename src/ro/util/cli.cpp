@@ -1,0 +1,45 @@
+#include "ro/util/cli.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace ro {
+
+Cli::Cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--", 2) != 0) {
+      positional_.emplace_back(a);
+      continue;
+    }
+    std::string s(a + 2);
+    auto eq = s.find('=');
+    if (eq != std::string::npos) {
+      flags_[s.substr(0, eq)] = s.substr(eq + 1);
+    } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      flags_[s] = argv[++i];
+    } else {
+      flags_[s] = "1";
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const { return flags_.count(name) > 0; }
+
+int64_t Cli::get_int(const std::string& name, int64_t def) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 0);
+}
+
+double Cli::get_double(const std::string& name, double def) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string Cli::get_str(const std::string& name,
+                         const std::string& def) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? def : it->second;
+}
+
+}  // namespace ro

@@ -1,0 +1,29 @@
+// Minimal flag parsing for examples and bench binaries:
+// `--name=value` or `--name value`; everything else is a positional arg.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ro {
+
+/// Parsed command line.  Lookups fall back to defaults so every binary runs
+/// with no arguments.
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  int64_t get_int(const std::string& name, int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  std::string get_str(const std::string& name, const std::string& def) const;
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ro

@@ -1,0 +1,57 @@
+// Deterministic, seedable RNG (SplitMix64 + xoshiro256**).
+//
+// All randomized components (RWS victim selection, workload generators) use
+// this so every experiment is reproducible from a printed seed.
+#pragma once
+
+#include <cstdint>
+
+namespace ro {
+
+/// SplitMix64: used for seeding and for cheap stateless hashing.
+constexpr uint64_t splitmix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256** — fast, high-quality, 2^256-period generator.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5EEDDEADBEEFull) {
+    uint64_t s = seed;
+    for (auto& w : s_) {
+      s = splitmix64(s);
+      w = s;
+    }
+  }
+
+  uint64_t next() {
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound) without modulo bias worth caring about here.
+  uint64_t next_below(uint64_t bound) { return bound ? next() % bound : 0; }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr uint64_t rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t s_[4];
+};
+
+}  // namespace ro

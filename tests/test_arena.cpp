@@ -1,0 +1,93 @@
+// Unit tests: execution-stack arenas (S_τ, §3.3) — packing, reuse,
+// out-of-order completion (usurped joins), block disjointness of chunks.
+#include <gtest/gtest.h>
+
+#include "ro/sched/arena.h"
+
+namespace ro {
+namespace {
+
+TEST(Arena, FramesPackContiguously) {
+  ArenaSet as(/*base=*/10000, /*align=*/64);
+  const uint32_t a = as.new_arena();
+  auto f1 = as.push(a, 4);
+  auto f2 = as.push(a, 4);
+  auto f3 = as.push(a, 8);
+  EXPECT_EQ(f2.base, f1.base + 4);  // same chunk, back to back
+  EXPECT_EQ(f3.base, f2.base + 4);
+}
+
+TEST(Arena, LifoReuseRestoresAddresses) {
+  ArenaSet as(0, 64);
+  const uint32_t a = as.new_arena();
+  auto f1 = as.push(a, 4);
+  auto f2 = as.push(a, 4);
+  as.complete(f2);
+  auto f3 = as.push(a, 4);
+  EXPECT_EQ(f3.base, f2.base);  // stack space reused
+  as.complete(f3);
+  as.complete(f1);
+  auto f4 = as.push(a, 4);
+  EXPECT_EQ(f4.base, f1.base);
+}
+
+TEST(Arena, OutOfOrderCompletionIsLazy) {
+  // A usurped join completes a deep frame before a shallower one: space
+  // must not be reclaimed until everything above is dead.
+  ArenaSet as(0, 64);
+  const uint32_t a = as.new_arena();
+  auto f1 = as.push(a, 4);
+  auto f2 = as.push(a, 4);
+  auto f3 = as.push(a, 4);
+  as.complete(f1);  // dead but buried: f2, f3 still live above
+  auto f4 = as.push(a, 4);
+  EXPECT_EQ(f4.base, f3.base + 4);  // no reclamation yet
+  as.complete(f4);
+  as.complete(f3);
+  as.complete(f2);  // everything above f1 now dead -> full pop
+  auto f5 = as.push(a, 4);
+  EXPECT_EQ(f5.base, f1.base);
+}
+
+TEST(Arena, DistinctArenasAreBlockDisjoint) {
+  const uint64_t align = 128;
+  ArenaSet as(0, align);
+  const uint32_t a = as.new_arena();
+  const uint32_t b = as.new_arena();
+  auto fa = as.push(a, 4);
+  auto fb = as.push(b, 4);
+  EXPECT_NE(fa.base / align, fb.base / align);
+}
+
+TEST(Arena, BigFramesGetBigChunks) {
+  ArenaSet as(0, 64, /*chunk_words=*/256);
+  const uint32_t a = as.new_arena();
+  auto small = as.push(a, 8);
+  auto big = as.push(a, 10000);  // larger than a chunk
+  EXPECT_NE(small.base / 64, big.base / 64);
+  // And the arena keeps working afterwards.
+  auto next = as.push(a, 8);
+  EXPECT_GT(next.base, 0u);
+  as.complete(next);
+  as.complete(big);
+  as.complete(small);
+}
+
+TEST(Arena, SkippedSmallChunksAreReusedWhenTheyFit) {
+  ArenaSet as(0, 64, 128);
+  const uint32_t a = as.new_arena();
+  auto f1 = as.push(a, 100);   // chunk 0
+  auto f2 = as.push(a, 1000);  // needs a big chunk (skips none yet)
+  auto f3 = as.push(a, 100);   // continues after the big chunk
+  EXPECT_NE(f2.base, f1.base);
+  EXPECT_NE(f3.base, f1.base);
+  as.complete(f3);
+  as.complete(f2);
+  as.complete(f1);
+  // After full pop, the first chunk is the bump target again.
+  auto f4 = as.push(a, 100);
+  EXPECT_EQ(f4.base, f1.base);
+}
+
+}  // namespace
+}  // namespace ro

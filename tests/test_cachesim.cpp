@@ -1,0 +1,178 @@
+// Unit tests: LRU cache, coherence directory, and miss classification /
+// false-sharing dynamics of the replay engine on hand-crafted computations.
+#include <gtest/gtest.h>
+
+#include "ro/alg/scan.h"
+#include "ro/core/trace_ctx.h"
+#include "ro/sched/run.h"
+#include "ro/sim/cache.h"
+#include "ro/sim/directory.h"
+
+namespace ro {
+namespace {
+
+using alg::i64;
+
+TEST(LruCache, HitMissEvict) {
+  LruCache c(2);
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_FALSE(c.insert(1).has_value());
+  EXPECT_FALSE(c.insert(2).has_value());
+  EXPECT_TRUE(c.contains(1));
+  c.touch(1);  // 1 becomes MRU; 2 is LRU
+  auto victim = c.insert(3);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, 2u);
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_TRUE(c.contains(3));
+}
+
+TEST(LruCache, InvalidateRemoves) {
+  LruCache c(4);
+  c.insert(7);
+  EXPECT_TRUE(c.invalidate(7));
+  EXPECT_FALSE(c.contains(7));
+  EXPECT_FALSE(c.invalidate(7));
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(LruCache, ExactLruOrder) {
+  LruCache c(3);
+  c.insert(1);
+  c.insert(2);
+  c.insert(3);
+  c.touch(1);
+  c.touch(2);  // LRU order now: 3, 1, 2
+  EXPECT_EQ(*c.insert(4), 3u);
+  EXPECT_EQ(*c.insert(5), 1u);
+}
+
+TEST(Directory, GrowsAndTracksTransfers) {
+  Directory d;
+  d.at(100).holders = 0b11;
+  d.at(100).transfers = 5;
+  d.at(7).transfers = 2;
+  const auto ts = d.transfer_stats();
+  EXPECT_EQ(ts.max_transfers, 5u);
+  EXPECT_EQ(ts.total_transfers, 7u);
+}
+
+// ---- engine-level classification on crafted traces ----
+
+// Two forked tasks write interleaved halves of ONE block: classic false
+// sharing.  Sequentially there are zero coherence misses; on 2 cores under
+// any work stealer the block ping-pongs.
+TaskGraph false_sharing_graph(size_t writes_per_task) {
+  TraceCtx cx;
+  auto arr = cx.alloc<i64>(64, "shared");
+  auto s = arr.slice();
+  return cx.run(2 * writes_per_task, [&] {
+    cx.fork2(
+        writes_per_task,
+        [&] {
+          for (size_t i = 0; i < writes_per_task; ++i)
+            cx.set(s, (2 * i) % 64, static_cast<i64>(i));
+        },
+        writes_per_task, [&] {
+          for (size_t i = 0; i < writes_per_task; ++i)
+            cx.set(s, (2 * i + 1) % 64, static_cast<i64>(i));
+        });
+  });
+}
+
+TEST(Engine, FalseSharingClassifiedAsBlockMisses) {
+  TaskGraph g = false_sharing_graph(64);
+  SimConfig cfg;
+  cfg.p = 2;
+  cfg.B = 64;  // whole array = one block
+  cfg.M = 64 * 16;
+  cfg.inject_frame_traffic = false;  // isolate data traffic
+
+  const Metrics seq = simulate(g, SchedKind::kSeq, cfg);
+  EXPECT_EQ(seq.block_misses(), 0u);
+  EXPECT_GE(seq.cache_misses(), 1u);  // one cold miss for the block
+
+  const Metrics pws = simulate(g, SchedKind::kPws, cfg);
+  // The sibling gets stolen; interleaved writes ping-pong the block.
+  EXPECT_GE(pws.steals(), 1u);
+  EXPECT_GT(pws.block_misses(), 10u);
+  EXPECT_GT(pws.max_block_transfers, 10u);
+}
+
+TEST(Engine, NoFalseSharingWhenTasksOwnDistinctBlocks) {
+  TraceCtx cx;
+  auto a = cx.alloc<i64>(64, "a");   // block 0
+  auto b = cx.alloc<i64>(64, "b");   // a different block (aligned alloc)
+  auto sa = a.slice();
+  auto sb = b.slice();
+  TaskGraph g = cx.run(128, [&] {
+    cx.fork2(
+        64,
+        [&] {
+          for (size_t i = 0; i < 64; ++i) cx.set(sa, i, i64(i));
+        },
+        64, [&] {
+          for (size_t i = 0; i < 64; ++i) cx.set(sb, i, i64(i));
+        });
+  });
+  SimConfig cfg;
+  cfg.p = 2;
+  cfg.B = 64;
+  cfg.M = 64 * 16;
+  cfg.inject_frame_traffic = false;
+  const Metrics pws = simulate(g, SchedKind::kPws, cfg);
+  EXPECT_GE(pws.steals(), 1u);
+  EXPECT_EQ(pws.block_misses(), 0u);
+}
+
+TEST(Engine, CapacityMissesAppearWhenWorkingSetExceedsM) {
+  TraceCtx cx;
+  const size_t n = 1 << 12;
+  auto a = cx.alloc<i64>(n, "a");
+  auto sa = a.slice();
+  TaskGraph g = cx.run(2 * n, [&] {
+    // Two sequential passes: the second one re-reads evicted blocks.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (size_t i = 0; i < n; ++i) (void)cx.get(sa, i);
+    }
+  });
+  SimConfig small;
+  small.p = 1;
+  small.B = 16;
+  small.M = 16 * 8;  // 8 lines << n/B blocks
+  const Metrics tight = simulate(g, SchedKind::kSeq, small);
+
+  SimConfig big = small;
+  big.M = 2 * n;  // everything fits
+  const Metrics roomy = simulate(g, SchedKind::kSeq, big);
+
+  EXPECT_GT(tight.cache_misses(), roomy.cache_misses());
+  // With a big cache the second pass is all hits: misses == cold misses ==
+  // number of blocks.
+  EXPECT_EQ(roomy.cache_misses(), n / 16);
+  EXPECT_EQ(roomy.core[0].misses(MissClass::kCapacity), 0u);
+  EXPECT_GT(tight.core[0].misses(MissClass::kCapacity), 0u);
+}
+
+TEST(Engine, SeqEqualsComputePlusMissLatency) {
+  TraceCtx cx;
+  const size_t n = 256;
+  auto a = cx.alloc<i64>(n, "a");
+  auto sa = a.slice();
+  TaskGraph g = cx.run(n, [&] {
+    for (size_t i = 0; i < n; ++i) (void)cx.get(sa, i);
+  });
+  SimConfig cfg;
+  cfg.p = 1;
+  cfg.B = 16;
+  cfg.M = 1 << 12;
+  cfg.miss_latency = 10;
+  cfg.inject_frame_traffic = false;
+  const Metrics m = simulate(g, SchedKind::kSeq, cfg);
+  EXPECT_EQ(m.core[0].compute, n);
+  EXPECT_EQ(m.cache_misses(), n / 16);
+  EXPECT_EQ(m.makespan, n + 10 * (n / 16));
+}
+
+}  // namespace
+}  // namespace ro

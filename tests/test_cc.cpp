@@ -1,0 +1,88 @@
+// Algorithm tests: connected components vs union-find reference.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ro/alg/cc.h"
+#include "ro/alg/graphgen.h"
+#include "test_helpers.h"
+
+namespace ro {
+namespace {
+
+using alg::i64;
+
+void run_cc_and_check(size_t n, const alg::EdgeList& e, bool sched = false) {
+  const auto want = alg::cc_ref(n, e);
+  const size_t m = e.u.size();
+  TraceCtx cx;
+  auto eu = cx.alloc<i64>(std::max<size_t>(1, m), "eu");
+  auto ev = cx.alloc<i64>(std::max<size_t>(1, m), "ev");
+  std::copy(e.u.begin(), e.u.end(), eu.raw());
+  std::copy(e.v.begin(), e.v.end(), ev.raw());
+  auto label = cx.alloc<i64>(n, "label");
+  TaskGraph g = cx.run(2 * (n + m), [&] {
+    alg::connected_components(cx, n, eu.slice().first(m),
+                              ev.slice().first(m), label.slice());
+  });
+  for (size_t v = 0; v < n; ++v) {
+    EXPECT_EQ(label.raw()[v], want[v]) << "vertex " << v;
+  }
+  if (sched) testing::check_schedulers(g);
+}
+
+class CcParam
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, size_t>> {};
+
+TEST_P(CcParam, MatchesUnionFind) {
+  const auto [n, extra, groups] = GetParam();
+  run_cc_and_check(n, alg::random_graph(n, extra, groups, n + extra));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Graphs, CcParam,
+    ::testing::Values(std::make_tuple(1, 0, 1), std::make_tuple(2, 0, 1),
+                      std::make_tuple(2, 0, 2), std::make_tuple(50, 30, 3),
+                      std::make_tuple(100, 100, 1),
+                      std::make_tuple(200, 50, 17),
+                      std::make_tuple(500, 400, 5),
+                      std::make_tuple(1000, 0, 1000)));
+
+TEST(Cc, NoEdgesEveryVertexItsOwnComponent) {
+  run_cc_and_check(32, alg::EdgeList{});
+}
+
+TEST(Cc, SingleEdgeAndSelfLoopsAndDuplicates) {
+  alg::EdgeList e;
+  e.u = {3, 4, 4, 5, 5};
+  e.v = {3, 5, 5, 4, 4};  // self loop + duplicated parallel edges
+  run_cc_and_check(8, e);
+}
+
+TEST(Cc, PathGraphWorstCaseHooking) {
+  // Decreasing-label path stresses hooking chains.
+  const size_t n = 128;
+  alg::EdgeList e;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    e.u.push_back(static_cast<i64>(n - 1 - i));
+    e.v.push_back(static_cast<i64>(n - 2 - i));
+  }
+  run_cc_and_check(n, e);
+}
+
+TEST(Cc, StarGraph) {
+  const size_t n = 64;
+  alg::EdgeList e;
+  for (size_t i = 1; i < n; ++i) {
+    e.u.push_back(static_cast<i64>(n - 1));  // hub has the LARGEST id
+    e.v.push_back(static_cast<i64>(i - 1));
+  }
+  run_cc_and_check(n, e);
+}
+
+TEST(Cc, RunsUnderAllSchedulers) {
+  run_cc_and_check(100, alg::random_graph(100, 60, 4, 77), /*sched=*/true);
+}
+
+}  // namespace
+}  // namespace ro

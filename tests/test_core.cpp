@@ -1,0 +1,218 @@
+// Unit tests: TraceCtx recording, graph structure/analysis, validators
+// (limited access, balance, head work), f/L probes.
+#include <gtest/gtest.h>
+
+#include "ro/alg/rm_bi.h"
+#include "ro/alg/scan.h"
+#include "ro/core/probes.h"
+#include "ro/core/seq_ctx.h"
+#include "ro/core/trace_ctx.h"
+#include "ro/core/validate.h"
+
+namespace ro {
+namespace {
+
+using alg::i64;
+
+TEST(TraceCtx, RecordsForkStructure) {
+  TraceCtx cx;
+  auto a = cx.alloc<i64>(4, "a");
+  TaskGraph g = cx.run(4, [&] {
+    auto s = a.slice();
+    cx.fork2(
+        2, [&] { cx.set(s, 0, i64{1}); }, 2, [&] { cx.set(s, 1, i64{2}); });
+    cx.set(s, 2, i64{3});
+  });
+  // Root + two children.
+  ASSERT_EQ(g.acts.size(), 3u);
+  const Activation& root = g.acts[g.root];
+  EXPECT_EQ(root.num_segs, 2u);  // fork segment + terminal
+  const Segment& fs = g.segments[root.first_seg];
+  ASSERT_TRUE(fs.has_fork());
+  EXPECT_EQ(g.acts[fs.left].depth, 1);
+  EXPECT_EQ(g.acts[fs.right].depth, 1);
+  EXPECT_EQ(g.acts[fs.left].parent, g.root);
+  EXPECT_EQ(g.acts[fs.left].child_slot, 0);
+  EXPECT_EQ(g.acts[fs.right].child_slot, 1);
+  // Terminal segment carries the tail write.
+  const Segment& ts = g.segments[root.first_seg + 1];
+  EXPECT_FALSE(ts.has_fork());
+  EXPECT_EQ(ts.acc_end - ts.acc_begin, 1u);
+  EXPECT_EQ(a.raw()[0], 1);
+  EXPECT_EQ(a.raw()[1], 2);
+  EXPECT_EQ(a.raw()[2], 3);
+}
+
+TEST(TraceCtx, AccessesCarryVirtualAddresses) {
+  TraceCtx cx;
+  auto a = cx.alloc<i64>(8, "a");
+  TaskGraph g = cx.run(8, [&] {
+    auto s = a.slice();
+    cx.set(s, 5, i64{42});
+    (void)cx.get(s, 5);
+  });
+  ASSERT_EQ(g.accesses.size(), 2u);
+  EXPECT_EQ(g.accesses[0].addr, a.vbase() + 5);
+  EXPECT_TRUE(g.accesses[0].is_write());
+  EXPECT_FALSE(g.accesses[1].is_write());
+  EXPECT_EQ(g.accesses[0].act, kNoAct);
+}
+
+TEST(TraceCtx, LocalArraysAreFrameRelative) {
+  TraceCtx cx;
+  TaskGraph g = cx.run(8, [&] {
+    auto tmp = cx.local<i64>(4);
+    auto s = tmp.slice();
+    cx.set(s, 2, i64{7});
+  });
+  ASSERT_EQ(g.accesses.size(), 1u);
+  EXPECT_EQ(g.accesses[0].act, g.root);
+  EXPECT_EQ(g.accesses[0].addr, 2u);  // offset within the frame
+  // Frame holds the 4 local words plus >= 2 fork slots.
+  EXPECT_GE(g.acts[g.root].frame_words, 6u);
+  EXPECT_EQ(g.acts[g.root].fork_slot_base, 4u);
+}
+
+TEST(TraceCtx, PaddedFramesGrowBySqrtSize) {
+  TraceCtx::Options opt;
+  opt.padded = true;
+  TraceCtx cx(opt);
+  TaskGraph g = cx.run(1 << 10, [&] {});
+  EXPECT_GE(g.acts[g.root].frame_words, 2u + 32u);  // 2 slots + √1024
+}
+
+TEST(Graph, WorkAndSpanOnScan) {
+  TraceCtx cx;
+  auto a = cx.alloc<i64>(64, "a");
+  auto out = cx.alloc<i64>(1, "out");
+  TaskGraph g = cx.run(64, [&] { alg::msum(cx, a.slice(), out.slice()); });
+  const GraphStats st = g.analyze();
+  // 64 leaf reads + 1 output write + fork/join constants.
+  EXPECT_GE(st.work, 65u);
+  EXPECT_EQ(st.leaves, 64u);
+  EXPECT_EQ(st.max_depth, 6u);
+  // Span ~ depth * O(1), far below work.
+  EXPECT_LT(st.span, st.work / 2);
+  EXPECT_GT(st.span, st.max_depth);
+}
+
+TEST(Validate, LimitedAccessHoldsForScan) {
+  TraceCtx cx;
+  auto a = cx.alloc<i64>(128, "a");
+  auto out = cx.alloc<i64>(128, "out");
+  TaskGraph g =
+      cx.run(128, [&] { alg::prefix_sums(cx, a.slice(), out.slice()); });
+  const auto rep = check_limited_access(g);
+  EXPECT_LE(rep.max_writes_per_location, 1u);
+  EXPECT_GT(rep.total_writes, 0u);
+}
+
+TEST(Validate, DetectsUnlimitedAccess) {
+  TraceCtx cx;
+  auto a = cx.alloc<i64>(1, "a");
+  TaskGraph g = cx.run(16, [&] {
+    auto s = a.slice();
+    for (int i = 0; i < 16; ++i) cx.set(s, 0, i64{i});
+  });
+  EXPECT_EQ(check_limited_access(g).max_writes_per_location, 16u);
+}
+
+TEST(Validate, BalanceForBpScan) {
+  TraceCtx cx;
+  auto a = cx.alloc<i64>(1 << 8, "a");
+  auto out = cx.alloc<i64>(1, "out");
+  TaskGraph g =
+      cx.run(1 << 8, [&] { alg::msum(cx, a.slice(), out.slice()); });
+  const auto rep = check_balance(g);
+  EXPECT_LE(rep.max_sibling_ratio, 2.0);       // Def 3.2(vi), c2/c1
+  EXPECT_LE(rep.max_child_fraction, 0.75);     // α < 1
+  EXPECT_LE(rep.per_depth_ratio, 2.0);
+  EXPECT_GT(rep.forks, 0u);
+}
+
+TEST(Validate, HeadWorkIsConstantForBp) {
+  TraceCtx cx;
+  auto a = cx.alloc<i64>(1 << 8, "a");
+  auto b = cx.alloc<i64>(1 << 8, "b");
+  auto out = cx.alloc<i64>(1 << 8, "out");
+  TaskGraph g = cx.run(1 << 8, [&] {
+    alg::matrix_add(cx, a.slice(), b.slice(), out.slice());
+  });
+  const auto rep = check_head_work(g);
+  EXPECT_EQ(rep.max_fork_segment_cost, 0u);  // pure forking heads
+  EXPECT_LE(rep.max_terminal_cost, 3u);      // grain-1 leaves
+}
+
+TEST(Probes, DfsIntervalsNest) {
+  TraceCtx cx;
+  auto a = cx.alloc<i64>(32, "a");
+  auto out = cx.alloc<i64>(1, "out");
+  TaskGraph g = cx.run(32, [&] { alg::msum(cx, a.slice(), out.slice()); });
+  const auto iv = dfs_intervals(g);
+  for (uint32_t i = 0; i < g.acts.size(); ++i) {
+    EXPECT_LT(iv[i].in, iv[i].out);
+    const uint32_t par = g.acts[i].parent;
+    if (par != kNoAct) {
+      EXPECT_LE(iv[par].in, iv[i].in);
+      EXPECT_GE(iv[par].out, iv[i].out);
+    }
+  }
+}
+
+TEST(Probes, ScanIsO1FriendlyAndO1Sharing) {
+  TraceCtx cx;
+  const size_t n = 1 << 10;
+  auto a = cx.alloc<i64>(n, "a");
+  auto out = cx.alloc<i64>(1, "out");
+  TaskGraph g = cx.run(n, [&] { alg::msum(cx, a.slice(), out.slice()); });
+  const uint32_t B = 16;
+  auto samples = sample_acts_per_depth(g, 2);
+  auto probes = probe_tasks(g, B, samples);
+  for (const auto& p : probes) {
+    // f(r) = O(1): at most ~2 boundary blocks beyond r/B.
+    EXPECT_LE(p.f_excess, 3.0) << "act " << p.act << " r=" << p.r;
+    // L(r) = O(1): a contiguous-range task shares only boundary blocks.
+    EXPECT_LE(p.shared_blocks, 3u) << "act " << p.act << " r=" << p.r;
+  }
+}
+
+TEST(Probes, RmToBiWritesShareLittleButReadsAreSqrtFriendly) {
+  TraceCtx cx;
+  const uint32_t n = 32;  // 1024 elements
+  auto rm = cx.alloc<i64>(n * n, "rm");
+  auto bi = cx.alloc<i64>(n * n, "bi");
+  TaskGraph g = cx.run(2 * n * n,
+                       [&] { alg::rm_to_bi(cx, rm.slice(), bi.slice(), n); });
+  const uint32_t B = 16;
+  auto samples = sample_acts_per_depth(g, 2);
+  auto probes = probe_tasks(g, B, samples);
+  bool saw_sqrt_f = false;
+  for (const auto& p : probes) {
+    if (p.r >= 4 * B && p.f_excess > 3.0) saw_sqrt_f = true;
+  }
+  // Reads of RM rows from a BI tile are strided: f(r) ~ √r must show up.
+  EXPECT_TRUE(saw_sqrt_f);
+}
+
+TEST(SeqCtxAndTraceCtxAgree, SameResults) {
+  const size_t n = 257;  // non-power-of-two exercise
+  std::vector<i64> vals(n);
+  for (size_t i = 0; i < n; ++i) vals[i] = static_cast<i64>((i * 37) % 101);
+
+  SeqCtx sq;
+  auto a1 = sq.alloc<i64>(n);
+  std::copy(vals.begin(), vals.end(), a1.raw());
+  auto o1 = sq.alloc<i64>(n);
+  sq.run(n, [&] { alg::prefix_sums(sq, a1.slice(), o1.slice()); });
+
+  TraceCtx tc;
+  auto a2 = tc.alloc<i64>(n, "a");
+  std::copy(vals.begin(), vals.end(), a2.raw());
+  auto o2 = tc.alloc<i64>(n, "o");
+  tc.run(n, [&] { alg::prefix_sums(tc, a2.slice(), o2.slice()); });
+
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(o1.raw()[i], o2.raw()[i]);
+}
+
+}  // namespace
+}  // namespace ro

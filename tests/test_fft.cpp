@@ -1,0 +1,165 @@
+// Algorithm tests: six-step FFT vs the naive DFT, inverse round-trip,
+// both transpose routes, linearity, parameterized sizes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ro/alg/fft.h"
+#include "test_helpers.h"
+#include "ro/util/rng.h"
+
+namespace ro {
+namespace {
+
+using alg::cplx;
+
+std::vector<cplx> random_signal(size_t n, uint64_t seed) {
+  std::vector<cplx> x(n);
+  Rng rng(seed);
+  for (auto& v : x) v = cplx(rng.next_double() - 0.5, rng.next_double() - 0.5);
+  return x;
+}
+
+double max_err(const std::vector<cplx>& a, const std::vector<cplx>& b) {
+  double e = 0;
+  for (size_t i = 0; i < a.size(); ++i) e = std::max(e, std::abs(a[i] - b[i]));
+  return e;
+}
+
+class FftSize : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(FftSize, MatchesNaiveDft) {
+  const size_t n = GetParam();
+  const auto sig = random_signal(n, n);
+  std::vector<cplx> want(n);
+  alg::dft_ref(sig.data(), want.data(), n, false);
+
+  TraceCtx cx;
+  auto x = cx.alloc<cplx>(n, "x");
+  std::copy(sig.begin(), sig.end(), x.raw());
+  auto y = cx.alloc<cplx>(n, "y");
+  TaskGraph g = cx.run(4 * n, [&] { alg::fft(cx, x.slice(), y.slice()); });
+  std::vector<cplx> got(y.raw(), y.raw() + n);
+  EXPECT_LT(max_err(got, want), 1e-9 * std::max<double>(1.0, n));
+  if (n >= 64) testing::check_schedulers(g);
+}
+
+TEST_P(FftSize, BiTransposeRouteMatches) {
+  const size_t n = GetParam();
+  const auto sig = random_signal(n, 2 * n + 1);
+  std::vector<cplx> want(n);
+  alg::dft_ref(sig.data(), want.data(), n, false);
+  SeqCtx cx;
+  auto x = cx.alloc<cplx>(n);
+  std::copy(sig.begin(), sig.end(), x.raw());
+  auto y = cx.alloc<cplx>(n);
+  alg::FftOptions opt;
+  opt.bi_transpose = true;
+  cx.run(1, [&] { alg::fft(cx, x.slice(), y.slice(), opt); });
+  std::vector<cplx> got(y.raw(), y.raw() + n);
+  EXPECT_LT(max_err(got, want), 1e-9 * std::max<double>(1.0, n));
+}
+
+TEST_P(FftSize, InverseRoundTrip) {
+  const size_t n = GetParam();
+  const auto sig = random_signal(n, 3 * n + 7);
+  SeqCtx cx;
+  auto x = cx.alloc<cplx>(n);
+  std::copy(sig.begin(), sig.end(), x.raw());
+  auto y = cx.alloc<cplx>(n);
+  auto z = cx.alloc<cplx>(n);
+  cx.run(1, [&] {
+    alg::fft(cx, x.slice(), y.slice());
+    alg::FftOptions inv;
+    inv.inverse = true;
+    alg::fft(cx, y.slice(), z.slice(), inv);
+  });
+  std::vector<cplx> got(n);
+  for (size_t i = 0; i < n; ++i) got[i] = z.raw()[i] / static_cast<double>(n);
+  EXPECT_LT(max_err(got, sig), 1e-9 * std::max<double>(1.0, n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftSize,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64, 128, 256,
+                                           512));
+
+TEST(Fft, Parseval) {
+  const size_t n = 256;
+  const auto sig = random_signal(n, 99);
+  SeqCtx cx;
+  auto x = cx.alloc<cplx>(n);
+  std::copy(sig.begin(), sig.end(), x.raw());
+  auto y = cx.alloc<cplx>(n);
+  cx.run(1, [&] { alg::fft(cx, x.slice(), y.slice()); });
+  double et = 0;
+  double ef = 0;
+  for (size_t i = 0; i < n; ++i) {
+    et += std::norm(sig[i]);
+    ef += std::norm(y.raw()[i]);
+  }
+  EXPECT_NEAR(ef, et * n, 1e-6 * et * n);
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  const size_t n = 64;
+  SeqCtx cx;
+  auto x = cx.alloc<cplx>(n);
+  x.raw()[0] = cplx(1, 0);
+  auto y = cx.alloc<cplx>(n);
+  cx.run(1, [&] { alg::fft(cx, x.slice(), y.slice()); });
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(y.raw()[i].real(), 1.0, 1e-10);
+    EXPECT_NEAR(y.raw()[i].imag(), 0.0, 1e-10);
+  }
+}
+
+TEST(Fft, PureToneConcentratesEnergy) {
+  const size_t n = 128;
+  const size_t k0 = 9;
+  SeqCtx cx;
+  auto x = cx.alloc<cplx>(n);
+  for (size_t j = 0; j < n; ++j) {
+    const double a = 2 * M_PI * static_cast<double>(k0 * j) / n;
+    x.raw()[j] = cplx(std::cos(a), std::sin(a));
+  }
+  auto y = cx.alloc<cplx>(n);
+  cx.run(1, [&] { alg::fft(cx, x.slice(), y.slice()); });
+  for (size_t k = 0; k < n; ++k) {
+    // exp(+2πi k0 j / n) has its forward-DFT peak at bin k0.
+    const double mag = std::abs(y.raw()[k]);
+    if (k == k0) {
+      EXPECT_NEAR(mag, static_cast<double>(n), 1e-8);
+    } else {
+      EXPECT_LT(mag, 1e-8);
+    }
+  }
+}
+
+TEST(Fft, LimitedAccessHolds) {
+  const size_t n = 64;
+  TraceCtx cx;
+  auto x = cx.alloc<cplx>(n, "x");
+  auto y = cx.alloc<cplx>(n, "y");
+  TaskGraph g = cx.run(4 * n, [&] { alg::fft(cx, x.slice(), y.slice()); });
+  testing::check_limited(g, 1);
+}
+
+TEST(Fft, LargerBaseSameResult) {
+  const size_t n = 256;
+  const auto sig = random_signal(n, 5);
+  std::vector<cplx> want(n);
+  alg::dft_ref(sig.data(), want.data(), n, false);
+  SeqCtx cx;
+  auto x = cx.alloc<cplx>(n);
+  std::copy(sig.begin(), sig.end(), x.raw());
+  auto y = cx.alloc<cplx>(n);
+  alg::FftOptions opt;
+  opt.base = 16;
+  cx.run(1, [&] { alg::fft(cx, x.slice(), y.slice(), opt); });
+  std::vector<cplx> got(y.raw(), y.raw() + n);
+  EXPECT_LT(max_err(got, want), 1e-8);
+}
+
+}  // namespace
+}  // namespace ro

@@ -1,0 +1,196 @@
+// Algorithm tests: list ranking (gapping on/off, weighted) and Euler tour.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "ro/alg/euler.h"
+#include "ro/alg/graphgen.h"
+#include "ro/alg/listrank.h"
+#include "test_helpers.h"
+
+namespace ro {
+namespace {
+
+using alg::i64;
+
+class LrSize
+    : public ::testing::TestWithParam<std::tuple<size_t, bool>> {};
+
+TEST_P(LrSize, MatchesReference) {
+  const auto [n, gapping] = GetParam();
+  const auto succ = alg::random_list(n, n * 31 + 5);
+  const auto want = alg::list_rank_ref(succ);
+
+  TraceCtx cx;
+  auto s = cx.alloc<i64>(n, "succ");
+  std::copy(succ.begin(), succ.end(), s.raw());
+  auto r = cx.alloc<i64>(n, "rank");
+  alg::ListRankOptions opt;
+  opt.gapping = gapping;
+  TaskGraph g =
+      cx.run(2 * n, [&] { alg::list_rank(cx, s.slice(), r.slice(), opt); });
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(r.raw()[i], want[i]) << "i=" << i;
+  if (n >= 256) testing::check_schedulers(g);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NGap, LrSize,
+    ::testing::Combine(::testing::Values(1, 2, 3, 10, 64, 100, 500, 2000,
+                                         5000),
+                       ::testing::Bool()));
+
+TEST(ListRank, WeightedRanks) {
+  const size_t n = 300;
+  const auto succ = alg::random_list(n, 17);
+  // weights: alternate ±1 by node id (deterministic).
+  std::vector<i64> w(n);
+  for (size_t i = 0; i < n; ++i) w[i] = (i % 2 == 0) ? 1 : -1;
+  // reference: walk from tail backwards accumulating.
+  std::vector<i64> pred(n, -1);
+  i64 tail = -1;
+  for (size_t i = 0; i < n; ++i) {
+    if (succ[i] == static_cast<i64>(i)) {
+      tail = static_cast<i64>(i);
+    } else {
+      pred[succ[i]] = static_cast<i64>(i);
+    }
+  }
+  std::vector<i64> want(n, 0);
+  for (i64 cur = tail; pred[cur] >= 0; cur = pred[cur]) {
+    want[pred[cur]] = w[pred[cur]] + want[cur];
+  }
+
+  TraceCtx cx;
+  auto s = cx.alloc<i64>(n, "succ");
+  auto ws = cx.alloc<i64>(n, "w");
+  std::copy(succ.begin(), succ.end(), s.raw());
+  std::copy(w.begin(), w.end(), ws.raw());
+  auto r = cx.alloc<i64>(n, "rank");
+  cx.run(2 * n, [&] {
+    alg::list_rank_weighted(cx, s.slice(), ws.slice(), r.slice());
+  });
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(r.raw()[i], want[i]) << i;
+}
+
+TEST(ListRank, JumpThresholdForcesPointerJumpingOnly) {
+  const size_t n = 200;
+  const auto succ = alg::random_list(n, 23);
+  const auto want = alg::list_rank_ref(succ);
+  SeqCtx cx;
+  auto s = cx.alloc<i64>(n);
+  std::copy(succ.begin(), succ.end(), s.raw());
+  auto r = cx.alloc<i64>(n);
+  alg::ListRankOptions opt;
+  opt.jump_threshold = n + 1;  // no contraction at all
+  cx.run(1, [&] { alg::list_rank(cx, s.slice(), r.slice(), opt); });
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(r.raw()[i], want[i]);
+}
+
+TEST(ListRank, DeepContractionOnly) {
+  const size_t n = 2000;
+  const auto succ = alg::random_list(n, 29);
+  const auto want = alg::list_rank_ref(succ);
+  SeqCtx cx;
+  auto s = cx.alloc<i64>(n);
+  std::copy(succ.begin(), succ.end(), s.raw());
+  auto r = cx.alloc<i64>(n);
+  alg::ListRankOptions opt;
+  opt.jump_threshold = 64;  // contract nearly all the way down
+  cx.run(1, [&] { alg::list_rank(cx, s.slice(), r.slice(), opt); });
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(r.raw()[i], want[i]);
+}
+
+class EulerSize : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(EulerSize, ParentDepthAndTourValid) {
+  const size_t n = GetParam();
+  const auto tree = alg::random_tree(n, n * 3 + 1);
+  const i64 root = 0;
+  const auto want = alg::tree_ref(n, tree, root);
+
+  TraceCtx cx;
+  auto eu = cx.alloc<i64>(std::max<size_t>(1, n - 1), "eu");
+  auto ev = cx.alloc<i64>(std::max<size_t>(1, n - 1), "ev");
+  std::copy(tree.u.begin(), tree.u.end(), eu.raw());
+  std::copy(tree.v.begin(), tree.v.end(), ev.raw());
+  alg::EulerResult res;
+  cx.run(4 * n, [&] {
+    res = alg::euler_tour(cx, n, eu.slice().first(n - 1),
+                          ev.slice().first(n - 1), root);
+  });
+  for (size_t v = 0; v < n; ++v) {
+    EXPECT_EQ(res.parent.raw()[v], want.parent[v]) << "parent of " << v;
+    EXPECT_EQ(res.depth.raw()[v], want.depth[v]) << "depth of " << v;
+  }
+  if (n >= 2) {
+    // Tour positions are a permutation of 1..2(n-1).
+    std::set<i64> pos(res.tour_pos.raw(), res.tour_pos.raw() + 2 * (n - 1));
+    EXPECT_EQ(pos.size(), 2 * (n - 1));
+    EXPECT_EQ(*pos.begin(), 1);
+    EXPECT_EQ(*pos.rbegin(), static_cast<i64>(2 * (n - 1)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EulerSize,
+                         ::testing::Values(1, 2, 3, 5, 16, 100, 500));
+
+TEST(Euler, SubtreeSizesMatchReference) {
+  const size_t n = 200;
+  const auto tree = alg::random_tree(n, 77);
+  const i64 root = 0;
+  // Reference subtree sizes by leaf-to-root accumulation over BFS order.
+  const auto ref = alg::tree_ref(n, tree, root);
+  std::vector<i64> want(n, 1);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return ref.depth[a] > ref.depth[b];
+  });
+  for (size_t v : order) {
+    if (static_cast<i64>(v) != root) {
+      want[ref.parent[v]] += want[v];
+    }
+  }
+
+  SeqCtx cx;
+  auto eu = cx.alloc<i64>(n - 1);
+  auto ev = cx.alloc<i64>(n - 1);
+  std::copy(tree.u.begin(), tree.u.end(), eu.raw());
+  std::copy(tree.v.begin(), tree.v.end(), ev.raw());
+  alg::EulerResult res;
+  VArray<i64> sz;
+  cx.run(1, [&] {
+    res = alg::euler_tour(cx, n, eu.slice(), ev.slice(), root);
+    sz = alg::subtree_sizes(cx, n, eu.slice(), ev.slice(), root, res);
+  });
+  for (size_t v = 0; v < n; ++v) {
+    EXPECT_EQ(sz.raw()[v], want[v]) << "subtree of " << v;
+  }
+}
+
+TEST(Euler, PathTreeDepthsAreDistances) {
+  // Path 0-1-2-...-9 rooted at 0: depth(v) = v.
+  const size_t n = 10;
+  alg::EdgeList e;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    e.u.push_back(static_cast<i64>(i));
+    e.v.push_back(static_cast<i64>(i + 1));
+  }
+  SeqCtx cx;
+  auto eu = cx.alloc<i64>(n - 1);
+  auto ev = cx.alloc<i64>(n - 1);
+  std::copy(e.u.begin(), e.u.end(), eu.raw());
+  std::copy(e.v.begin(), e.v.end(), ev.raw());
+  alg::EulerResult res;
+  cx.run(1, [&] { res = alg::euler_tour(cx, n, eu.slice(), ev.slice(), 0); });
+  for (size_t v = 0; v < n; ++v) {
+    EXPECT_EQ(res.depth.raw()[v], static_cast<i64>(v));
+    EXPECT_EQ(res.parent.raw()[v], v == 0 ? 0 : static_cast<i64>(v - 1));
+  }
+}
+
+}  // namespace
+}  // namespace ro

@@ -1,0 +1,185 @@
+// Algorithm tests: MT (BI), RM↔BI conversions (all four), Strassen,
+// Depth-n-MM — correctness vs references, limited access, scheduler runs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ro/alg/layout.h"
+#include "ro/alg/mm.h"
+#include "ro/alg/mt.h"
+#include "ro/alg/rm_bi.h"
+#include "ro/alg/strassen.h"
+#include "test_helpers.h"
+
+#include "ro/util/rng.h"
+
+namespace ro {
+namespace {
+
+using alg::i64;
+
+std::vector<i64> random_matrix(uint32_t n, uint64_t seed) {
+  std::vector<i64> m(static_cast<size_t>(n) * n);
+  Rng rng(seed);
+  for (auto& v : m) v = static_cast<i64>(rng.next_below(2001)) - 1000;
+  return m;
+}
+
+std::vector<i64> naive_mm(const std::vector<i64>& a,
+                          const std::vector<i64>& b, uint32_t n) {
+  std::vector<i64> c(static_cast<size_t>(n) * n, 0);
+  for (uint32_t i = 0; i < n; ++i)
+    for (uint32_t k = 0; k < n; ++k)
+      for (uint32_t j = 0; j < n; ++j)
+        c[alg::rm_index(n, i, j)] +=
+            a[alg::rm_index(n, i, k)] * b[alg::rm_index(n, k, j)];
+  return c;
+}
+
+class MatSize : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(MatSize, MtBiMatchesReference) {
+  const uint32_t n = GetParam();
+  const auto rm = random_matrix(n, 1);
+  std::vector<i64> bi(rm.size()), want_rm(rm.size()), want_bi(rm.size());
+  alg::rm_to_bi_ref(rm.data(), bi.data(), n);
+  alg::transpose_ref(rm.data(), want_rm.data(), n);
+  alg::rm_to_bi_ref(want_rm.data(), want_bi.data(), n);
+
+  TraceCtx cx;
+  auto in = cx.alloc<i64>(bi.size(), "in");
+  std::copy(bi.begin(), bi.end(), in.raw());
+  auto out = cx.alloc<i64>(bi.size(), "out");
+  TaskGraph g = cx.run(2 * bi.size(),
+                       [&] { alg::mt_bi(cx, in.slice(), out.slice(), n); });
+  for (size_t i = 0; i < bi.size(); ++i) EXPECT_EQ(out.raw()[i], want_bi[i]);
+  testing::check_limited(g, 1);
+  if (n >= 8) testing::check_schedulers(g);
+}
+
+TEST_P(MatSize, RmBiConversionsRoundTrip) {
+  const uint32_t n = GetParam();
+  const auto rm = random_matrix(n, 2);
+  std::vector<i64> want_bi(rm.size());
+  alg::rm_to_bi_ref(rm.data(), want_bi.data(), n);
+
+  TraceCtx cx;
+  auto rms = cx.alloc<i64>(rm.size(), "rm");
+  std::copy(rm.begin(), rm.end(), rms.raw());
+  auto bi = cx.alloc<i64>(rm.size(), "bi");
+  auto back_direct = cx.alloc<i64>(rm.size(), "bd");
+  auto back_gap = cx.alloc<i64>(rm.size(), "bg");
+  auto back_fft = cx.alloc<i64>(rm.size(), "bf");
+  TaskGraph g = cx.run(8 * rm.size(), [&] {
+    alg::rm_to_bi(cx, rms.slice(), bi.slice(), n);
+    alg::bi_to_rm_direct(cx, bi.slice(), back_direct.slice(), n);
+    alg::bi_to_rm_gap(cx, bi.slice(), back_gap.slice(), n);
+    alg::bi_to_rm_fft(cx, bi.slice(), back_fft.slice(), n);
+  });
+  for (size_t i = 0; i < rm.size(); ++i) {
+    EXPECT_EQ(bi.raw()[i], want_bi[i]);
+    EXPECT_EQ(back_direct.raw()[i], rm[i]);
+    EXPECT_EQ(back_gap.raw()[i], rm[i]);
+    EXPECT_EQ(back_fft.raw()[i], rm[i]);
+  }
+  testing::check_limited(g, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MatSize,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+class MmSize : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(MmSize, StrassenMatchesNaive) {
+  const uint32_t n = GetParam();
+  const auto a = random_matrix(n, 3);
+  const auto b = random_matrix(n, 4);
+  const auto want = naive_mm(a, b, n);
+
+  TraceCtx cx;
+  auto abi = cx.alloc<i64>(a.size(), "a");
+  auto bbi = cx.alloc<i64>(b.size(), "b");
+  alg::rm_to_bi_ref(a.data(), abi.raw(), n);
+  alg::rm_to_bi_ref(b.data(), bbi.raw(), n);
+  auto cbi = cx.alloc<i64>(a.size(), "c");
+  TaskGraph g = cx.run(3 * a.size(), [&] {
+    alg::strassen_bi(cx, abi.slice(), bbi.slice(), cbi.slice(), n);
+  });
+  std::vector<i64> crm(a.size());
+  alg::bi_to_rm_ref(cbi.raw(), crm.data(), n);
+  for (size_t i = 0; i < want.size(); ++i) EXPECT_EQ(crm[i], want[i]) << i;
+  testing::check_limited(g, 1);
+}
+
+TEST_P(MmSize, DepthNMmMatchesNaive) {
+  const uint32_t n = GetParam();
+  const auto a = random_matrix(n, 5);
+  const auto b = random_matrix(n, 6);
+  const auto want = naive_mm(a, b, n);
+
+  TraceCtx cx;
+  auto abi = cx.alloc<i64>(a.size(), "a");
+  auto bbi = cx.alloc<i64>(b.size(), "b");
+  alg::rm_to_bi_ref(a.data(), abi.raw(), n);
+  alg::rm_to_bi_ref(b.data(), bbi.raw(), n);
+  auto cbi = cx.alloc<i64>(a.size(), "c");
+  TaskGraph g = cx.run(3 * a.size(), [&] {
+    alg::depth_n_mm(cx, abi.slice(), bbi.slice(), cbi.slice(), n);
+  });
+  std::vector<i64> crm(a.size());
+  alg::bi_to_rm_ref(cbi.raw(), crm.data(), n);
+  for (size_t i = 0; i < want.size(); ++i) EXPECT_EQ(crm[i], want[i]) << i;
+  testing::check_limited(g, 1);
+  if (n >= 8) testing::check_schedulers(g);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MmSize, ::testing::Values(2, 4, 8, 16));
+
+TEST(Matrix, StrassenLargerBaseCase) {
+  // base=4 must give identical results to base=2.
+  const uint32_t n = 16;
+  const auto a = random_matrix(n, 7);
+  const auto b = random_matrix(n, 8);
+  const auto want = naive_mm(a, b, n);
+  SeqCtx cx;
+  auto abi = cx.alloc<i64>(a.size());
+  auto bbi = cx.alloc<i64>(b.size());
+  alg::rm_to_bi_ref(a.data(), abi.raw(), n);
+  alg::rm_to_bi_ref(b.data(), bbi.raw(), n);
+  auto cbi = cx.alloc<i64>(a.size());
+  cx.run(1, [&] {
+    alg::strassen_bi(cx, abi.slice(), bbi.slice(), cbi.slice(), n,
+                     /*base=*/4);
+  });
+  std::vector<i64> crm(a.size());
+  alg::bi_to_rm_ref(cbi.raw(), crm.data(), n);
+  for (size_t i = 0; i < want.size(); ++i) EXPECT_EQ(crm[i], want[i]);
+}
+
+TEST(Matrix, StrassenWorkGrowsSubCubically) {
+  // W(2n) / W(n) ≈ 7 (λ = log2 7 ≈ 2.807), well below 8.
+  auto work_of = [](uint32_t n) {
+    TraceCtx cx;
+    auto a = cx.alloc<i64>(static_cast<size_t>(n) * n, "a");
+    auto b = cx.alloc<i64>(static_cast<size_t>(n) * n, "b");
+    auto c = cx.alloc<i64>(static_cast<size_t>(n) * n, "c");
+    TaskGraph g = cx.run(3ull * n * n, [&] {
+      alg::strassen_bi(cx, a.slice(), b.slice(), c.slice(), n);
+    });
+    return g.analyze().work;
+  };
+  const double ratio =
+      static_cast<double>(work_of(32)) / static_cast<double>(work_of(16));
+  EXPECT_LT(ratio, 7.8);
+  EXPECT_GT(ratio, 6.2);
+}
+
+TEST(Matrix, GappedConversionUsesBoundedExtraSpace) {
+  const uint32_t n = 64;
+  RowGapLayout lay(n);
+  EXPECT_LE(lay.space(), 4ull * n * n);
+  EXPECT_GT(lay.space(), static_cast<uint64_t>(n) * n);
+}
+
+}  // namespace
+}  // namespace ro

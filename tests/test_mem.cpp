@@ -1,0 +1,126 @@
+// Unit tests: virtual address space, VArray/Slice, gap layouts.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ro/mem/gap.h"
+#include "ro/mem/varray.h"
+#include "ro/mem/vspace.h"
+
+namespace ro {
+namespace {
+
+TEST(VSpace, AlignedDisjointAllocations) {
+  VSpace vs(64);
+  const vaddr_t a = vs.allocate(10, "a");
+  const vaddr_t b = vs.allocate(100, "b");
+  const vaddr_t c = vs.allocate(1, "c");
+  EXPECT_EQ(a % 64, 0u);
+  EXPECT_EQ(b % 64, 0u);
+  EXPECT_EQ(c % 64, 0u);
+  EXPECT_GE(b, a + 10);
+  EXPECT_GE(c, b + 100);
+  // Block-disjoint: no two allocations share a 64-word block.
+  EXPECT_NE(a / 64, b / 64);
+  EXPECT_NE(b / 64, c / 64);
+  EXPECT_EQ(vs.region_of(a), "a");
+  EXPECT_EQ(vs.region_of(b + 5), "b");
+  EXPECT_EQ(vs.regions().size(), 3u);
+}
+
+TEST(VSpace, TopMonotone) {
+  VSpace vs(16);
+  vaddr_t prev = vs.top();
+  for (int i = 0; i < 20; ++i) {
+    vs.allocate(7);
+    EXPECT_GT(vs.top(), prev);
+    prev = vs.top();
+  }
+}
+
+TEST(VArray, SliceGeometry) {
+  VSpace vs(64);
+  VArray<int64_t> a(vs, 100, "x");
+  auto s = a.slice();
+  EXPECT_EQ(s.n, 100u);
+  EXPECT_EQ(s.base, a.vbase());
+  EXPECT_EQ(s.act, kNoAct);
+  auto sub = s.sub(10, 20);
+  EXPECT_EQ(sub.n, 20u);
+  EXPECT_EQ(sub.base, a.vbase() + 10);
+  EXPECT_EQ(sub.ptr, a.raw() + 10);
+  auto dd = sub.drop(5);
+  EXPECT_EQ(dd.n, 15u);
+  EXPECT_EQ(dd.base, a.vbase() + 15);
+}
+
+TEST(VArray, ComplexElementsOccupyTwoWords) {
+  VSpace vs(64);
+  VArray<std::complex<double>> a(vs, 8, "c");
+  auto s = a.slice();
+  EXPECT_EQ(s.sub(3, 2).base, a.vbase() + 6);
+  static_assert(words_per_v<std::complex<double>> == 2);
+  static_assert(words_per_v<int64_t> == 1);
+}
+
+TEST(VArray, ZeroInitialized) {
+  VArray<int64_t> a(16);
+  for (size_t i = 0; i < 16; ++i) EXPECT_EQ(a.raw()[i], 0);
+}
+
+TEST(GapLayout, StrideLayoutBasics) {
+  StrideLayout s{4};
+  EXPECT_EQ(s.slot(0), 0u);
+  EXPECT_EQ(s.slot(3), 12u);
+  EXPECT_EQ(s.space(4), 13u);
+  EXPECT_EQ(s.space(0), 0u);
+}
+
+TEST(GapLayout, GapForShrinksRelatively) {
+  // gap_for(r)/r -> 0: the total space overhead converges (§3.2).
+  EXPECT_EQ(gap_for(2), 1u);
+  for (uint64_t r = 16; r <= (1 << 20); r *= 4) {
+    EXPECT_LE(gap_for(r) * log2_floor(r) * log2_floor(r), r);
+    EXPECT_GE(gap_for(r), 1u);
+  }
+}
+
+class RowGapLayoutTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RowGapLayoutTest, InjectiveAndBounded) {
+  const uint64_t n = GetParam();
+  RowGapLayout lay(n);
+  std::set<uint64_t> slots;
+  for (uint64_t r = 0; r < n; ++r) {
+    uint64_t prev = 0;
+    bool first = true;
+    for (uint64_t c = 0; c < n; ++c) {
+      const uint64_t s = lay.slot(r, c);
+      EXPECT_LT(s, lay.space());
+      // Within a row, slots are strictly increasing (order-preserving).
+      if (!first) EXPECT_GT(s, prev);
+      prev = s;
+      first = false;
+      EXPECT_TRUE(slots.insert(s).second) << "collision at " << r << "," << c;
+    }
+  }
+  // Constant-factor space: padded size <= 4x the dense size.
+  EXPECT_LE(lay.space(), 4 * n * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RowGapLayoutTest,
+                         ::testing::Values(2, 4, 8, 16, 32, 64));
+
+TEST(GapLayout, SubarrayGapsSeparateSiblingTiles) {
+  // Adjacent side-s subarrays in a row are separated by >= gap_for(2s).
+  const uint64_t n = 64;
+  RowGapLayout lay(n);
+  for (uint64_t s = 2; s < n; s *= 2) {
+    const uint64_t left_end = lay.slot(0, s - 1);
+    const uint64_t right_begin = lay.slot(0, s);
+    EXPECT_GE(right_begin - left_end, gap_for(2 * s));
+  }
+}
+
+}  // namespace
+}  // namespace ro

@@ -1,0 +1,141 @@
+// Algorithm tests: scans (M-Sum, MA, prefix sums, pack) — correctness under
+// both contexts, all schedulers, parameterized over size and grain.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "ro/alg/scan.h"
+#include "test_helpers.h"
+
+namespace ro {
+namespace {
+
+using alg::i64;
+
+class ScanSizes
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(ScanSizes, MsumMatchesStdAccumulate) {
+  const auto [n, grain] = GetParam();
+  TraceCtx cx;
+  auto a = cx.alloc<i64>(n, "a");
+  for (size_t i = 0; i < n; ++i) {
+    a.raw()[i] = static_cast<i64>((i * 2654435761u) % 1000) - 500;
+  }
+  auto out = cx.alloc<i64>(1, "out");
+  TaskGraph g =
+      cx.run(n, [&] { alg::msum(cx, a.slice(), out.slice(), grain); });
+  const i64 expect = std::accumulate(a.raw(), a.raw() + n, i64{0});
+  EXPECT_EQ(out.raw()[0], expect);
+  testing::check_limited(g, 1);
+  if (n >= 64) testing::check_schedulers(g);
+}
+
+TEST_P(ScanSizes, PrefixSumsInclusiveAndExclusive) {
+  const auto [n, grain] = GetParam();
+  TraceCtx cx;
+  auto a = cx.alloc<i64>(n, "a");
+  for (size_t i = 0; i < n; ++i) a.raw()[i] = static_cast<i64>(i % 13) - 6;
+  auto inc = cx.alloc<i64>(n, "inc");
+  auto exc = cx.alloc<i64>(n, "exc");
+  TaskGraph g = cx.run(2 * n, [&] {
+    alg::prefix_sums(cx, a.slice(), inc.slice(), grain);
+    alg::prefix_sums_exclusive(cx, a.slice(), exc.slice(), grain);
+  });
+  i64 run = 0;
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(exc.raw()[i], run) << i;
+    run += a.raw()[i];
+    EXPECT_EQ(inc.raw()[i], run) << i;
+  }
+  testing::check_limited(g, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NGrain, ScanSizes,
+    ::testing::Combine(::testing::Values(1, 2, 3, 17, 64, 255, 1024, 4096),
+                       ::testing::Values(1, 4)));
+
+TEST(Scan, MapAndZip) {
+  const size_t n = 500;
+  TraceCtx cx;
+  auto a = cx.alloc<i64>(n, "a");
+  auto b = cx.alloc<i64>(n, "b");
+  for (size_t i = 0; i < n; ++i) {
+    a.raw()[i] = static_cast<i64>(i);
+    b.raw()[i] = static_cast<i64>(2 * i);
+  }
+  auto m = cx.alloc<i64>(n, "m");
+  auto z = cx.alloc<i64>(n, "z");
+  TaskGraph g = cx.run(2 * n, [&] {
+    alg::map_bp(cx, a.slice(), m.slice(), [](i64 x) { return x * x; });
+    alg::matrix_add(cx, a.slice(), b.slice(), z.slice());
+  });
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(m.raw()[i], static_cast<i64>(i * i));
+    EXPECT_EQ(z.raw()[i], static_cast<i64>(3 * i));
+  }
+  testing::check_limited(g, 1);
+}
+
+TEST(Scan, ScatterPackKeepsOrderAndCount) {
+  const size_t n = 333;
+  TraceCtx cx;
+  auto a = cx.alloc<i64>(n, "a");
+  auto keep = cx.alloc<i64>(n, "keep");
+  for (size_t i = 0; i < n; ++i) {
+    a.raw()[i] = static_cast<i64>(i);
+    keep.raw()[i] = (i % 3 == 0) ? 1 : 0;
+  }
+  auto pos = cx.alloc<i64>(n, "pos");
+  auto out = cx.alloc<i64>(n, "out");
+  cx.run(2 * n, [&] {
+    alg::prefix_sums_exclusive(cx, keep.slice(), pos.slice());
+    alg::scatter_pack(cx, a.slice(), keep.slice(), pos.slice(), out.slice());
+  });
+  size_t k = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (keep.raw()[i]) {
+      EXPECT_EQ(out.raw()[k], static_cast<i64>(i));
+      ++k;
+    }
+  }
+  EXPECT_EQ(k, (n + 2) / 3);
+}
+
+TEST(Scan, SingleElementEdgeCases) {
+  TraceCtx cx;
+  auto a = cx.alloc<i64>(1, "a");
+  a.raw()[0] = 41;
+  auto out = cx.alloc<i64>(1, "o");
+  auto ps = cx.alloc<i64>(1, "p");
+  cx.run(2, [&] {
+    alg::msum(cx, a.slice(), out.slice());
+    alg::prefix_sums(cx, a.slice(), ps.slice());
+  });
+  EXPECT_EQ(out.raw()[0], 41);
+  EXPECT_EQ(ps.raw()[0], 41);
+}
+
+TEST(Scan, OutputsIdenticalUnderAllSchedulers) {
+  // The replay does not recompute values, but the recorded outputs must be
+  // the same as the sequential context's.
+  const size_t n = 777;
+  SeqCtx sq;
+  auto a1 = sq.alloc<i64>(n);
+  for (size_t i = 0; i < n; ++i) a1.raw()[i] = static_cast<i64>(i % 7);
+  auto o1 = sq.alloc<i64>(n);
+  sq.run(n, [&] { alg::prefix_sums(sq, a1.slice(), o1.slice()); });
+
+  TraceCtx tc;
+  auto a2 = tc.alloc<i64>(n, "a");
+  for (size_t i = 0; i < n; ++i) a2.raw()[i] = static_cast<i64>(i % 7);
+  auto o2 = tc.alloc<i64>(n, "o");
+  TaskGraph g = tc.run(n, [&] { alg::prefix_sums(tc, a2.slice(), o2.slice()); });
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(o1.raw()[i], o2.raw()[i]);
+  testing::check_schedulers(g, 8);
+}
+
+}  // namespace
+}  // namespace ro

@@ -1,0 +1,172 @@
+// Algorithm tests: merge sort (SPMS stand-in) and sort-routed
+// gather/scatter, including signed payloads and strided views.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "ro/alg/route.h"
+#include "ro/alg/sort.h"
+#include "test_helpers.h"
+#include "ro/util/rng.h"
+
+namespace ro {
+namespace {
+
+using alg::i64;
+using alg::StridedView;
+
+class SortSize : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SortSize, MatchesStdSort) {
+  const size_t n = GetParam();
+  TraceCtx cx;
+  auto a = cx.alloc<i64>(n, "a");
+  Rng rng(n * 7 + 1);
+  for (size_t i = 0; i < n; ++i) {
+    a.raw()[i] = static_cast<i64>(rng.next_below(1000)) - 500;
+  }
+  std::vector<i64> want(a.raw(), a.raw() + n);
+  std::sort(want.begin(), want.end());
+  auto out = cx.alloc<i64>(n, "out");
+  TaskGraph g = cx.run(2 * n, [&] { alg::msort(cx, a.slice(), out.slice()); });
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(out.raw()[i], want[i]) << i;
+  if (n >= 64) testing::check_schedulers(g);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SortSize,
+                         ::testing::Values(1, 2, 3, 7, 8, 9, 100, 1000,
+                                           4096));
+
+TEST(Sort, AlreadySortedAndReverse) {
+  const size_t n = 512;
+  for (const bool rev : {false, true}) {
+    SeqCtx cx;
+    auto a = cx.alloc<i64>(n);
+    for (size_t i = 0; i < n; ++i) {
+      a.raw()[i] = rev ? static_cast<i64>(n - i) : static_cast<i64>(i);
+    }
+    auto out = cx.alloc<i64>(n);
+    cx.run(1, [&] { alg::msort(cx, a.slice(), out.slice()); });
+    for (size_t i = 0; i + 1 < n; ++i) {
+      EXPECT_LE(out.raw()[i], out.raw()[i + 1]);
+    }
+  }
+}
+
+TEST(Sort, ManyDuplicates) {
+  const size_t n = 1024;
+  SeqCtx cx;
+  auto a = cx.alloc<i64>(n);
+  Rng rng(3);
+  for (size_t i = 0; i < n; ++i) {
+    a.raw()[i] = static_cast<i64>(rng.next_below(4));
+  }
+  std::vector<i64> want(a.raw(), a.raw() + n);
+  std::sort(want.begin(), want.end());
+  auto out = cx.alloc<i64>(n);
+  cx.run(1, [&] { alg::msort(cx, a.slice(), out.slice()); });
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(out.raw()[i], want[i]);
+}
+
+TEST(Sort, WorkIsNLogN) {
+  auto work_of = [](size_t n) {
+    TraceCtx cx;
+    auto a = cx.alloc<i64>(n, "a");
+    Rng rng(n);
+    for (size_t i = 0; i < n; ++i) a.raw()[i] = static_cast<i64>(rng.next());
+    auto out = cx.alloc<i64>(n, "o");
+    TaskGraph g = cx.run(2 * n, [&] { alg::msort(cx, a.slice(), out.slice()); });
+    return g.analyze().work;
+  };
+  const double r = static_cast<double>(work_of(8192)) / work_of(4096);
+  EXPECT_LT(r, 2.6);  // ~2 + O(1/log n), far from quadratic's 4
+  EXPECT_GT(r, 1.9);
+}
+
+TEST(Route, Pack2SignedPayload) {
+  using alg::detail::hi32;
+  using alg::detail::lo32;
+  using alg::detail::pack2;
+  EXPECT_EQ(hi32(pack2(5, -7)), 5);
+  EXPECT_EQ(lo32(pack2(5, -7)), -7);
+  EXPECT_EQ(lo32(pack2(0, 2147483647)), 2147483647);
+  EXPECT_EQ(lo32(pack2(0, -2147483648ll)), -2147483648ll);
+  // Ordering by hi is preserved regardless of payload sign.
+  EXPECT_LT(pack2(3, 100), pack2(4, -100));
+}
+
+class GatherSize : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(GatherSize, GatherMatchesDirectIndexing) {
+  const size_t m = GetParam();
+  TraceCtx cx;
+  auto idx = cx.alloc<i64>(m, "idx");
+  auto vals = cx.alloc<i64>(m, "vals");
+  Rng rng(m + 11);
+  for (size_t i = 0; i < m; ++i) {
+    idx.raw()[i] = static_cast<i64>(rng.next_below(m));
+    vals.raw()[i] = static_cast<i64>(rng.next_below(2000)) - 1000;
+  }
+  auto out = cx.alloc<i64>(m, "out");
+  cx.run(4 * m, [&] {
+    alg::gather(cx, StridedView{idx.slice(), 1}, StridedView{vals.slice(), 1},
+                StridedView{out.slice(), 1}, m);
+  });
+  for (size_t i = 0; i < m; ++i) {
+    EXPECT_EQ(out.raw()[i], vals.raw()[idx.raw()[i]]) << i;
+  }
+}
+
+TEST_P(GatherSize, ScatterMatchesDirectIndexing) {
+  const size_t m = GetParam();
+  TraceCtx cx;
+  auto idx = cx.alloc<i64>(m, "idx");
+  auto vals = cx.alloc<i64>(m, "vals");
+  // idx = random permutation (scatter needs distinct destinations).
+  std::vector<i64> perm(m);
+  for (size_t i = 0; i < m; ++i) perm[i] = static_cast<i64>(i);
+  Rng rng(m + 13);
+  for (size_t i = m; i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.next_below(i)]);
+  }
+  for (size_t i = 0; i < m; ++i) {
+    idx.raw()[i] = perm[i];
+    vals.raw()[i] = static_cast<i64>(i) - 3;
+  }
+  auto out = cx.alloc<i64>(m, "out");
+  cx.run(4 * m, [&] {
+    alg::scatter(cx, StridedView{idx.slice(), 1},
+                 StridedView{vals.slice(), 1}, StridedView{out.slice(), 1},
+                 m);
+  });
+  for (size_t i = 0; i < m; ++i) {
+    EXPECT_EQ(out.raw()[static_cast<size_t>(perm[i])], vals.raw()[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GatherSize,
+                         ::testing::Values(1, 2, 17, 256, 1024));
+
+TEST(Route, StridedViewsWork) {
+  const size_t m = 64;
+  const uint64_t k = 4;
+  TraceCtx cx;
+  auto idx = cx.alloc<i64>(m * k, "idx");
+  auto vals = cx.alloc<i64>(m * k, "vals");
+  for (size_t i = 0; i < m; ++i) {
+    idx.raw()[i * k] = static_cast<i64>((i * 3) % m);
+    vals.raw()[i * k] = static_cast<i64>(100 + i);
+  }
+  auto out = cx.alloc<i64>(m * k, "out");
+  cx.run(4 * m, [&] {
+    alg::gather(cx, StridedView{idx.slice(), k}, StridedView{vals.slice(), k},
+                StridedView{out.slice(), k}, m);
+  });
+  for (size_t i = 0; i < m; ++i) {
+    EXPECT_EQ(out.raw()[i * k], 100 + static_cast<i64>((i * 3) % m));
+  }
+}
+
+}  // namespace
+}  // namespace ro
