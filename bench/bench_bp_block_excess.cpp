@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
     for (uint32_t p : {4u, 8u, 16u}) {
       for (uint32_t B : {16u, 64u}) {
         const SimConfig c = cfg(p, 1 << 13, B);
-        const Metrics m = simulate(g, SchedKind::kPws, c);
+        const Metrics m = measure(g, Backend::kSimPws, c, false).sim;
         const double b1 = static_cast<double>(p) * B * log2_ceil(B);
         const double b2 =
             B * std::sqrt(static_cast<double>(p) * words);

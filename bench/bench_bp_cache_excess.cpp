@@ -22,13 +22,13 @@ int main(int argc, char** argv) {
     for (uint64_t M : {uint64_t{1} << 10, uint64_t{1} << 12,
                        uint64_t{1} << 14}) {
       const SimConfig c = cfg(p, M, 32);
-      const Excess e = measure(g, SchedKind::kPws, c);
+      const RunReport r = measure(g, Backend::kSimPws, c);
       const double budget = static_cast<double>(p) * M / 32;
       t.row({Table::num(p), Table::num(M),
-             Table::num(static_cast<double>(n) / (M * p)), Table::num(e.q),
-             Table::num(e.cache), Table::num(e.cache_excess),
-             Table::num(budget),
-             Table::num(static_cast<double>(e.cache_excess) / budget)});
+             Table::num(static_cast<double>(n) / (M * p)),
+             Table::num(r.q_seq), Table::num(r.sim.cache_misses()),
+             Table::num(r.cache_excess), Table::num(budget),
+             Table::num(static_cast<double>(r.cache_excess) / budget)});
     }
   }
   t.print();

@@ -21,10 +21,10 @@ int main(int argc, char** argv) {
     const GraphStats st = g.analyze();
     const GraphStats lrst = lr.analyze();
     const SimConfig c1 = cfg(1, 1 << 12, 32);
-    const Metrics seq = simulate(g, SchedKind::kSeq, c1);
+    const Metrics seq = measure(g, Backend::kSeq, c1, false).sim;
     for (uint32_t p : {4u, 16u}) {
       const SimConfig c = cfg(p, 1 << 12, 32);
-      const Metrics m = simulate(g, SchedKind::kPws, c);
+      const Metrics m = measure(g, Backend::kSimPws, c, false).sim;
       t.row({Table::num(static_cast<uint64_t>(n)), Table::num(p),
              Table::num(st.work), Table::num(st.span),
              Table::num(seq.cache_misses()), Table::num(m.cache_misses()),

@@ -1,0 +1,61 @@
+// E17 — Engine smoke bench: one workload program per algorithm family runs
+// through ro::Engine on all five backends with a single RunOptions change,
+// and the unified RunReports are dumped as JSON (BENCH_engine.json) so the
+// perf trajectory of the engine accumulates across commits.
+//
+//   $ ./bench_engine [--n=16384] [--p=8] [--M=4096] [--B=32]
+//                    [--out=BENCH_engine.json]
+#include <cstdio>
+#include <fstream>
+
+#include "common.h"
+
+using namespace ro;
+using namespace ro::bench;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const size_t n = static_cast<size_t>(cli.get_int("n", 1 << 14));
+  RunOptions opt;
+  opt.sim.p = static_cast<uint32_t>(cli.get_int("p", 8));
+  opt.sim.M = static_cast<uint64_t>(cli.get_int("M", 1 << 12));
+  opt.sim.B = static_cast<uint32_t>(cli.get_int("B", 32));
+  opt.threads = static_cast<unsigned>(cli.get_int("threads", 0));
+
+  std::vector<RunReport> reports;
+  Table t("Engine smoke: every backend, one RunOptions change");
+  t.header({"workload", "backend", "wall-ms", "makespan", "cache-miss",
+            "blk-miss", "sim-steals", "pool-steals", "speedup"});
+
+  auto sweep = [&](const std::string& label, auto prog) {
+    for (Backend b : kAllBackends) {
+      opt.backend = b;  // the single knob
+      opt.label = label;
+      const RunReport r = engine().run(prog, opt);
+      reports.push_back(r);
+      t.row({label, backend_name(b), Table::num(r.wall_ms),
+             r.has_sim ? Table::num(r.sim.makespan) : "-",
+             r.has_sim ? Table::num(r.sim.cache_misses()) : "-",
+             r.has_sim ? Table::num(r.sim.block_misses()) : "-",
+             r.has_sim ? Table::num(r.sim.steals()) : "-",
+             r.has_pool ? Table::num(r.pool_steals) : "-",
+             r.has_baseline ? Table::num(r.sim_speedup()) : "-"});
+    }
+  };
+
+  sweep("scan-ps", prog_ps(n));
+  sweep("msum", prog_msum(n));
+  sweep("sort", prog_sort(n / 4));
+  sweep("mt-bi", prog_mt(static_cast<uint32_t>(next_pow2(isqrt(n)))));
+  t.print();
+
+  const std::string out = cli.get_str("out", "BENCH_engine.json");
+  std::ofstream f(out);
+  f << reports_to_json(reports);
+  if (!f) {
+    std::fprintf(stderr, "error: could not write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %zu RunReports to %s\n", reports.size(), out.c_str());
+  return 0;
+}

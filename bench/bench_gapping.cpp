@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
              {std::pair<const char*, TaskGraph&>{"direct", direct},
               {"gap-RM", gapped},
               {"for-FFT", forfft}}) {
-          const Metrics m = simulate(g, SchedKind::kPws, c);
+          const Metrics m = measure(g, Backend::kSimPws, c, false).sim;
           t.row({name, Table::num(side), Table::num(p), Table::num(B),
                  Table::num(data_block_misses(m)),
                  Table::num(m.cache_misses()), Table::num(m.makespan)});
@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
       TaskGraph g = rec_lr(n, gap);
       for (uint32_t p : {8u, 16u}) {
         const SimConfig c = cfg(p, 1 << 12, 32);
-        const Metrics m = simulate(g, SchedKind::kPws, c);
+        const Metrics m = measure(g, Backend::kSimPws, c, false).sim;
         t.row({Table::num(static_cast<uint64_t>(n)), gap ? "on" : "off",
                Table::num(p), Table::num(data_block_misses(m)),
                Table::num(m.block_misses()), Table::num(m.makespan)});

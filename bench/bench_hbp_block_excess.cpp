@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
                   uint64_t n) {
     for (uint32_t p : {2u, 4u, 8u, 16u}) {
       const SimConfig c = cfg(p, 1 << 13, B);
-      const Metrics m = simulate(g, SchedKind::kPws, c);
+      const Metrics m = measure(g, Backend::kSimPws, c, false).sim;
       const double budget = budget_base * p;
       t.row({name, Table::num(n), Table::num(p),
              Table::num(m.block_misses()), Table::num(budget),

@@ -14,12 +14,12 @@ void sweep(Table& t, const char* name, const TaskGraph& g,
            uint64_t input_words) {
   for (uint32_t p : {2u, 4u, 8u, 16u}) {
     const SimConfig c = cfg(p, 1 << 12, 32);
-    const Excess e = measure(g, SchedKind::kPws, c);
-    t.row({name, Table::num(input_words), Table::num(p), Table::num(e.q),
-           Table::num(e.cache), Table::num(e.cache_excess),
-           Table::num(static_cast<double>(e.cache_excess) /
+    const RunReport r = measure(g, Backend::kSimPws, c);
+    t.row({name, Table::num(input_words), Table::num(p), Table::num(r.q_seq),
+           Table::num(r.sim.cache_misses()), Table::num(r.cache_excess),
+           Table::num(static_cast<double>(r.cache_excess) /
                       (static_cast<double>(p) * c.M / c.B)),
-           fmt_speedup(e.seq_makespan, e.makespan)});
+           fmt_speedup(r.seq_makespan, r.sim.makespan)});
   }
 }
 

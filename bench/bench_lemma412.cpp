@@ -15,15 +15,14 @@ int main(int argc, char** argv) {
             "cache-miss", "blk-miss", "steals"});
 
   auto emit = [&](const char* name, const char* lcase, const TaskGraph& g) {
-    const SimConfig c1 = cfg(1, 1 << 12, 32);
-    const Metrics seq = simulate(g, SchedKind::kSeq, c1);
     for (uint32_t p : {4u, 16u}) {
       const SimConfig c = cfg(p, 1 << 12, 32);
-      const Metrics m = simulate(g, SchedKind::kPws, c);
-      t.row({name, lcase, Table::num(p), Table::num(seq.makespan),
-             Table::num(m.makespan), fmt_speedup(seq.makespan, m.makespan),
-             Table::num(m.cache_misses()), Table::num(m.block_misses()),
-             Table::num(m.steals())});
+      const RunReport r = measure(g, Backend::kSimPws, c);
+      t.row({name, lcase, Table::num(p), Table::num(r.seq_makespan),
+             Table::num(r.sim.makespan),
+             fmt_speedup(r.seq_makespan, r.sim.makespan),
+             Table::num(r.sim.cache_misses()),
+             Table::num(r.sim.block_misses()), Table::num(r.sim.steals())});
     }
   };
 

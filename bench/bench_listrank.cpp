@@ -19,16 +19,14 @@ int main(int argc, char** argv) {
   for (size_t n = nmax / 4; n <= nmax; n *= 2) {
     for (const bool gap : {true, false}) {
       TaskGraph g = rec_lr(n, gap);
-      const SimConfig c1 = cfg(1, 1 << 12, 32);
-      const Metrics seq = simulate(g, SchedKind::kSeq, c1);
       for (uint32_t p : {4u, 16u}) {
         const SimConfig c = cfg(p, 1 << 12, 32);
-        const Metrics m = simulate(g, SchedKind::kPws, c);
+        const RunReport r = measure(g, Backend::kSimPws, c);
         t.row({Table::num(static_cast<uint64_t>(n)), gap ? "on" : "off",
-               Table::num(p), Table::num(seq.cache_misses()),
-               Table::num(m.cache_misses()), Table::num(m.block_misses()),
-               Table::num(m.steals()),
-               fmt_speedup(seq.makespan, m.makespan)});
+               Table::num(p), Table::num(r.q_seq),
+               Table::num(r.sim.cache_misses()),
+               Table::num(r.sim.block_misses()), Table::num(r.sim.steals()),
+               fmt_speedup(r.seq_makespan, r.sim.makespan)});
       }
     }
   }

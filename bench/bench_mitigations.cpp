@@ -18,13 +18,13 @@ int main(int argc, char** argv) {
               "vs-flat"});
     auto emit = [&](const char* name, const TaskGraph& g) {
       SimConfig c = cfg(8, 1 << 10, 32);
-      const Metrics flat = simulate(g, SchedKind::kPws, c);
+      const Metrics flat = measure(g, Backend::kSimPws, c, false).sim;
       t.row({name, "0", Table::num(flat.l2_hits()),
              Table::num(flat.cache_misses()), Table::num(flat.makespan),
              "1.00x"});
       for (uint64_t M2 : {uint64_t{1} << 14, uint64_t{1} << 17}) {
         c.M2 = M2;
-        const Metrics m = simulate(g, SchedKind::kPws, c);
+        const Metrics m = measure(g, Backend::kSimPws, c, false).sim;
         t.row({name, Table::num(M2), Table::num(m.l2_hits()),
                Table::num(m.cache_misses()), Table::num(m.makespan),
                fmt_speedup(flat.makespan, m.makespan)});
@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
       for (uint32_t hold : {0u, 64u, 256u}) {
         SimConfig c = cfg(8, 1 << 13, 48);
         c.write_hold = hold;
-        const Metrics m = simulate(g, SchedKind::kPws, c);
+        const Metrics m = measure(g, Backend::kSimPws, c, false).sim;
         t.row({name, Table::num(hold), Table::num(m.block_misses()),
                Table::num(m.max_block_transfers), Table::num(m.hold_waits()),
                Table::num(m.makespan)});

@@ -31,8 +31,8 @@ int main(int argc, char** argv) {
     for (uint32_t p : {8u, 16u}) {
       for (uint32_t B : {32u, 128u}) {
         const SimConfig c = cfg(p, 1 << 13, B);
-        const Metrics mp = simulate(plain, SchedKind::kPws, c);
-        const Metrics mq = simulate(padded, SchedKind::kPws, c);
+        const Metrics mp = measure(plain, Backend::kSimPws, c, false).sim;
+        const Metrics mq = measure(padded, Backend::kSimPws, c, false).sim;
         t.row({name, Table::num(p), Table::num(B),
                Table::num(stack_block_misses(mp)),
                Table::num(stack_block_misses(mq)),
@@ -44,18 +44,8 @@ int main(int argc, char** argv) {
 
   emit("M-Sum 32K", rec_msum(size_t{1} << 15, 1, false),
        rec_msum(size_t{1} << 15, 1, true));
-  {
-    // Padded prefix sums: record via the padded context manually.
-    auto rec_ps_padded = [&](bool padded) {
-      TraceCtx cx = make_ctx(padded);
-      const size_t n = size_t{1} << 14;
-      auto a = cx.alloc<i64>(n, "a");
-      auto out = cx.alloc<i64>(n, "out");
-      return cx.run(2 * n,
-                    [&] { alg::prefix_sums(cx, a.slice(), out.slice()); });
-    };
-    emit("PS 16K", rec_ps_padded(false), rec_ps_padded(true));
-  }
+  emit("PS 16K", rec_ps(size_t{1} << 14, 1, false),
+       rec_ps(size_t{1} << 14, 1, true));
   t.print();
   if (cli.has("csv")) t.write_csv("padding.csv");
   std::printf(

@@ -16,20 +16,19 @@ int main(int argc, char** argv) {
             "blk-miss", "makespan", "speedup-vs-seq"});
 
   auto emit = [&](const char* name, const TaskGraph& g) {
-    const SimConfig c1 = cfg(1, 1 << 12, 32);
-    const Metrics seq = simulate(g, SchedKind::kSeq, c1);
     const SimConfig c = cfg(8, 1 << 12, 32);
-    const Metrics pws = simulate(g, SchedKind::kPws, c);
-    t.row({name, "PWS", Table::num(pws.steals()),
-           Table::num(pws.steal_attempts()), Table::num(pws.cache_misses()),
-           Table::num(pws.block_misses()), Table::num(pws.makespan),
-           fmt_speedup(seq.makespan, pws.makespan)});
+    const RunReport pws = measure(g, Backend::kSimPws, c);
+    t.row({name, "PWS", Table::num(pws.sim.steals()),
+           Table::num(pws.sim.steal_attempts()),
+           Table::num(pws.sim.cache_misses()),
+           Table::num(pws.sim.block_misses()), Table::num(pws.sim.makespan),
+           fmt_speedup(pws.seq_makespan, pws.sim.makespan)});
     uint64_t steals = 0, attempts = 0, cache = 0, block = 0, mk = 0;
     const int kSeeds = 3;
     for (int s = 0; s < kSeeds; ++s) {
       SimConfig cr = c;
       cr.seed = 1000 + s;
-      const Metrics rws = simulate(g, SchedKind::kRws, cr);
+      const Metrics rws = measure(g, Backend::kSimRws, cr, false).sim;
       steals += rws.steals();
       attempts += rws.steal_attempts();
       cache += rws.cache_misses();
@@ -39,7 +38,7 @@ int main(int argc, char** argv) {
     t.row({name, "RWS*", Table::num(steals / kSeeds),
            Table::num(attempts / kSeeds), Table::num(cache / kSeeds),
            Table::num(block / kSeeds), Table::num(mk / kSeeds),
-           fmt_speedup(seq.makespan, mk / kSeeds)});
+           fmt_speedup(pws.seq_makespan, mk / kSeeds)});
   };
 
   emit("M-Sum 64K", rec_msum(size_t{1} << 16));

@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
     const uint64_t dprime = st.max_depth + 1;
     for (uint32_t p : {2u, 4u, 8u, 16u, 32u, 64u}) {
       const SimConfig c = cfg(p, 1 << 12, 32);
-      const Metrics m = simulate(g, SchedKind::kPws, c);
+      const Metrics m = measure(g, Backend::kSimPws, c, false).sim;
       t.row({name, Table::num(p), Table::num(dprime),
              Table::num(static_cast<uint64_t>(m.max_steals_at_one_priority())),
              Table::num(static_cast<uint64_t>(p - 1)),

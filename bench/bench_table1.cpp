@@ -36,7 +36,7 @@ void emit(Table& t, Row& r) {
   const double w_exp = std::log(static_cast<double>(sb.work) / ss.work) /
                        std::log(r.size_ratio);
   const SimConfig c = cfg(1, 1 << 12, 32);
-  const uint64_t q = q_seq(r.g_big, c);
+  const uint64_t q = measure(r.g_big, Backend::kSeq, c, false).sim.cache_misses();
   const auto la = check_limited_access(r.g_big);
   // f / L probes at block size 16 on mid-size tasks.
   auto probes = probe_tasks(r.g_big, 16, sample_acts_per_depth(r.g_big, 2));

@@ -20,13 +20,15 @@ int main(int argc, char** argv) {
          {uint64_t{B * B} / 2, uint64_t{B * B}, uint64_t{4 * B * B},
           uint64_t{16 * B * B}}) {
       const SimConfig c = cfg(8, M, B);
-      const Excess e = measure(g, SchedKind::kPws, c);
+      const RunReport r = measure(g, Backend::kSimPws, c);
+      const uint64_t block = r.sim.block_misses();
       const double rel =
-          e.q ? static_cast<double>(e.cache_excess + e.block) / e.q : 0.0;
+          r.q_seq ? static_cast<double>(r.cache_excess + block) / r.q_seq
+                  : 0.0;
       t.row({name, Table::num(M),
-             Table::num(static_cast<double>(M) / (B * B)), Table::num(e.q),
-             Table::num(e.cache_excess), Table::num(e.block),
-             Table::num(rel)});
+             Table::num(static_cast<double>(M) / (B * B)),
+             Table::num(r.q_seq), Table::num(r.cache_excess),
+             Table::num(block), Table::num(rel)});
     }
   };
 

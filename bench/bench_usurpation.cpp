@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
     const GraphStats st = g.analyze();
     for (uint32_t p : {2u, 4u, 8u, 16u, 32u}) {
       const SimConfig c = cfg(p, 1 << 12, 32);
-      const Metrics m = simulate(g, SchedKind::kPws, c);
+      const Metrics m = measure(g, Backend::kSimPws, c, false).sim;
       const uint64_t bound =
           uint64_t{p - 1} * (st.max_depth + 1);
       t.row({name, Table::num(p), Table::num(m.usurpations()),

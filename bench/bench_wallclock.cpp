@@ -1,120 +1,73 @@
 // E15a — real-thread wall-clock benchmarks (google-benchmark).
 //
-// Runs the same templated algorithms through rt::ParCtx on hardware threads
-// under both steal policies, plus single-thread baselines.  On this 2-core
-// build host the interesting signal is that the runtime is correct and not
-// pathologically slower than sequential; the scheduler *theory* is measured
-// by the simulator benches.
+// Runs the same workload programs the simulator benches record through the
+// Engine's real-thread backends (rt::Pool + ParCtx) and the sequential
+// backend, under both steal policies.  On this 2-core build host the
+// interesting signal is that the runtime is correct and not pathologically
+// slower than sequential; the scheduler *theory* is measured by the
+// simulator benches.  Each iteration is a full Engine::run (allocation +
+// input build + computation) on every backend, so the rows are comparable.
 #include <benchmark/benchmark.h>
 
-#include <numeric>
-
-#include "ro/alg/scan.h"
-#include "ro/alg/sort.h"
-#include "ro/alg/strassen.h"
-#include "ro/core/seq_ctx.h"
-#include "ro/rt/par_ctx.h"
-#include "ro/rt/pool.h"
-#include "ro/util/rng.h"
+#include "common.h"
 
 namespace {
 
-using ro::alg::i64;
-using ro::rt::ParCtx;
-using ro::rt::Pool;
-using ro::rt::StealPolicy;
+using namespace ro;
+using namespace ro::bench;
 
-void BM_MsumSeq(benchmark::State& state) {
+template <Backend kB>
+void BM_Msum(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
-  ro::SeqCtx cx;
-  auto a = cx.alloc<i64>(n);
-  for (size_t i = 0; i < n; ++i) a.raw()[i] = static_cast<i64>(i);
-  auto out = cx.alloc<i64>(1);
+  RunOptions opt;
+  opt.backend = kB;
+  opt.threads = static_cast<unsigned>(state.range(1));
+  opt.serial_below = 1 << 12;
+  uint64_t steals = 0;
   for (auto _ : state) {
-    ro::alg::msum(cx, a.slice(), out.slice(), 512);
-    benchmark::DoNotOptimize(out.raw()[0]);
+    const RunReport r = engine().run(prog_msum(n, 512), opt);
+    steals += r.pool_steals;
+    benchmark::DoNotOptimize(r.wall_ms);
   }
   state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_MsumSeq)->Arg(1 << 18)->Arg(1 << 20);
-
-template <StealPolicy kPolicy>
-void BM_MsumPar(benchmark::State& state) {
-  const size_t n = static_cast<size_t>(state.range(0));
-  Pool pool(static_cast<unsigned>(state.range(1)), kPolicy);
-  ParCtx cx(pool, 1 << 12);
-  auto a = cx.alloc<i64>(n);
-  for (size_t i = 0; i < n; ++i) a.raw()[i] = static_cast<i64>(i);
-  auto out = cx.alloc<i64>(1);
-  for (auto _ : state) {
-    cx.run(n, [&] { ro::alg::msum(cx, a.slice(), out.slice(), 512); });
-    benchmark::DoNotOptimize(out.raw()[0]);
+  if (backend_is_parallel(kB)) {
+    state.counters["steals"] = static_cast<double>(steals);
   }
-  state.SetItemsProcessed(state.iterations() * n);
-  state.counters["steals"] =
-      static_cast<double>(pool.stats().steals);
 }
-BENCHMARK(BM_MsumPar<StealPolicy::kRandom>)
-    ->Args({1 << 20, 2})
+BENCHMARK(BM_Msum<Backend::kSeq>)->Args({1 << 18, 1})->Args({1 << 20, 1})
+    ->Name("BM_MsumSeq");
+BENCHMARK(BM_Msum<Backend::kParRandom>)->Args({1 << 20, 2})
     ->Name("BM_MsumPar_RWS");
-BENCHMARK(BM_MsumPar<StealPolicy::kPriority>)
-    ->Args({1 << 20, 2})
+BENCHMARK(BM_Msum<Backend::kParPriority>)->Args({1 << 20, 2})
     ->Name("BM_MsumPar_PWS");
 
-void BM_SortSeq(benchmark::State& state) {
+template <Backend kB>
+void BM_Sort(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
-  ro::SeqCtx cx;
-  auto a = cx.alloc<i64>(n);
-  ro::Rng rng(7);
-  for (size_t i = 0; i < n; ++i) a.raw()[i] = static_cast<i64>(rng.next());
-  auto out = cx.alloc<i64>(n);
+  RunOptions opt;
+  opt.backend = kB;
+  opt.threads = 2;
+  opt.serial_below = 1 << 12;
   for (auto _ : state) {
-    ro::alg::msort(cx, a.slice(), out.slice(), 64, 64);
-    benchmark::DoNotOptimize(out.raw()[0]);
+    const RunReport r = engine().run(prog_sort(n, 64), opt);
+    benchmark::DoNotOptimize(r.wall_ms);
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_SortSeq)->Arg(1 << 16);
-
-template <StealPolicy kPolicy>
-void BM_SortPar(benchmark::State& state) {
-  const size_t n = static_cast<size_t>(state.range(0));
-  Pool pool(2, kPolicy);
-  ParCtx cx(pool, 1 << 12);
-  auto a = cx.alloc<i64>(n);
-  ro::Rng rng(7);
-  for (size_t i = 0; i < n; ++i) a.raw()[i] = static_cast<i64>(rng.next());
-  auto out = cx.alloc<i64>(n);
-  for (auto _ : state) {
-    cx.run(n, [&] { ro::alg::msort(cx, a.slice(), out.slice(), 64, 64); });
-    benchmark::DoNotOptimize(out.raw()[0]);
-  }
-  state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_SortPar<StealPolicy::kRandom>)
-    ->Arg(1 << 16)
-    ->Name("BM_SortPar_RWS");
-BENCHMARK(BM_SortPar<StealPolicy::kPriority>)
-    ->Arg(1 << 16)
+BENCHMARK(BM_Sort<Backend::kSeq>)->Arg(1 << 16)->Name("BM_SortSeq");
+BENCHMARK(BM_Sort<Backend::kParRandom>)->Arg(1 << 16)->Name("BM_SortPar_RWS");
+BENCHMARK(BM_Sort<Backend::kParPriority>)->Arg(1 << 16)
     ->Name("BM_SortPar_PWS");
 
 void BM_StrassenPar(benchmark::State& state) {
   const uint32_t n = static_cast<uint32_t>(state.range(0));
-  Pool pool(2, StealPolicy::kPriority);
-  ParCtx cx(pool, 1 << 12);
-  const size_t m = static_cast<size_t>(n) * n;
-  auto a = cx.alloc<i64>(m);
-  auto b = cx.alloc<i64>(m);
-  auto c = cx.alloc<i64>(m);
-  for (size_t i = 0; i < m; ++i) {
-    a.raw()[i] = static_cast<i64>(i % 5);
-    b.raw()[i] = static_cast<i64>(i % 7);
-  }
+  RunOptions opt;
+  opt.backend = Backend::kParPriority;
+  opt.threads = 2;
+  opt.serial_below = 1 << 12;
   for (auto _ : state) {
-    cx.run(m, [&] {
-      ro::alg::strassen_bi(cx, a.slice(), b.slice(), c.slice(), n, 16, 16);
-    });
-    benchmark::DoNotOptimize(c.raw()[0]);
+    const RunReport r = engine().run(prog_strassen(n, 16), opt);
+    benchmark::DoNotOptimize(r.wall_ms);
   }
 }
 BENCHMARK(BM_StrassenPar)->Arg(128);

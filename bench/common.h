@@ -1,6 +1,12 @@
-// Shared infrastructure for the experiment binaries (E1–E15, DESIGN.md §4):
-// recorded-graph factories for every Table-1 algorithm plus run/print
-// helpers.  Every binary prints paper-style tables via ro::Table and also
+// Shared infrastructure for the experiment binaries (E1–E15, DESIGN.md §4).
+//
+// Workloads are *programs*: generic callables over any execution context,
+// runnable unchanged on every ro::Engine backend (seq, sim-PWS, sim-RWS,
+// par-random, par-priority).  `prog_*` builds deterministic inputs (per
+// size) and runs one Table-1 algorithm; `rec_*` records a program once
+// through the shared Engine for the trace-replay benches; `measure` replays
+// a recorded graph on one simulated machine and returns the unified
+// RunReport.  Every binary prints paper-style tables via ro::Table and also
 // drops a CSV next to the binary when --csv is passed.
 #pragma once
 
@@ -19,9 +25,8 @@
 #include "ro/alg/sort.h"
 #include "ro/alg/strassen.h"
 #include "ro/core/probes.h"
-#include "ro/core/trace_ctx.h"
 #include "ro/core/validate.h"
-#include "ro/sched/run.h"
+#include "ro/engine/engine.h"
 #include "ro/util/cli.h"
 #include "ro/util/rng.h"
 #include "ro/util/table.h"
@@ -31,158 +36,238 @@ namespace ro::bench {
 using alg::cplx;
 using alg::i64;
 
-inline TraceCtx make_ctx(bool padded = false) {
-  TraceCtx::Options opt;
-  opt.padded = padded;
-  return TraceCtx(opt);
+/// Process-wide Engine: one record/replay entry point and one cached thread
+/// pool per steal policy, shared by everything in a bench binary.
+inline Engine& engine() {
+  static Engine e;
+  return e;
 }
 
-// ---- recorded-graph factories (inputs deterministic per size) ----
+// ---- workload programs (inputs deterministic per size) ----
+
+inline auto prog_msum(size_t n, size_t grain = 1) {
+  return [=](auto& cx) {
+    auto a = cx.template alloc<i64>(n, "a");
+    Rng rng(n);
+    for (size_t i = 0; i < n; ++i)
+      a.raw()[i] = static_cast<i64>(rng.next_below(100));
+    auto out = cx.template alloc<i64>(1, "out");
+    cx.run(n, [&] { alg::msum(cx, a.slice(), out.slice(), grain); });
+  };
+}
+
+inline auto prog_ps(size_t n, size_t grain = 1) {
+  return [=](auto& cx) {
+    auto a = cx.template alloc<i64>(n, "a");
+    Rng rng(n + 1);
+    for (size_t i = 0; i < n; ++i)
+      a.raw()[i] = static_cast<i64>(rng.next_below(100));
+    auto out = cx.template alloc<i64>(n, "out");
+    cx.run(2 * n, [&] { alg::prefix_sums(cx, a.slice(), out.slice(), grain); });
+  };
+}
+
+inline auto prog_ma(size_t n, size_t grain = 1) {
+  return [=](auto& cx) {
+    auto a = cx.template alloc<i64>(n, "a");
+    auto b = cx.template alloc<i64>(n, "b");
+    auto out = cx.template alloc<i64>(n, "out");
+    cx.run(3 * n, [&] {
+      alg::matrix_add(cx, a.slice(), b.slice(), out.slice(), grain);
+    });
+  };
+}
+
+inline auto prog_mt(uint32_t n, size_t grain = 1) {
+  return [=](auto& cx) {
+    const size_t m = static_cast<size_t>(n) * n;
+    auto in = cx.template alloc<i64>(m, "in");
+    auto out = cx.template alloc<i64>(m, "out");
+    cx.run(2 * m, [&] { alg::mt_bi(cx, in.slice(), out.slice(), n, grain); });
+  };
+}
+
+inline auto prog_rm2bi(uint32_t n, size_t grain = 1) {
+  return [=](auto& cx) {
+    const size_t m = static_cast<size_t>(n) * n;
+    auto in = cx.template alloc<i64>(m, "rm");
+    auto out = cx.template alloc<i64>(m, "bi");
+    cx.run(2 * m, [&] { alg::rm_to_bi(cx, in.slice(), out.slice(), n, grain); });
+  };
+}
+
+inline auto prog_bi2rm_direct(uint32_t n, size_t grain = 1) {
+  return [=](auto& cx) {
+    const size_t m = static_cast<size_t>(n) * n;
+    auto in = cx.template alloc<i64>(m, "bi");
+    auto out = cx.template alloc<i64>(m, "rm");
+    cx.run(2 * m, [&] {
+      alg::bi_to_rm_direct(cx, in.slice(), out.slice(), n, grain);
+    });
+  };
+}
+
+inline auto prog_bi2rm_gap(uint32_t n, size_t grain = 1) {
+  return [=](auto& cx) {
+    const size_t m = static_cast<size_t>(n) * n;
+    auto in = cx.template alloc<i64>(m, "bi");
+    auto out = cx.template alloc<i64>(m, "rm");
+    cx.run(2 * m, [&] {
+      alg::bi_to_rm_gap(cx, in.slice(), out.slice(), n, grain);
+    });
+  };
+}
+
+inline auto prog_bi2rm_fft(uint32_t n, size_t grain = 1) {
+  return [=](auto& cx) {
+    const size_t m = static_cast<size_t>(n) * n;
+    auto in = cx.template alloc<i64>(m, "bi");
+    auto out = cx.template alloc<i64>(m, "rm");
+    cx.run(2 * m, [&] {
+      alg::bi_to_rm_fft(cx, in.slice(), out.slice(), n, grain);
+    });
+  };
+}
+
+inline auto prog_strassen(uint32_t n, size_t grain = 1) {
+  return [=](auto& cx) {
+    const size_t m = static_cast<size_t>(n) * n;
+    auto a = cx.template alloc<i64>(m, "a");
+    auto b = cx.template alloc<i64>(m, "b");
+    auto c = cx.template alloc<i64>(m, "c");
+    cx.run(3 * m, [&] {
+      alg::strassen_bi(cx, a.slice(), b.slice(), c.slice(), n, 2, grain);
+    });
+  };
+}
+
+inline auto prog_mm(uint32_t n, size_t grain = 1) {
+  return [=](auto& cx) {
+    const size_t m = static_cast<size_t>(n) * n;
+    auto a = cx.template alloc<i64>(m, "a");
+    auto b = cx.template alloc<i64>(m, "b");
+    auto c = cx.template alloc<i64>(m, "c");
+    cx.run(3 * m, [&] {
+      alg::depth_n_mm(cx, a.slice(), b.slice(), c.slice(), n, 2, grain);
+    });
+  };
+}
+
+inline auto prog_fft(size_t n, bool bi_transpose = false, size_t grain = 1) {
+  return [=](auto& cx) {
+    auto x = cx.template alloc<cplx>(n, "x");
+    Rng rng(n + 3);
+    for (size_t i = 0; i < n; ++i) {
+      x.raw()[i] = cplx(rng.next_double(), rng.next_double());
+    }
+    auto y = cx.template alloc<cplx>(n, "y");
+    alg::FftOptions opt;
+    opt.bi_transpose = bi_transpose;
+    opt.grain = grain;
+    cx.run(4 * n, [&] { alg::fft(cx, x.slice(), y.slice(), opt); });
+  };
+}
+
+inline auto prog_sort(size_t n, size_t grain = 1) {
+  return [=](auto& cx) {
+    auto a = cx.template alloc<i64>(n, "a");
+    Rng rng(n + 4);
+    for (size_t i = 0; i < n; ++i)
+      a.raw()[i] = static_cast<i64>(rng.next() >> 1);
+    auto out = cx.template alloc<i64>(n, "out");
+    cx.run(2 * n, [&] { alg::msort(cx, a.slice(), out.slice(), 8, grain); });
+  };
+}
+
+inline auto prog_lr(size_t n, bool gapping = true, size_t grain = 1) {
+  const auto succ = alg::random_list(n, n * 7 + 3);
+  return [=](auto& cx) {
+    auto s = cx.template alloc<i64>(n, "succ");
+    std::copy(succ.begin(), succ.end(), s.raw());
+    auto r = cx.template alloc<i64>(n, "rank");
+    alg::ListRankOptions opt;
+    opt.gapping = gapping;
+    opt.grain = grain;
+    cx.run(2 * n, [&] { alg::list_rank(cx, s.slice(), r.slice(), opt); });
+  };
+}
+
+inline auto prog_cc(size_t n, size_t extra, size_t groups, size_t grain = 1) {
+  const auto e = alg::random_graph(n, extra, groups, n * 13 + 7);
+  return [=](auto& cx) {
+    const size_t m = e.u.size();
+    auto eu = cx.template alloc<i64>(std::max<size_t>(1, m), "eu");
+    auto ev = cx.template alloc<i64>(std::max<size_t>(1, m), "ev");
+    std::copy(e.u.begin(), e.u.end(), eu.raw());
+    std::copy(e.v.begin(), e.v.end(), ev.raw());
+    auto label = cx.template alloc<i64>(n, "label");
+    alg::CcOptions opt;
+    opt.grain = grain;
+    cx.run(2 * (n + m), [&] {
+      alg::connected_components(cx, n, eu.slice().first(m),
+                                ev.slice().first(m), label.slice(), opt);
+    });
+  };
+}
+
+// ---- recorded-graph factories (record a program once, replay many) ----
 
 inline TaskGraph rec_msum(size_t n, size_t grain = 1, bool padded = false) {
-  TraceCtx cx = make_ctx(padded);
-  auto a = cx.alloc<i64>(n, "a");
-  Rng rng(n);
-  for (size_t i = 0; i < n; ++i) a.raw()[i] = static_cast<i64>(rng.next_below(100));
-  auto out = cx.alloc<i64>(1, "out");
-  return cx.run(n, [&] { alg::msum(cx, a.slice(), out.slice(), grain); });
+  return engine().record(prog_msum(n, grain), padded).graph;
 }
 
-inline TaskGraph rec_ps(size_t n, size_t grain = 1) {
-  TraceCtx cx = make_ctx();
-  auto a = cx.alloc<i64>(n, "a");
-  Rng rng(n + 1);
-  for (size_t i = 0; i < n; ++i) a.raw()[i] = static_cast<i64>(rng.next_below(100));
-  auto out = cx.alloc<i64>(n, "out");
-  return cx.run(2 * n, [&] { alg::prefix_sums(cx, a.slice(), out.slice(), grain); });
+inline TaskGraph rec_ps(size_t n, size_t grain = 1, bool padded = false) {
+  return engine().record(prog_ps(n, grain), padded).graph;
 }
 
 inline TaskGraph rec_ma(size_t n, size_t grain = 1) {
-  TraceCtx cx = make_ctx();
-  auto a = cx.alloc<i64>(n, "a");
-  auto b = cx.alloc<i64>(n, "b");
-  auto out = cx.alloc<i64>(n, "out");
-  return cx.run(3 * n,
-                [&] { alg::matrix_add(cx, a.slice(), b.slice(), out.slice(), grain); });
+  return engine().record(prog_ma(n, grain)).graph;
 }
 
 inline TaskGraph rec_mt(uint32_t n, size_t grain = 1) {
-  TraceCtx cx = make_ctx();
-  const size_t m = static_cast<size_t>(n) * n;
-  auto in = cx.alloc<i64>(m, "in");
-  auto out = cx.alloc<i64>(m, "out");
-  return cx.run(2 * m, [&] { alg::mt_bi(cx, in.slice(), out.slice(), n, grain); });
+  return engine().record(prog_mt(n, grain)).graph;
 }
 
 inline TaskGraph rec_rm2bi(uint32_t n, size_t grain = 1) {
-  TraceCtx cx = make_ctx();
-  const size_t m = static_cast<size_t>(n) * n;
-  auto in = cx.alloc<i64>(m, "rm");
-  auto out = cx.alloc<i64>(m, "bi");
-  return cx.run(2 * m, [&] { alg::rm_to_bi(cx, in.slice(), out.slice(), n, grain); });
+  return engine().record(prog_rm2bi(n, grain)).graph;
 }
 
 inline TaskGraph rec_bi2rm_direct(uint32_t n, size_t grain = 1) {
-  TraceCtx cx = make_ctx();
-  const size_t m = static_cast<size_t>(n) * n;
-  auto in = cx.alloc<i64>(m, "bi");
-  auto out = cx.alloc<i64>(m, "rm");
-  return cx.run(2 * m,
-                [&] { alg::bi_to_rm_direct(cx, in.slice(), out.slice(), n, grain); });
+  return engine().record(prog_bi2rm_direct(n, grain)).graph;
 }
 
 inline TaskGraph rec_bi2rm_gap(uint32_t n, size_t grain = 1) {
-  TraceCtx cx = make_ctx();
-  const size_t m = static_cast<size_t>(n) * n;
-  auto in = cx.alloc<i64>(m, "bi");
-  auto out = cx.alloc<i64>(m, "rm");
-  return cx.run(2 * m,
-                [&] { alg::bi_to_rm_gap(cx, in.slice(), out.slice(), n, grain); });
+  return engine().record(prog_bi2rm_gap(n, grain)).graph;
 }
 
 inline TaskGraph rec_bi2rm_fft(uint32_t n, size_t grain = 1) {
-  TraceCtx cx = make_ctx();
-  const size_t m = static_cast<size_t>(n) * n;
-  auto in = cx.alloc<i64>(m, "bi");
-  auto out = cx.alloc<i64>(m, "rm");
-  return cx.run(2 * m,
-                [&] { alg::bi_to_rm_fft(cx, in.slice(), out.slice(), n, grain); });
+  return engine().record(prog_bi2rm_fft(n, grain)).graph;
 }
 
 inline TaskGraph rec_strassen(uint32_t n, size_t grain = 1) {
-  TraceCtx cx = make_ctx();
-  const size_t m = static_cast<size_t>(n) * n;
-  auto a = cx.alloc<i64>(m, "a");
-  auto b = cx.alloc<i64>(m, "b");
-  auto c = cx.alloc<i64>(m, "c");
-  return cx.run(3 * m, [&] {
-    alg::strassen_bi(cx, a.slice(), b.slice(), c.slice(), n, 2, grain);
-  });
+  return engine().record(prog_strassen(n, grain)).graph;
 }
 
 inline TaskGraph rec_mm(uint32_t n, size_t grain = 1) {
-  TraceCtx cx = make_ctx();
-  const size_t m = static_cast<size_t>(n) * n;
-  auto a = cx.alloc<i64>(m, "a");
-  auto b = cx.alloc<i64>(m, "b");
-  auto c = cx.alloc<i64>(m, "c");
-  return cx.run(3 * m, [&] {
-    alg::depth_n_mm(cx, a.slice(), b.slice(), c.slice(), n, 2, grain);
-  });
+  return engine().record(prog_mm(n, grain)).graph;
 }
 
 inline TaskGraph rec_fft(size_t n, bool bi_transpose = false,
                          size_t grain = 1) {
-  TraceCtx cx = make_ctx();
-  auto x = cx.alloc<cplx>(n, "x");
-  Rng rng(n + 3);
-  for (size_t i = 0; i < n; ++i) {
-    x.raw()[i] = cplx(rng.next_double(), rng.next_double());
-  }
-  auto y = cx.alloc<cplx>(n, "y");
-  alg::FftOptions opt;
-  opt.bi_transpose = bi_transpose;
-  opt.grain = grain;
-  return cx.run(4 * n, [&] { alg::fft(cx, x.slice(), y.slice(), opt); });
+  return engine().record(prog_fft(n, bi_transpose, grain)).graph;
 }
 
 inline TaskGraph rec_sort(size_t n, size_t grain = 1) {
-  TraceCtx cx = make_ctx();
-  auto a = cx.alloc<i64>(n, "a");
-  Rng rng(n + 4);
-  for (size_t i = 0; i < n; ++i) a.raw()[i] = static_cast<i64>(rng.next() >> 1);
-  auto out = cx.alloc<i64>(n, "out");
-  return cx.run(2 * n, [&] { alg::msort(cx, a.slice(), out.slice(), 8, grain); });
+  return engine().record(prog_sort(n, grain)).graph;
 }
 
 inline TaskGraph rec_lr(size_t n, bool gapping = true, size_t grain = 1) {
-  TraceCtx cx = make_ctx();
-  const auto succ = alg::random_list(n, n * 7 + 3);
-  auto s = cx.alloc<i64>(n, "succ");
-  std::copy(succ.begin(), succ.end(), s.raw());
-  auto r = cx.alloc<i64>(n, "rank");
-  alg::ListRankOptions opt;
-  opt.gapping = gapping;
-  opt.grain = grain;
-  return cx.run(2 * n, [&] { alg::list_rank(cx, s.slice(), r.slice(), opt); });
+  return engine().record(prog_lr(n, gapping, grain)).graph;
 }
 
 inline TaskGraph rec_cc(size_t n, size_t extra, size_t groups,
                         size_t grain = 1) {
-  TraceCtx cx = make_ctx();
-  const auto e = alg::random_graph(n, extra, groups, n * 13 + 7);
-  const size_t m = e.u.size();
-  auto eu = cx.alloc<i64>(std::max<size_t>(1, m), "eu");
-  auto ev = cx.alloc<i64>(std::max<size_t>(1, m), "ev");
-  std::copy(e.u.begin(), e.u.end(), eu.raw());
-  std::copy(e.v.begin(), e.v.end(), ev.raw());
-  auto label = cx.alloc<i64>(n, "label");
-  alg::CcOptions opt;
-  opt.grain = grain;
-  return cx.run(2 * (n + m), [&] {
-    alg::connected_components(cx, n, eu.slice().first(m), ev.slice().first(m),
-                              label.slice(), opt);
-  });
+  return engine().record(prog_cc(n, extra, groups, grain)).graph;
 }
 
 // ---- run helpers ----
@@ -195,32 +280,11 @@ inline SimConfig cfg(uint32_t p, uint64_t M, uint32_t B) {
   return c;
 }
 
-/// Cache-miss / block-miss excess report for one (graph, machine) pair.
-struct Excess {
-  uint64_t q = 0;            // sequential cache complexity
-  uint64_t cache = 0;        // scheduled classical misses
-  uint64_t block = 0;        // scheduled coherence (block) misses
-  uint64_t cache_excess = 0; // max(0, cache - q)
-  uint64_t steals = 0;
-  uint64_t usurp = 0;
-  uint64_t makespan = 0;
-  uint64_t seq_makespan = 0;
-};
-
-inline Excess measure(const TaskGraph& g, SchedKind kind,
-                      const SimConfig& c) {
-  Excess e;
-  const Metrics seq = simulate(g, SchedKind::kSeq, c);
-  e.q = seq.cache_misses();
-  e.seq_makespan = seq.makespan;
-  const Metrics m = kind == SchedKind::kSeq ? seq : simulate(g, kind, c);
-  e.cache = m.cache_misses();
-  e.block = m.block_misses();
-  e.cache_excess = excess(e.cache, e.q);
-  e.steals = m.steals();
-  e.usurp = m.usurpations();
-  e.makespan = m.makespan;
-  return e;
+/// Replays `g` under `backend` on machine `c`; with `seq_baseline` the
+/// report also carries Q(n,M,B), the cache excess and the sim speedup.
+inline RunReport measure(const TaskGraph& g, Backend backend,
+                         const SimConfig& c, bool seq_baseline = true) {
+  return engine().replay(g, backend, c, seq_baseline);
 }
 
 inline std::string fmt_speedup(uint64_t seq, uint64_t par) {

@@ -1,17 +1,19 @@
 // Connected components of a random graph with the resource-oblivious CC
 // algorithm, validated against union-find, plus the Euler-tour toolkit on a
-// random tree (parents + depths via weighted list ranking).
+// random tree (parents + depths via weighted list ranking).  Both run
+// through the Engine: record once, inspect real outputs, replay on the
+// simulated machine.
 //
 //   $ ./graph_components [--n=400] [--extra=300] [--groups=5] [--p=8]
 #include <algorithm>
 #include <cstdio>
 #include <map>
+#include <vector>
 
 #include "ro/alg/cc.h"
 #include "ro/alg/euler.h"
 #include "ro/alg/graphgen.h"
-#include "ro/core/trace_ctx.h"
-#include "ro/sched/run.h"
+#include "ro/engine/engine.h"
 #include "ro/util/cli.h"
 #include "ro/util/table.h"
 
@@ -30,21 +32,26 @@ int main(int argc, char** argv) {
   const auto want = alg::cc_ref(n, e);
   const size_t m = e.u.size();
 
-  TraceCtx cx;
-  auto eu = cx.alloc<i64>(m, "eu");
-  auto ev = cx.alloc<i64>(m, "ev");
-  std::copy(e.u.begin(), e.u.end(), eu.raw());
-  std::copy(e.v.begin(), e.v.end(), ev.raw());
-  auto label = cx.alloc<i64>(n, "label");
-  TaskGraph g = cx.run(2 * (n + m), [&] {
-    alg::connected_components(cx, n, eu.slice(), ev.slice(), label.slice());
+  Engine eng;
+  std::vector<i64> labels;
+  const Recording rec = eng.record([&](auto& cx) {
+    auto eu = cx.template alloc<i64>(m, "eu");
+    auto ev = cx.template alloc<i64>(m, "ev");
+    std::copy(e.u.begin(), e.u.end(), eu.raw());
+    std::copy(e.v.begin(), e.v.end(), ev.raw());
+    auto label = cx.template alloc<i64>(n, "label");
+    cx.run(2 * (n + m), [&] {
+      alg::connected_components(cx, n, eu.slice(), ev.slice(),
+                                label.slice());
+    });
+    labels.assign(label.raw(), label.raw() + n);
   });
 
   size_t mismatches = 0;
   std::map<i64, size_t> sizes;
   for (size_t v = 0; v < n; ++v) {
-    if (label.raw()[v] != want[v]) ++mismatches;
-    ++sizes[label.raw()[v]];
+    if (labels[v] != want[v]) ++mismatches;
+    ++sizes[labels[v]];
   }
   RO_CHECK(mismatches == 0);
   std::printf("graph: n=%zu m=%zu -> %zu components (validated vs DSU)\n", n,
@@ -64,26 +71,26 @@ int main(int argc, char** argv) {
   cfg.p = p;
   cfg.M = 1 << 12;
   cfg.B = 32;
-  const Metrics seq = simulate(g, SchedKind::kSeq, cfg);
-  const Metrics pws = simulate(g, SchedKind::kPws, cfg);
+  const RunReport r = eng.replay(rec, Backend::kSimPws, cfg);
   std::printf("\nCC on p=%u simulated cores: speedup %.2fx, %llu block "
               "misses\n",
-              p, static_cast<double>(seq.makespan) / pws.makespan,
-              static_cast<unsigned long long>(pws.block_misses()));
+              p, r.sim_speedup(),
+              static_cast<unsigned long long>(r.sim.block_misses()));
 
   // ---- Euler tour on a random tree ----
   {
     const size_t tn = n / 2 + 3;
     const auto tree = alg::random_tree(tn, 7);
     const auto ref = alg::tree_ref(tn, tree, 0);
-    TraceCtx cx2;
-    auto tu = cx2.alloc<i64>(tn - 1, "tu");
-    auto tv = cx2.alloc<i64>(tn - 1, "tv");
-    std::copy(tree.u.begin(), tree.u.end(), tu.raw());
-    std::copy(tree.v.begin(), tree.v.end(), tv.raw());
     alg::EulerResult res;
-    cx2.run(4 * tn, [&] {
-      res = alg::euler_tour(cx2, tn, tu.slice(), tv.slice(), 0);
+    eng.record([&](auto& cx) {
+      auto tu = cx.template alloc<i64>(tn - 1, "tu");
+      auto tv = cx.template alloc<i64>(tn - 1, "tv");
+      std::copy(tree.u.begin(), tree.u.end(), tu.raw());
+      std::copy(tree.v.begin(), tree.v.end(), tv.raw());
+      cx.run(4 * tn, [&] {
+        res = alg::euler_tour(cx, tn, tu.slice(), tv.slice(), 0);
+      });
     });
     i64 max_depth = 0;
     for (size_t v = 0; v < tn; ++v) {

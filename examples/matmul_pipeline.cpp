@@ -1,7 +1,8 @@
 // A full matrix pipeline in the paper's intended composition: the input
 // arrives row-major, is converted to bit-interleaved, multiplied with
 // Strassen (all-BI, O(1) block sharing), and converted back with the gapped
-// BI→RM conversion — then validated against the naive product.
+// BI→RM conversion — then validated against the naive product.  Recorded
+// once through the Engine, replayed under both schedulers.
 //
 //   $ ./matmul_pipeline [--side=64] [--p=8]
 #include <algorithm>
@@ -11,8 +12,7 @@
 #include "ro/alg/layout.h"
 #include "ro/alg/rm_bi.h"
 #include "ro/alg/strassen.h"
-#include "ro/core/trace_ctx.h"
-#include "ro/sched/run.h"
+#include "ro/engine/engine.h"
 #include "ro/util/cli.h"
 #include "ro/util/rng.h"
 #include "ro/util/table.h"
@@ -35,21 +35,24 @@ int main(int argc, char** argv) {
     b_rm[i] = static_cast<i64>(rng.next_below(19)) - 9;
   }
 
-  TraceCtx cx;
-  auto a = cx.alloc<i64>(m, "A.rm");
-  auto b = cx.alloc<i64>(m, "B.rm");
-  std::copy(a_rm.begin(), a_rm.end(), a.raw());
-  std::copy(b_rm.begin(), b_rm.end(), b.raw());
-  auto abi = cx.alloc<i64>(m, "A.bi");
-  auto bbi = cx.alloc<i64>(m, "B.bi");
-  auto cbi = cx.alloc<i64>(m, "C.bi");
-  auto c_rm = cx.alloc<i64>(m, "C.rm");
-
-  TaskGraph g = cx.run(8 * m, [&] {
-    alg::rm_to_bi(cx, a.slice(), abi.slice(), n);
-    alg::rm_to_bi(cx, b.slice(), bbi.slice(), n);
-    alg::strassen_bi(cx, abi.slice(), bbi.slice(), cbi.slice(), n, 4);
-    alg::bi_to_rm_gap(cx, cbi.slice(), c_rm.slice(), n);
+  Engine eng;
+  std::vector<i64> c_out;
+  const Recording rec = eng.record([&](auto& cx) {
+    auto a = cx.template alloc<i64>(m, "A.rm");
+    auto b = cx.template alloc<i64>(m, "B.rm");
+    std::copy(a_rm.begin(), a_rm.end(), a.raw());
+    std::copy(b_rm.begin(), b_rm.end(), b.raw());
+    auto abi = cx.template alloc<i64>(m, "A.bi");
+    auto bbi = cx.template alloc<i64>(m, "B.bi");
+    auto cbi = cx.template alloc<i64>(m, "C.bi");
+    auto c_rm = cx.template alloc<i64>(m, "C.rm");
+    cx.run(8 * m, [&] {
+      alg::rm_to_bi(cx, a.slice(), abi.slice(), n);
+      alg::rm_to_bi(cx, b.slice(), bbi.slice(), n);
+      alg::strassen_bi(cx, abi.slice(), bbi.slice(), cbi.slice(), n, 4);
+      alg::bi_to_rm_gap(cx, cbi.slice(), c_rm.slice(), n);
+    });
+    c_out.assign(c_rm.raw(), c_rm.raw() + m);
   });
 
   // Validate against the naive product.
@@ -60,11 +63,11 @@ int main(int argc, char** argv) {
       for (uint32_t k = 0; k < n; ++k) {
         want += a_rm[alg::rm_index(n, i, k)] * b_rm[alg::rm_index(n, k, j)];
       }
-      if (c_rm.raw()[alg::rm_index(n, i, j)] != want) ++bad;
+      if (c_out[alg::rm_index(n, i, j)] != want) ++bad;
     }
   }
   RO_CHECK(bad == 0);
-  const GraphStats st = g.analyze();
+  const GraphStats& st = rec.stats;
   std::printf("pipeline RM->BI -> Strassen -> gapped BI->RM on %ux%u: "
               "validated.\n  work=%llu  span=%llu  parallelism=%.1f\n",
               n, n, static_cast<unsigned long long>(st.work),
@@ -76,17 +79,15 @@ int main(int argc, char** argv) {
   SimConfig cfg;
   cfg.M = 1 << 12;
   cfg.B = 32;
-  cfg.p = 1;
-  const Metrics seq = simulate(g, SchedKind::kSeq, cfg);
   for (uint32_t pp : {2u, p}) {
     cfg.p = pp;
-    for (auto kind : {SchedKind::kPws, SchedKind::kRws}) {
-      const Metrics mm = simulate(g, kind, cfg);
+    for (Backend b : {Backend::kSimPws, Backend::kSimRws}) {
+      const RunReport r = eng.replay(rec, b, cfg);
       char sp[16];
-      std::snprintf(sp, sizeof sp, "%.2fx",
-                    static_cast<double>(seq.makespan) / mm.makespan);
-      t.row({sched_name(kind), Table::num(pp), Table::num(mm.makespan), sp,
-             Table::num(mm.cache_misses()), Table::num(mm.block_misses())});
+      std::snprintf(sp, sizeof sp, "%.2fx", r.sim_speedup());
+      t.row({backend_name(b), Table::num(pp), Table::num(r.sim.makespan), sp,
+             Table::num(r.sim.cache_misses()),
+             Table::num(r.sim.block_misses())});
     }
   }
   t.print();

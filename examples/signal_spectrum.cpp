@@ -1,6 +1,7 @@
 // Signal analysis with the resource-oblivious FFT: build a noisy multi-tone
-// signal, compute its spectrum with the six-step HBP FFT, report the
-// detected tones, and show the scheduler costs of the transform.
+// signal, compute its spectrum with the six-step HBP FFT through the
+// Engine, report the detected tones, and show the scheduler costs of the
+// transform.
 //
 //   $ ./signal_spectrum [--n=4096] [--p=8] [--tones=3]
 #include <algorithm>
@@ -9,8 +10,7 @@
 #include <vector>
 
 #include "ro/alg/fft.h"
-#include "ro/core/trace_ctx.h"
-#include "ro/sched/run.h"
+#include "ro/engine/engine.h"
 #include "ro/util/cli.h"
 #include "ro/util/rng.h"
 #include "ro/util/table.h"
@@ -33,25 +33,34 @@ int main(int argc, char** argv) {
     freqs.push_back(1 + rng.next_below(n / 2 - 1));
     amps.push_back(1.0 + static_cast<double>(t));
   }
-  TraceCtx cx;
-  auto x = cx.alloc<cplx>(n, "signal");
+  std::vector<double> signal(n);
   for (size_t j = 0; j < n; ++j) {
     double v = 0.1 * (rng.next_double() - 0.5);  // noise floor
     for (int t = 0; t < tones; ++t) {
       v += amps[t] *
            std::cos(2 * M_PI * static_cast<double>(freqs[t] * j) / n);
     }
-    x.raw()[j] = cplx(v, 0.0);
+    signal[j] = v;
   }
-  auto y = cx.alloc<cplx>(n, "spectrum");
-  TaskGraph g = cx.run(4 * n, [&] { alg::fft(cx, x.slice(), y.slice()); });
+
+  // Record the transform through the Engine; the spectrum is copied out of
+  // the program so it can be analyzed after the run.
+  std::vector<cplx> spectrum;
+  Engine eng;
+  const Recording rec = eng.record([&](auto& cx) {
+    auto x = cx.template alloc<cplx>(n, "signal");
+    for (size_t j = 0; j < n; ++j) x.raw()[j] = cplx(signal[j], 0.0);
+    auto y = cx.template alloc<cplx>(n, "spectrum");
+    cx.run(4 * n, [&] { alg::fft(cx, x.slice(), y.slice()); });
+    spectrum.assign(y.raw(), y.raw() + n);
+  });
 
   // Peak picking (real signal -> look at bins < n/2; magnitude ~ amp*n/2).
   Table peaks("detected tones (true tones: " + Table::num(tones) + ")");
   peaks.header({"bin", "magnitude/n", "expected-amp/2"});
   std::vector<std::pair<double, size_t>> mag;
   for (size_t k = 1; k < n / 2; ++k) {
-    mag.push_back({std::abs(y.raw()[k]), k});
+    mag.push_back({std::abs(spectrum[k]), k});
   }
   std::sort(mag.rbegin(), mag.rend());
   for (int t = 0; t < tones; ++t) {
@@ -65,16 +74,14 @@ int main(int argc, char** argv) {
   }
   peaks.print();
 
-  // Scheduler costs of the transform.
+  // Scheduler costs of the transform, via one replay with baseline.
   SimConfig cfg;
   cfg.p = p;
   cfg.M = 1 << 12;
   cfg.B = 32;
-  const Metrics seq = simulate(g, SchedKind::kSeq, cfg);
-  const Metrics pws = simulate(g, SchedKind::kPws, cfg);
-  std::printf("\nFFT n=%zu on p=%u simulated cores:\n  SEQ %s\n  PWS %s\n",
-              n, p, seq.summary().c_str(), pws.summary().c_str());
-  std::printf("  simulated speedup: %.2fx\n",
-              static_cast<double>(seq.makespan) / pws.makespan);
+  const RunReport r = eng.replay(rec, Backend::kSimPws, cfg);
+  std::printf("\nFFT n=%zu on p=%u simulated cores:\n  PWS %s\n", n, p,
+              r.sim.summary().c_str());
+  std::printf("  simulated speedup: %.2fx\n", r.sim_speedup());
   return 0;
 }

@@ -16,6 +16,7 @@
 #include <concepts>
 #include <cstdint>
 #include <utility>
+#include <vector>
 
 #include "ro/mem/varray.h"
 
@@ -49,8 +50,30 @@ void fork_range(Ctx& cx, size_t lo, size_t hi, uint64_t leaf_size, F&& f) {
       (hi - mid) * leaf_size, [&] { fork_range(cx, mid, hi, leaf_size, f); });
 }
 
-/// Variant with per-leaf sizes given by a callable `sz(i)`; internal nodes
-/// use the range sum (computed on the fly; the trees are shallow).
+namespace detail {
+
+/// Recursion of fork_range_sized over a precomputed prefix-sum table:
+/// prefix[i - base] holds sz(base) + ... + sz(i - 1).
+template <class Ctx, class F>
+void fork_range_prefix(Ctx& cx, size_t lo, size_t hi, size_t base,
+                       const std::vector<uint64_t>& prefix, F&& f) {
+  if (hi - lo == 1) {
+    f(lo);
+    return;
+  }
+  const size_t mid = lo + (hi - lo) / 2;
+  cx.fork2(
+      prefix[mid - base] - prefix[lo - base],
+      [&] { fork_range_prefix(cx, lo, mid, base, prefix, f); },
+      prefix[hi - base] - prefix[mid - base],
+      [&] { fork_range_prefix(cx, mid, hi, base, prefix, f); });
+}
+
+}  // namespace detail
+
+/// Variant with per-leaf sizes given by a callable `sz(i)`.  Leaf sizes are
+/// prefix-summed once (O(n)), so internal-node sizes are O(1) lookups
+/// instead of an O(n log n) range-sum recomputation per tree level.
 template <class Ctx, class SizeF, class F>
 void fork_range_sized(Ctx& cx, size_t lo, size_t hi, SizeF&& sz, F&& f) {
   const size_t count = hi - lo;
@@ -59,17 +82,9 @@ void fork_range_sized(Ctx& cx, size_t lo, size_t hi, SizeF&& sz, F&& f) {
     f(lo);
     return;
   }
-  const size_t mid = lo + count / 2;
-  auto range_size = [&](size_t a, size_t b) {
-    uint64_t t = 0;
-    for (size_t i = a; i < b; ++i) t += sz(i);
-    return t;
-  };
-  cx.fork2(
-      range_size(lo, mid),
-      [&] { fork_range_sized(cx, lo, mid, sz, f); },
-      range_size(mid, hi),
-      [&] { fork_range_sized(cx, mid, hi, sz, f); });
+  std::vector<uint64_t> prefix(count + 1, 0);
+  for (size_t i = 0; i < count; ++i) prefix[i + 1] = prefix[i] + sz(lo + i);
+  detail::fork_range_prefix(cx, lo, hi, lo, prefix, f);
 }
 
 }  // namespace ro

@@ -1,37 +1,19 @@
 // Sequential execution context: runs the algorithm directly, no recording.
-// Used for golden outputs in tests and as the fallback executor.
+// Used for golden outputs in tests and as the fallback executor.  All the
+// memory surface comes from CtxBase; fork2 degenerates to two calls.
 #pragma once
 
 #include <cstdint>
 
 #include "ro/core/context.h"
+#include "ro/core/ctx_base.h"
 #include "ro/mem/varray.h"
 
 namespace ro {
 
-class SeqCtx {
+class SeqCtx : public CtxBase<SeqCtx> {
  public:
   static constexpr bool kRecording = false;
-
-  template <class T>
-  T get(const Slice<T>& s, size_t i) {
-    return s.ptr[i];
-  }
-
-  template <class T>
-  void set(const Slice<T>& s, size_t i, T v) {
-    s.ptr[i] = v;
-  }
-
-  template <class T>
-  VArray<T> alloc(size_t n, const char* /*name*/ = "") {
-    return VArray<T>(n);
-  }
-
-  template <class T>
-  Local<T> local(size_t n) {
-    return Local<T>(n, 0, kNoAct);
-  }
 
   template <class F, class G>
   void fork2(uint64_t /*size_left*/, F&& f, uint64_t /*size_right*/, G&& g) {

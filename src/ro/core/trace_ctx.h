@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "ro/core/context.h"
+#include "ro/core/ctx_base.h"
 #include "ro/core/graph.h"
 #include "ro/mem/varray.h"
 #include "ro/mem/vspace.h"
@@ -22,7 +23,7 @@
 
 namespace ro {
 
-class TraceCtx {
+class TraceCtx : public CtxBase<TraceCtx> {
  public:
   static constexpr bool kRecording = true;
 
@@ -34,27 +35,20 @@ class TraceCtx {
   TraceCtx() : TraceCtx(Options{}) {}
   explicit TraceCtx(Options opt);
 
-  // ---- accounted element access ----
+  // ---- CtxBase customization points: record every access, place global
+  // arrays in the virtual space, reserve frame offsets for locals ----
   template <class T>
-  T get(const Slice<T>& s, size_t i) {
-    record(s, i, /*write=*/false);
-    return s.ptr[i];
+  void on_access(const Slice<T>& s, size_t i, bool write) {
+    record(s.base + i * words_per_v<T>, s.act, words_per_v<T>, write);
   }
 
   template <class T>
-  void set(const Slice<T>& s, size_t i, T v) {
-    record(s, i, /*write=*/true);
-    s.ptr[i] = v;
-  }
-
-  // ---- allocation ----
-  template <class T>
-  VArray<T> alloc(size_t n, const char* name = "") {
+  VArray<T> do_alloc(size_t n, const char* name) {
     return VArray<T>(vspace_, n, name);
   }
 
   template <class T>
-  Local<T> local(size_t n) {
+  Local<T> do_local(size_t n) {
     RO_CHECK_MSG(!stack_.empty(), "local<T>() outside run()");
     Builder& b = stack_.back();
     vaddr_t off = b.locals_words;
@@ -112,13 +106,10 @@ class TraceCtx {
     std::vector<Segment> segs;
   };
 
-  template <class T>
-  void record(const Slice<T>& s, size_t i, bool write) {
+  void record(vaddr_t addr, uint32_t act, uint32_t len, bool write) {
     RO_CHECK_MSG(!stack_.empty(), "access outside run()");
-    g_.accesses.push_back(
-        Access{s.base + i * words_per_v<T>, s.act,
-               static_cast<uint16_t>(words_per_v<T>),
-               static_cast<uint16_t>(write ? 1 : 0)});
+    g_.accesses.push_back(Access{addr, act, static_cast<uint16_t>(len),
+                                 static_cast<uint16_t>(write ? 1 : 0)});
   }
 
   uint32_t new_act(uint32_t parent, uint32_t parent_seg, uint8_t slot,

@@ -1,0 +1,66 @@
+#include "ro/engine/engine.h"
+
+#include <thread>
+
+#include "ro/sched/run.h"
+
+namespace ro {
+
+RunReport Engine::replay(const TaskGraph& g, Backend backend,
+                         const SimConfig& sim, bool seq_baseline,
+                         const std::string& label, const GraphStats* stats) {
+  RunReport r;
+  r.label = label;
+  r.backend = backend;
+  r.has_graph = true;
+  r.graph = stats ? *stats : g.analyze();
+  const auto t0 = std::chrono::steady_clock::now();
+  fill_replay(r, g, backend, sim, seq_baseline);
+  r.wall_ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+  return r;
+}
+
+void Engine::fill_replay(RunReport& r, const TaskGraph& g, Backend backend,
+                         const SimConfig& sim, bool seq_baseline) {
+  RO_CHECK_MSG(!backend_is_parallel(backend),
+               "parallel backends cannot replay a recorded trace");
+  const SchedKind kind = backend == Backend::kSeq    ? SchedKind::kSeq
+                         : backend == Backend::kSimPws ? SchedKind::kPws
+                                                       : SchedKind::kRws;
+  r.has_sim = true;
+  r.p = kind == SchedKind::kSeq ? 1 : sim.p;
+  r.M = sim.M;
+  r.B = sim.B;
+  r.sim = simulate(g, kind, sim);
+  if (seq_baseline) {
+    const Metrics seq = kind == SchedKind::kSeq
+                            ? r.sim
+                            : simulate(g, SchedKind::kSeq, sim);
+    r.has_baseline = true;
+    r.q_seq = seq.cache_misses();
+    r.seq_makespan = seq.makespan;
+    r.cache_excess = excess(r.sim.cache_misses(), r.q_seq);
+  }
+}
+
+rt::Pool& Engine::pool(rt::StealPolicy policy, unsigned threads) {
+  const int idx = policy == rt::StealPolicy::kRandom ? 0 : 1;
+  auto& slot = pools_[idx];
+  if (threads == 0) {
+    if (!slot) {
+      unsigned hw = std::thread::hardware_concurrency();
+      if (hw == 0) hw = 2;
+      slot = std::make_unique<rt::Pool>(hw, policy);
+    }
+    return *slot;
+  }
+  if (!slot || slot->threads() != threads) {
+    slot.reset();  // join the old pool's workers before spawning anew
+    slot = std::make_unique<rt::Pool>(threads, policy);
+  }
+  return *slot;
+}
+
+}  // namespace ro

@@ -1,0 +1,216 @@
+// ro::Engine — the one execution layer over every backend.
+//
+// Algorithms in alg/ are templates over an execution context; the Engine
+// owns everything around them: the simulated address space and cache
+// simulator (via TraceCtx + sched/replay), scheduler selection, and the
+// real-thread pool.  One generic callable runs unchanged on five backends:
+//
+//   Engine eng;
+//   auto prog = [&](auto& cx) {
+//     auto a = cx.template alloc<int64_t>(n, "a");
+//     ... fill a.raw() ...
+//     auto out = cx.template alloc<int64_t>(1, "out");
+//     cx.run(n, [&] { alg::msum(cx, a.slice(), out.slice()); });
+//   };
+//   RunOptions opt;
+//   opt.backend = Backend::kSimPws;   // the only thing that changes
+//   RunReport r = eng.run(prog, opt);
+//
+// `prog` must call cx.run(root_size, body) exactly once; allocation and
+// input initialization happen before it, accounted accesses inside it.
+//
+// Benches that replay one recorded trace on many simulated machines split
+// the two phases: Engine::record(prog) -> Recording, then
+// Engine::replay(recording.graph, backend, sim_config) per machine.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "ro/core/seq_ctx.h"
+#include "ro/core/trace_ctx.h"
+#include "ro/engine/report.h"
+#include "ro/rt/par_ctx.h"
+#include "ro/rt/pool.h"
+#include "ro/sched/replay.h"
+#include "ro/util/check.h"
+
+namespace ro {
+
+struct RunOptions {
+  Backend backend = Backend::kSeq;
+  std::string label;            // carried verbatim into the report
+
+  // ---- sim backends ----
+  SimConfig sim;                // simulated machine (p, M, B, latencies, ...)
+  bool padded = false;          // padded BP/HBP frames (Def 3.3)
+  uint64_t align_words = 4096;  // VSpace allocation alignment
+  bool seq_baseline = true;     // also replay at p=1 for Q(n,M,B) + excess
+
+  // ---- parallel backends ----
+  // Pool size.  0 = keep the engine's current pool for the policy (created
+  // at hardware concurrency on first use); a nonzero value resizes it.
+  unsigned threads = 0;
+  uint64_t serial_below = 1 << 12;  // ParCtx serial cutoff, words
+};
+
+/// A recorded computation plus its derived stats (Engine::record).
+struct Recording {
+  TaskGraph graph;
+  GraphStats stats;
+};
+
+namespace detail {
+
+/// Uniform run() seam over the concrete contexts: forwards the whole
+/// Context surface to `Inner` and captures the TaskGraph that only the
+/// recording context produces, so one generic `prog(cx)` works everywhere.
+template <class Inner>
+class EngineCtx : public CtxBase<EngineCtx<Inner>> {
+ public:
+  static constexpr bool kRecording = Inner::kRecording;
+
+  explicit EngineCtx(Inner& in) : in_(in) {}
+
+  template <class T>
+  void on_access(const Slice<T>& s, size_t i, bool write) {
+    in_.on_access(s, i, write);  // Inner's accounting, Inner's default
+  }
+
+  template <class T>
+  VArray<T> do_alloc(size_t n, const char* name) {
+    return in_.template alloc<T>(n, name);
+  }
+
+  template <class T>
+  Local<T> do_local(size_t n) {
+    return in_.template local<T>(n);
+  }
+
+  template <class F, class G>
+  void fork2(uint64_t size_left, F&& f, uint64_t size_right, G&& g) {
+    in_.fork2(size_left, std::forward<F>(f), size_right, std::forward<G>(g));
+  }
+
+  template <class F>
+  void run(uint64_t root_size, F&& f) {
+    if constexpr (Inner::kRecording) {
+      graph_ = in_.run(root_size, std::forward<F>(f));
+    } else {
+      in_.run(root_size, std::forward<F>(f));
+    }
+  }
+
+  TaskGraph& graph() { return graph_; }
+
+ private:
+  Inner& in_;
+  TaskGraph graph_;
+};
+
+}  // namespace detail
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Runs `prog` on the backend selected by `opt` and returns the unified
+  /// report.  `prog(cx)` must call cx.run(root_size, body) exactly once.
+  template <class Prog>
+  RunReport run(Prog&& prog, const RunOptions& opt = {}) {
+    RunReport r;
+    r.label = opt.label;
+    r.backend = opt.backend;
+    const auto t0 = std::chrono::steady_clock::now();
+    switch (opt.backend) {
+      case Backend::kSeq: {
+        SeqCtx cx;
+        detail::EngineCtx<SeqCtx> ec(cx);
+        prog(ec);
+        break;
+      }
+      case Backend::kSimPws:
+      case Backend::kSimRws: {
+        Recording rec = record(std::forward<Prog>(prog), opt.padded,
+                               opt.align_words);
+        fill_replay(r, rec.graph, opt.backend, opt.sim, opt.seq_baseline);
+        r.has_graph = true;
+        r.graph = rec.stats;
+        break;
+      }
+      case Backend::kParRandom:
+      case Backend::kParPriority: {
+        rt::Pool& pool = this->pool(opt.backend == Backend::kParRandom
+                                        ? rt::StealPolicy::kRandom
+                                        : rt::StealPolicy::kPriority,
+                                    opt.threads);
+        const rt::PoolStats before = pool.stats();
+        rt::ParCtx cx(pool, opt.serial_below);
+        detail::EngineCtx<rt::ParCtx> ec(cx);
+        prog(ec);
+        const rt::PoolStats after = pool.stats();
+        r.has_pool = true;
+        r.threads = pool.threads();
+        r.pool_steals = after.steals - before.steals;
+        r.pool_failed_steals = after.failed_steals - before.failed_steals;
+        break;
+      }
+    }
+    r.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    return r;
+  }
+
+  /// Records `prog` through a fresh TraceCtx (the Engine-owned virtual
+  /// address space) and returns the graph + stats for repeated replay.
+  template <class Prog>
+  Recording record(Prog&& prog, bool padded = false,
+                   uint64_t align_words = 4096) {
+    TraceCtx::Options topt;
+    topt.padded = padded;
+    topt.align_words = align_words;
+    TraceCtx cx(topt);
+    detail::EngineCtx<TraceCtx> ec(cx);
+    prog(ec);
+    Recording rec;
+    rec.graph = std::move(ec.graph());
+    rec.stats = rec.graph.analyze();
+    return rec;
+  }
+
+  /// Replays a recorded graph on one simulated machine.  `backend` may be
+  /// kSeq (p = 1 depth-first replay), kSimPws or kSimRws; parallel backends
+  /// cannot replay a trace.  With `seq_baseline`, a p=1 replay is added so
+  /// the report carries Q(n,M,B), the cache-miss excess and the simulated
+  /// speedup.  `stats` lets callers that replay one graph many times pass
+  /// the precomputed analysis instead of paying g.analyze() per call.
+  RunReport replay(const TaskGraph& g, Backend backend, const SimConfig& sim,
+                   bool seq_baseline = true, const std::string& label = "",
+                   const GraphStats* stats = nullptr);
+
+  /// Recording-aware overload: reuses the stats computed at record time.
+  RunReport replay(const Recording& rec, Backend backend,
+                   const SimConfig& sim, bool seq_baseline = true,
+                   const std::string& label = "") {
+    return replay(rec.graph, backend, sim, seq_baseline, label, &rec.stats);
+  }
+
+  /// The cached real-thread pool for a policy (created on first use;
+  /// recreated only when `threads` changes).  threads = 0 keeps the current
+  /// pool or creates one sized to the hardware.
+  rt::Pool& pool(rt::StealPolicy policy, unsigned threads = 0);
+
+ private:
+  void fill_replay(RunReport& r, const TaskGraph& g, Backend backend,
+                   const SimConfig& sim, bool seq_baseline);
+
+  std::unique_ptr<rt::Pool> pools_[2];
+};
+
+}  // namespace ro

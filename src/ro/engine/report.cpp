@@ -1,0 +1,142 @@
+#include "ro/engine/report.h"
+
+#include <cstdio>
+
+namespace ro {
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kSeq: return "seq";
+    case Backend::kSimPws: return "sim-pws";
+    case Backend::kSimRws: return "sim-rws";
+    case Backend::kParRandom: return "par-random";
+    case Backend::kParPriority: return "par-priority";
+  }
+  return "?";
+}
+
+bool backend_is_sim(Backend b) {
+  return b == Backend::kSimPws || b == Backend::kSimRws;
+}
+
+bool backend_is_parallel(Backend b) {
+  return b == Backend::kParRandom || b == Backend::kParPriority;
+}
+
+bool parse_backend(const std::string& name, Backend& out) {
+  if (name == "seq") out = Backend::kSeq;
+  else if (name == "sim-pws" || name == "pws") out = Backend::kSimPws;
+  else if (name == "sim-rws" || name == "rws") out = Backend::kSimRws;
+  else if (name == "par-random" || name == "random") out = Backend::kParRandom;
+  else if (name == "par-priority" || name == "priority")
+    out = Backend::kParPriority;
+  else return false;
+  return true;
+}
+
+double RunReport::sim_speedup() const {
+  if (!has_baseline || sim.makespan == 0) return 0;
+  return static_cast<double>(seq_makespan) /
+         static_cast<double>(sim.makespan);
+}
+
+namespace {
+
+void append_kv(std::string& s, const char* key, const std::string& val,
+               bool quote) {
+  if (s.size() > 1) s += ",";
+  s += "\"";
+  s += key;
+  s += "\":";
+  if (quote) s += "\"";
+  s += val;
+  if (quote) s += "\"";
+}
+
+void kv(std::string& s, const char* key, uint64_t v) {
+  append_kv(s, key, std::to_string(v), false);
+}
+
+void kv(std::string& s, const char* key, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.4f", v);
+  append_kv(s, key, buf, false);
+}
+
+std::string escape(const std::string& in) {
+  std::string out;
+  for (char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RunReport::to_json() const {
+  std::string s = "{";
+  append_kv(s, "label", escape(label), true);
+  append_kv(s, "backend", backend_name(backend), true);
+  kv(s, "wall_ms", wall_ms);
+  if (has_graph) {
+    kv(s, "work", graph.work);
+    kv(s, "span", graph.span);
+    kv(s, "max_depth", static_cast<uint64_t>(graph.max_depth));
+    kv(s, "activations", graph.activations);
+    kv(s, "accesses", graph.accesses);
+  }
+  if (has_sim) {
+    kv(s, "p", static_cast<uint64_t>(p));
+    kv(s, "M", M);
+    kv(s, "B", static_cast<uint64_t>(B));
+    kv(s, "makespan", sim.makespan);
+    kv(s, "cache_misses", sim.cache_misses());
+    kv(s, "block_misses", sim.block_misses());
+    kv(s, "stack_misses", sim.stack_misses());
+    kv(s, "steals", sim.steals());
+    kv(s, "steal_attempts", sim.steal_attempts());
+    kv(s, "usurpations", sim.usurpations());
+    kv(s, "idle", sim.idle());
+  }
+  if (has_baseline) {
+    kv(s, "q_seq", q_seq);
+    kv(s, "seq_makespan", seq_makespan);
+    kv(s, "cache_excess", cache_excess);
+    kv(s, "sim_speedup", sim_speedup());
+  }
+  if (has_pool) {
+    kv(s, "threads", static_cast<uint64_t>(threads));
+    kv(s, "pool_steals", pool_steals);
+    kv(s, "pool_failed_steals", pool_failed_steals);
+  }
+  s += "}";
+  return s;
+}
+
+std::string reports_to_json(const std::vector<RunReport>& reports) {
+  std::string s = "[\n";
+  for (size_t i = 0; i < reports.size(); ++i) {
+    s += "  ";
+    s += reports[i].to_json();
+    if (i + 1 < reports.size()) s += ",";
+    s += "\n";
+  }
+  s += "]\n";
+  return s;
+}
+
+}  // namespace ro

@@ -1,0 +1,80 @@
+// RunReport — the unified result record of one Engine execution.
+//
+// One struct covers every backend: the recording stats of the trace (sim
+// backends), the full simulator Metrics, the p=1 sequential baseline that
+// turns raw miss counts into the paper's excess, and the real-thread
+// rt::PoolStats.  The scalar view serializes to JSON so bench trajectories
+// can be accumulated across commits; the embedded `sim` Metrics keeps the
+// long tail of observables (per-core counters, steal histograms, block
+// transfer stats) available to specialized benches without widening the
+// JSON schema.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ro/core/graph.h"
+#include "ro/sim/metrics.h"
+
+namespace ro {
+
+enum class Backend : uint8_t {
+  kSeq = 0,         // direct execution through SeqCtx (golden outputs)
+  kSimPws = 1,      // record once, replay under Priority Work Stealing
+  kSimRws = 2,      // record once, replay under Randomized Work Stealing
+  kParRandom = 3,   // real threads, random-victim stealing
+  kParPriority = 4, // real threads, priority (smallest fork depth) stealing
+};
+
+inline constexpr Backend kAllBackends[] = {
+    Backend::kSeq, Backend::kSimPws, Backend::kSimRws, Backend::kParRandom,
+    Backend::kParPriority};
+
+const char* backend_name(Backend b);
+bool backend_is_sim(Backend b);       // replays a recorded trace
+bool backend_is_parallel(Backend b);  // runs on real threads
+/// Parses "seq" / "sim-pws" / "sim-rws" / "par-random" / "par-priority"
+/// (also accepts the short aliases "pws", "rws", "random", "priority").
+/// Returns false and leaves `out` untouched on unknown names.
+bool parse_backend(const std::string& name, Backend& out);
+
+struct RunReport {
+  std::string label;                  // caller-chosen workload name
+  Backend backend = Backend::kSeq;
+  double wall_ms = 0;                 // host wall-clock of the whole run
+
+  // ---- recording stats (backends that trace the computation) ----
+  bool has_graph = false;
+  GraphStats graph;
+
+  // ---- simulated machine & metrics (sim backends) ----
+  bool has_sim = false;
+  uint32_t p = 0;
+  uint64_t M = 0;
+  uint32_t B = 0;
+  Metrics sim;                        // full simulator observables
+
+  // ---- p=1 replay baseline (sim backends, when requested) ----
+  bool has_baseline = false;
+  uint64_t q_seq = 0;                 // sequential cache complexity Q(n,M,B)
+  uint64_t seq_makespan = 0;
+  uint64_t cache_excess = 0;          // max(0, cache_misses - q_seq)
+
+  // ---- real-thread pool (parallel backends) ----
+  bool has_pool = false;
+  uint32_t threads = 0;
+  uint64_t pool_steals = 0;
+  uint64_t pool_failed_steals = 0;
+
+  /// Simulated speedup over the p=1 baseline (0 when not applicable).
+  double sim_speedup() const;
+
+  /// Flat JSON object with every populated scalar field.
+  std::string to_json() const;
+};
+
+/// JSON array of reports — the BENCH_*.json format.
+std::string reports_to_json(const std::vector<RunReport>& reports);
+
+}  // namespace ro

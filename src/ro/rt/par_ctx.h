@@ -1,19 +1,20 @@
 // Real-thread execution context: the same algorithm templates that run on
 // the simulator run on hardware threads through this context.  Accesses are
-// direct (no accounting); fork2 becomes a work-stealing fork-join with a
-// serial cutoff for tiny tasks.
+// direct (no accounting, all defaults from CtxBase); fork2 becomes a
+// work-stealing fork-join with a serial cutoff for tiny tasks.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 
 #include "ro/core/context.h"
+#include "ro/core/ctx_base.h"
 #include "ro/mem/varray.h"
 #include "ro/rt/pool.h"
 
 namespace ro::rt {
 
-class ParCtx {
+class ParCtx : public CtxBase<ParCtx> {
  public:
   /// `serial_below`: tasks whose combined declared size (words) is below
   /// this run serially — the usual grain control for real machines (note:
@@ -23,26 +24,6 @@ class ParCtx {
       : pool_(&pool), serial_below_(serial_below) {}
 
   static constexpr bool kRecording = false;
-
-  template <class T>
-  T get(const Slice<T>& s, size_t i) {
-    return s.ptr[i];
-  }
-
-  template <class T>
-  void set(const Slice<T>& s, size_t i, T v) {
-    s.ptr[i] = v;
-  }
-
-  template <class T>
-  VArray<T> alloc(size_t n, const char* /*name*/ = "") {
-    return VArray<T>(n);
-  }
-
-  template <class T>
-  Local<T> local(size_t n) {
-    return Local<T>(n, 0, kNoAct);
-  }
 
   template <class F, class G>
   void fork2(uint64_t size_left, F&& f, uint64_t size_right, G&& g) {
@@ -64,5 +45,7 @@ class ParCtx {
   Pool* pool_;
   uint64_t serial_below_;
 };
+
+static_assert(Context<ParCtx>);
 
 }  // namespace ro::rt

@@ -49,6 +49,32 @@ TEST(Arena, OutOfOrderCompletionIsLazy) {
   EXPECT_EQ(f5.base, f1.base);
 }
 
+TEST(Arena, CascadedReclaimStopsAtLiveFrame) {
+  // Lazy reclamation under out-of-LIFO completion: completing the top frame
+  // pops every dead frame below it but must stop at the first live one.
+  ArenaSet as(0, 64);
+  const uint32_t a = as.new_arena();
+  auto f1 = as.push(a, 4);
+  auto f2 = as.push(a, 4);
+  auto f3 = as.push(a, 4);
+  auto f4 = as.push(a, 4);
+  as.complete(f3);  // dead but buried under live f4: nothing reclaimed
+  auto probe = as.push(a, 4);
+  EXPECT_EQ(probe.base, f4.base + 4);
+  as.complete(probe);
+  as.complete(f4);  // cascade pops f4 and f3, stops at live f2
+  auto f5 = as.push(a, 4);
+  EXPECT_EQ(f5.base, f3.base);
+  as.complete(f5);
+  as.complete(f2);  // cascade reaches down to f1 (still live)
+  auto f6 = as.push(a, 4);
+  EXPECT_EQ(f6.base, f2.base);
+  as.complete(f6);
+  as.complete(f1);
+  auto f7 = as.push(a, 4);
+  EXPECT_EQ(f7.base, f1.base);
+}
+
 TEST(Arena, DistinctArenasAreBlockDisjoint) {
   const uint64_t align = 128;
   ArenaSet as(0, align);

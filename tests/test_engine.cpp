@@ -1,0 +1,226 @@
+// Engine tests: one program runs on all five backends with identical
+// outputs (backend parity), record/replay plumbing, RunReport JSON, and
+// pool caching.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "ro/alg/graphgen.h"
+#include "ro/alg/listrank.h"
+#include "ro/alg/mt.h"
+#include "ro/alg/scan.h"
+#include "ro/alg/sort.h"
+#include "ro/engine/engine.h"
+#include "ro/util/rng.h"
+#include "test_helpers.h"
+
+namespace ro {
+namespace {
+
+using alg::i64;
+
+constexpr Backend kNonSeqBackends[] = {Backend::kSimPws, Backend::kSimRws,
+                                       Backend::kParRandom,
+                                       Backend::kParPriority};
+
+/// Runs `make(out)`'s program on kSeq for the golden output, then on every
+/// other backend, asserting identical results.
+template <class MakeProg>
+void expect_parity(const char* label, MakeProg make) {
+  std::vector<i64> golden;
+  RunOptions opt;
+  opt.backend = Backend::kSeq;
+  testing::engine().run(make(golden), opt);
+  ASSERT_FALSE(golden.empty()) << label;
+  for (Backend b : kNonSeqBackends) {
+    std::vector<i64> out;
+    RunOptions o;
+    o.backend = b;
+    o.threads = 2;
+    o.serial_below = 64;  // force real forking on the parallel backends
+    const RunReport r = testing::engine().run(make(out), o);
+    EXPECT_EQ(out, golden) << label << " under " << backend_name(b);
+    EXPECT_EQ(r.has_sim, backend_is_sim(b));
+    EXPECT_EQ(r.has_pool, backend_is_parallel(b));
+  }
+}
+
+TEST(EngineParity, Msum) {
+  const size_t n = 4096;
+  expect_parity("msum", [n](std::vector<i64>& out) {
+    return [n, &out](auto& cx) {
+      auto a = cx.template alloc<i64>(n, "a");
+      for (size_t i = 0; i < n; ++i)
+        a.raw()[i] = static_cast<i64>(i % 13) - 6;
+      auto o = cx.template alloc<i64>(1, "o");
+      cx.run(n, [&] { alg::msum(cx, a.slice(), o.slice()); });
+      out.assign(o.raw(), o.raw() + 1);
+    };
+  });
+}
+
+TEST(EngineParity, PrefixSums) {
+  const size_t n = 2048;
+  expect_parity("prefix_sums", [n](std::vector<i64>& out) {
+    return [n, &out](auto& cx) {
+      auto a = cx.template alloc<i64>(n, "a");
+      for (size_t i = 0; i < n; ++i) a.raw()[i] = static_cast<i64>(i % 7);
+      auto o = cx.template alloc<i64>(n, "o");
+      cx.run(2 * n, [&] { alg::prefix_sums(cx, a.slice(), o.slice()); });
+      out.assign(o.raw(), o.raw() + n);
+    };
+  });
+}
+
+TEST(EngineParity, Sort) {
+  const size_t n = 4096;
+  expect_parity("msort", [n](std::vector<i64>& out) {
+    return [n, &out](auto& cx) {
+      auto a = cx.template alloc<i64>(n, "a");
+      Rng rng(77);
+      for (size_t i = 0; i < n; ++i)
+        a.raw()[i] = static_cast<i64>(rng.next() >> 1);
+      auto o = cx.template alloc<i64>(n, "o");
+      cx.run(2 * n, [&] { alg::msort(cx, a.slice(), o.slice(), 8, 4); });
+      out.assign(o.raw(), o.raw() + n);
+    };
+  });
+}
+
+TEST(EngineParity, MatrixTransposeBI) {
+  const uint32_t side = 64;
+  const size_t m = static_cast<size_t>(side) * side;
+  expect_parity("mt_bi", [=](std::vector<i64>& out) {
+    return [=, &out](auto& cx) {
+      auto a = cx.template alloc<i64>(m, "a");
+      for (size_t i = 0; i < m; ++i) a.raw()[i] = static_cast<i64>(i);
+      auto o = cx.template alloc<i64>(m, "o");
+      cx.run(2 * m, [&] { alg::mt_bi(cx, a.slice(), o.slice(), side); });
+      out.assign(o.raw(), o.raw() + m);
+    };
+  });
+}
+
+TEST(EngineParity, ListRank) {
+  const size_t n = 512;
+  const auto succ = alg::random_list(n, 909);
+  expect_parity("list_rank", [=](std::vector<i64>& out) {
+    return [=, &out](auto& cx) {
+      auto s = cx.template alloc<i64>(n, "s");
+      std::copy(succ.begin(), succ.end(), s.raw());
+      auto r = cx.template alloc<i64>(n, "r");
+      cx.run(2 * n, [&] { alg::list_rank(cx, s.slice(), r.slice()); });
+      out.assign(r.raw(), r.raw() + n);
+    };
+  });
+}
+
+TEST(Engine, RecordThenReplayMatchesRunReport) {
+  const size_t n = 1024;
+  auto prog = [n](auto& cx) {
+    auto a = cx.template alloc<i64>(n, "a");
+    for (size_t i = 0; i < n; ++i) a.raw()[i] = 1;
+    auto o = cx.template alloc<i64>(n, "o");
+    cx.run(2 * n, [&] { alg::prefix_sums(cx, a.slice(), o.slice()); });
+  };
+  Engine& eng = testing::engine();
+  const Recording rec = eng.record(prog);
+  EXPECT_GT(rec.stats.activations, 0u);
+  EXPECT_GT(rec.stats.accesses, 0u);
+
+  SimConfig cfg;
+  cfg.p = 4;
+  const RunReport a = eng.replay(rec.graph, Backend::kSimPws, cfg);
+  RunOptions opt;
+  opt.backend = Backend::kSimPws;
+  opt.sim = cfg;
+  const RunReport b = eng.run(prog, opt);
+  // Recording is deterministic, PWS replay is deterministic: one-shot run
+  // and record+replay must agree on every simulator observable.
+  EXPECT_EQ(a.sim.makespan, b.sim.makespan);
+  EXPECT_EQ(a.sim.cache_misses(), b.sim.cache_misses());
+  EXPECT_EQ(a.sim.block_misses(), b.sim.block_misses());
+  EXPECT_EQ(a.q_seq, b.q_seq);
+  EXPECT_EQ(a.graph.work, b.graph.work);
+}
+
+TEST(Engine, SeqReplayBackendIsBaseline) {
+  const size_t n = 512;
+  const Recording rec = testing::engine().record([n](auto& cx) {
+    auto a = cx.template alloc<i64>(n, "a");
+    auto o = cx.template alloc<i64>(1, "o");
+    cx.run(n, [&] { alg::msum(cx, a.slice(), o.slice()); });
+  });
+  SimConfig cfg;
+  cfg.p = 8;
+  const RunReport r = testing::engine().replay(rec.graph, Backend::kSeq, cfg);
+  EXPECT_EQ(r.p, 1u);
+  EXPECT_EQ(r.sim.block_misses(), 0u);
+  EXPECT_EQ(r.sim.steals(), 0u);
+  EXPECT_EQ(r.q_seq, r.sim.cache_misses());
+  EXPECT_EQ(r.seq_makespan, r.sim.makespan);
+  EXPECT_EQ(r.cache_excess, 0u);
+}
+
+TEST(Engine, ReportJsonCarriesBackendFields) {
+  const size_t n = 256;
+  auto prog = [n](auto& cx) {
+    auto a = cx.template alloc<i64>(n, "a");
+    auto o = cx.template alloc<i64>(1, "o");
+    cx.run(n, [&] { alg::msum(cx, a.slice(), o.slice()); });
+  };
+  RunOptions opt;
+  opt.label = "json \"probe\"";
+  opt.backend = Backend::kSimPws;
+  const RunReport r = testing::engine().run(prog, opt);
+  const std::string j = r.to_json();
+  EXPECT_NE(j.find("\"backend\":\"sim-pws\""), std::string::npos) << j;
+  EXPECT_NE(j.find("\"label\":\"json \\\"probe\\\"\""), std::string::npos)
+      << j;
+  EXPECT_NE(j.find("\"cache_misses\":"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"q_seq\":"), std::string::npos) << j;
+
+  RunOptions par;
+  par.backend = Backend::kParPriority;
+  par.threads = 2;
+  const RunReport rp = testing::engine().run(prog, par);
+  const std::string jp = rp.to_json();
+  EXPECT_NE(jp.find("\"threads\":2"), std::string::npos) << jp;
+  EXPECT_NE(jp.find("\"pool_steals\":"), std::string::npos) << jp;
+  EXPECT_EQ(jp.find("\"cache_misses\":"), std::string::npos) << jp;
+
+  const std::string arr = reports_to_json({r, rp});
+  EXPECT_EQ(arr.front(), '[');
+  EXPECT_NE(arr.find("sim-pws"), std::string::npos);
+  EXPECT_NE(arr.find("par-priority"), std::string::npos);
+}
+
+TEST(Engine, BackendNamesRoundTrip) {
+  for (Backend b : kAllBackends) {
+    Backend parsed;
+    ASSERT_TRUE(parse_backend(backend_name(b), parsed));
+    EXPECT_EQ(parsed, b);
+  }
+  Backend out;
+  EXPECT_TRUE(parse_backend("pws", out));
+  EXPECT_EQ(out, Backend::kSimPws);
+  EXPECT_FALSE(parse_backend("warp-drive", out));
+}
+
+TEST(Engine, PoolIsCachedPerPolicy) {
+  Engine eng;
+  rt::Pool& a = eng.pool(rt::StealPolicy::kRandom, 2);
+  rt::Pool& b = eng.pool(rt::StealPolicy::kRandom, 2);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.threads(), 2u);
+  rt::Pool& c = eng.pool(rt::StealPolicy::kRandom);  // 0 = keep current
+  EXPECT_EQ(&a, &c);
+  rt::Pool& d = eng.pool(rt::StealPolicy::kPriority, 2);
+  EXPECT_NE(&a, &d);
+  EXPECT_EQ(d.policy(), rt::StealPolicy::kPriority);
+}
+
+}  // namespace
+}  // namespace ro

@@ -1,6 +1,7 @@
 // Shared helpers for the algorithm test suites: run an algorithm under
 // SeqCtx for the golden output, re-run under TraceCtx, check equality, and
-// optionally replay under every scheduler to assert engine invariants.
+// optionally replay under every scheduler (through the shared Engine) to
+// assert engine invariants.
 #pragma once
 
 #include <gtest/gtest.h>
@@ -8,9 +9,17 @@
 #include "ro/core/seq_ctx.h"
 #include "ro/core/trace_ctx.h"
 #include "ro/core/validate.h"
+#include "ro/engine/engine.h"
 #include "ro/sched/run.h"
 
 namespace ro::testing {
+
+/// Process-wide Engine shared by the test suites (replay only creates no
+/// thread pools; parallel-backend tests size their own pools explicitly).
+inline Engine& engine() {
+  static Engine e;
+  return e;
+}
 
 /// Replays `g` under SEQ/PWS/RWS at a default machine and asserts the
 /// engine-level invariants that must hold for every recorded computation.
@@ -20,16 +29,22 @@ inline void check_schedulers(const TaskGraph& g, uint32_t p = 4,
   cfg.p = p;
   cfg.M = M;
   cfg.B = B;
-  const Metrics seq = simulate(g, SchedKind::kSeq, cfg);
+  const GraphStats st = g.analyze();  // once for all four replays
+  const Metrics seq =
+      engine().replay(g, Backend::kSeq, cfg, /*seq_baseline=*/false, "", &st)
+          .sim;
   EXPECT_EQ(seq.block_misses(), 0u);
   EXPECT_EQ(seq.steals(), 0u);
-  const Metrics pws = simulate(g, SchedKind::kPws, cfg);
-  const Metrics rws = simulate(g, SchedKind::kRws, cfg);
+  const Metrics pws =
+      engine().replay(g, Backend::kSimPws, cfg, false, "", &st).sim;
+  const Metrics rws =
+      engine().replay(g, Backend::kSimRws, cfg, false, "", &st).sim;
   // Same computation: identical total compute under every scheduler.
   EXPECT_EQ(seq.compute(), pws.compute());
   EXPECT_EQ(seq.compute(), rws.compute());
   // Determinism of PWS.
-  const Metrics pws2 = simulate(g, SchedKind::kPws, cfg);
+  const Metrics pws2 =
+      engine().replay(g, Backend::kSimPws, cfg, false, "", &st).sim;
   EXPECT_EQ(pws.makespan, pws2.makespan);
   EXPECT_EQ(pws.block_misses(), pws2.block_misses());
   // Note: makespan <= seq and the per-priority steal bound (Obs 4.3) are

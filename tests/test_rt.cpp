@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 
 #include "ro/alg/scan.h"
@@ -109,9 +110,13 @@ TEST(Pool, StatsAccumulate) {
   auto a = cx.alloc<i64>(n);
   auto out = cx.alloc<i64>(1);
   // With two workers and fine grain a steal happens almost surely per run;
-  // retry a few times to be robust against a heavily loaded build host
-  // where the second worker may not get scheduled during one run.
-  for (int rep = 0; rep < 20 && pool.stats().steals == 0; ++rep) {
+  // retry on a wall-clock budget to be robust against a heavily loaded
+  // build host where the second worker may not get scheduled during one
+  // run (a fixed rep count was observed to flake under parallel ctest).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (pool.stats().steals == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
     cx.run(n, [&] { alg::msum(cx, a.slice(), out.slice(), 8); });
   }
   EXPECT_GE(pool.stats().steals, 1u);
