@@ -46,6 +46,7 @@ int main(int argc, char** argv) {
   sweep("scan-ps", prog_ps(n));
   sweep("msum", prog_msum(n));
   sweep("sort", prog_sort(n / 4));
+  sweep("sort-spms", prog_sort(n / 4, 1, SortKind::kSpms));
   sweep("mt-bi", prog_mt(static_cast<uint32_t>(next_pow2(isqrt(n)))));
   t.print();
 

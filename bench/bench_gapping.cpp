@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
               "makespan"});
     const size_t n = static_cast<size_t>(cli.get_int("n", 1 << 12));
     for (const bool gap : {true, false}) {
-      TaskGraph g = rec_lr(n, gap);
+      TaskGraph g = rec_lr(n, gap, 1, sort_from_cli(cli));
       for (uint32_t p : {8u, 16u}) {
         const SimConfig c = cfg(p, 1 << 12, 32);
         const Metrics m = measure(g, Backend::kSimPws, c, false).sim;

@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
       }
     };
     emit("FFT 16K", rec_fft(size_t{1} << 14));
-    emit("Sort 8K", rec_sort(size_t{1} << 13));
+    emit("Sort 8K", rec_sort(size_t{1} << 13, 1, sort_from_cli(cli)));
     emit("Strassen 32", rec_strassen(32));
     t.print();
     if (cli.has("csv")) t.write_csv("hierarchy.csv");
@@ -51,7 +51,8 @@ int main(int argc, char** argv) {
       }
     };
     emit("BI->RM direct 128", rec_bi2rm_direct(128));
-    emit("LR 2K (no gap)", rec_lr(size_t{1} << 11, /*gapping=*/false));
+    emit("LR 2K (no gap)", rec_lr(size_t{1} << 11, /*gapping=*/false, 1,
+                                  sort_from_cli(cli)));
     t.print();
     if (cli.has("csv")) t.write_csv("mitigations.csv");
   }

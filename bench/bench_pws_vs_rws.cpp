@@ -49,8 +49,8 @@ int main(int argc, char** argv) {
   emit("Strassen 32", rec_strassen(32));
   emit("Depth-n-MM 32", rec_mm(32));
   emit("FFT 16K", rec_fft(size_t{1} << 14));
-  emit("Sort 8K", rec_sort(size_t{1} << 13));
-  emit("LR 4K", rec_lr(size_t{1} << 12));
+  emit("Sort 8K", rec_sort(size_t{1} << 13, 1, sort_from_cli(cli)));
+  emit("LR 4K", rec_lr(size_t{1} << 12, true, 1, sort_from_cli(cli)));
   t.print();
   if (cli.has("csv")) t.write_csv("pws_vs_rws.csv");
   std::printf("\n(RWS* = mean of 3 seeds.)\n");

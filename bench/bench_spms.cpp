@@ -1,0 +1,67 @@
+// E18 — SPMS vs HBP msort, head to head on the simulated machine and on
+// real threads.
+//
+// For each sort we record one trace at --n (default 2^16, the acceptance
+// size) and replay it on sim-PWS and sim-RWS; Q(n,M,B) is the p=1
+// sequential cache complexity from the baseline replay, the column the
+// paper's Table 1 reports.  The parallel backends run the same program on
+// real threads for wall-clock.  Expected shape: Q(spms) <= Q(msort) for
+// n >= 2^16 (SPMS's O((n/B)·log_M n) vs msort's O((n/B)·log₂(n/M))),
+// W within ~1.4x, and span growing visibly slower with n.
+//
+//   $ ./bench_spms [--n=65536] [--p=8] [--M=4096] [--B=32] [--threads=0]
+//                  [--csv]
+#include <cstdio>
+
+#include "common.h"
+
+using namespace ro;
+using namespace ro::bench;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const size_t n = static_cast<size_t>(cli.get_int("n", 1 << 16));
+  SimConfig c = cfg(static_cast<uint32_t>(cli.get_int("p", 8)),
+                    static_cast<uint64_t>(cli.get_int("M", 1 << 12)),
+                    static_cast<uint32_t>(cli.get_int("B", 32)));
+
+  Table t("E18: SPMS vs msort (n=" + std::to_string(n) + ")");
+  t.header({"sort", "backend", "W", "T_inf", "Q(n,M,B)", "misses", "excess",
+            "makespan", "speedup", "wall-ms"});
+
+  uint64_t q[2] = {0, 0};
+  for (SortKind kind : {SortKind::kMsort, SortKind::kSpms}) {
+    const char* name = alg::sort_kind_name(kind);
+    const Recording rec = engine().record(prog_sort(n, 1, kind));
+    for (Backend b : {Backend::kSimPws, Backend::kSimRws}) {
+      const RunReport r = engine().replay(rec, b, c);
+      if (b == Backend::kSimPws) q[kind == SortKind::kSpms] = r.q_seq;
+      t.row({name, backend_name(b), Table::num(rec.stats.work),
+             Table::num(rec.stats.span), Table::num(r.q_seq),
+             Table::num(r.sim.cache_misses()), Table::num(r.cache_excess),
+             Table::num(r.sim.makespan), Table::num(r.sim_speedup()),
+             Table::num(r.wall_ms)});
+    }
+    for (Backend b : {Backend::kParRandom, Backend::kParPriority}) {
+      RunOptions opt;
+      opt.backend = b;
+      opt.threads = static_cast<unsigned>(cli.get_int("threads", 0));
+      opt.label = name;
+      const RunReport r = engine().run(prog_sort(n, 1, kind), opt);
+      t.row({name, backend_name(b), "-", "-", "-", "-", "-", "-", "-",
+             Table::num(r.wall_ms)});
+    }
+  }
+  t.print();
+  if (cli.has("csv")) t.write_csv("spms.csv");
+
+  std::printf("\nQ(n,M,B): msort=%llu spms=%llu -> %s\n",
+              static_cast<unsigned long long>(q[0]),
+              static_cast<unsigned long long>(q[1]),
+              q[1] <= q[0] ? "SPMS no worse (expected for n >= 2^16)"
+                           : "SPMS worse (expected only below n ~ 2^16)");
+  // Acceptance gate: from 2^16 up, SPMS's Q must not exceed msort's.  CI
+  // runs this at --n=65536, so a regression here goes red.
+  if (n >= (size_t{1} << 16) && q[1] > q[0]) return 1;
+  return 0;
+}

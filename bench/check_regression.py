@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Gate CI on bench trajectory regressions.
+
+Compares a freshly emitted BENCH_engine.json (an array of RunReport
+objects, keyed by (label, backend)) against the committed baseline and
+fails when the chosen metric regressed by more than --threshold on any
+matching row.
+
+    $ python3 bench/check_regression.py build/BENCH_engine.json \
+          --baseline bench/baselines/BENCH_engine.json
+
+Wall-clock is noisy across runners, so rows below --min-ms are skipped
+and the default threshold is deliberately loose (25%).  Rows present in
+only one of the two files are reported but never fail the gate (new
+workloads should not need a baseline edit to land, and retired ones
+should not break the build).  Exit status: 0 = pass, 1 = regression,
+2 = usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_reports(path):
+    try:
+        with open(path) as f:
+            reports = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_regression: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    keyed = {}
+    for r in reports:
+        keyed[(r.get("label", "?"), r.get("backend", "?"))] = r
+    return keyed
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("fresh", help="freshly emitted BENCH_engine.json")
+    ap.add_argument("--baseline", default="bench/baselines/BENCH_engine.json")
+    ap.add_argument("--metric", default="wall_ms",
+                    help="RunReport field to compare (default: wall_ms)")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="allowed relative regression (default: 0.25)")
+    ap.add_argument("--min-ms", type=float, default=5.0, dest="min_ms",
+                    help="skip rows whose baseline metric is below this "
+                         "(noise guard, default: 5.0)")
+    args = ap.parse_args()
+
+    fresh = load_reports(args.fresh)
+    base = load_reports(args.baseline)
+
+    regressions = []
+    compared = 0
+    for key, b in sorted(base.items()):
+        f = fresh.get(key)
+        if f is None:
+            print(f"  [gone] {key[0]}/{key[1]} — in baseline only")
+            continue
+        bv = b.get(args.metric)
+        fv = f.get(args.metric)
+        if bv is None or fv is None:
+            continue
+        if bv < args.min_ms:
+            continue
+        compared += 1
+        rel = (fv - bv) / bv
+        marker = "REGRESSION" if rel > args.threshold else "ok"
+        print(f"  [{marker}] {key[0]}/{key[1]}: {args.metric} "
+              f"{bv:.2f} -> {fv:.2f} ({rel:+.1%})")
+        if rel > args.threshold:
+            regressions.append((key, bv, fv, rel))
+    for key in sorted(set(fresh) - set(base)):
+        print(f"  [new] {key[0]}/{key[1]} — not in baseline")
+
+    if not compared:
+        print("check_regression: no comparable rows (all below --min-ms or "
+              "keys disjoint); passing")
+        return 0
+    if regressions:
+        print(f"check_regression: {len(regressions)} row(s) regressed more "
+              f"than {args.threshold:.0%} on {args.metric}", file=sys.stderr)
+        return 1
+    print(f"check_regression: {compared} row(s) within {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

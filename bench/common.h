@@ -23,6 +23,7 @@
 #include "ro/alg/rm_bi.h"
 #include "ro/alg/scan.h"
 #include "ro/alg/sort.h"
+#include "ro/alg/spms.h"
 #include "ro/alg/strassen.h"
 #include "ro/core/probes.h"
 #include "ro/core/validate.h"
@@ -35,6 +36,17 @@ namespace ro::bench {
 
 using alg::cplx;
 using alg::i64;
+using alg::SortKind;
+
+/// The bench-wide `--sort=` flag: "msort" (default) or "spms".  RO_CHECK
+/// fails on unknown names so a typo cannot silently bench the wrong sort.
+inline SortKind sort_from_cli(const Cli& cli) {
+  const std::string name = cli.get_str("sort", "msort");
+  SortKind kind = SortKind::kMsort;
+  RO_CHECK_MSG(alg::parse_sort_kind(name, kind),
+               "--sort must be 'msort' or 'spms'");
+  return kind;
+}
 
 /// Process-wide Engine: one record/replay entry point and one cached thread
 /// pool per steal policy, shared by everything in a bench binary.
@@ -168,18 +180,21 @@ inline auto prog_fft(size_t n, bool bi_transpose = false, size_t grain = 1) {
   };
 }
 
-inline auto prog_sort(size_t n, size_t grain = 1) {
+inline auto prog_sort(size_t n, size_t grain = 1,
+                      SortKind kind = SortKind::kMsort) {
   return [=](auto& cx) {
     auto a = cx.template alloc<i64>(n, "a");
     Rng rng(n + 4);
     for (size_t i = 0; i < n; ++i)
       a.raw()[i] = static_cast<i64>(rng.next() >> 1);
     auto out = cx.template alloc<i64>(n, "out");
-    cx.run(2 * n, [&] { alg::msort(cx, a.slice(), out.slice(), 8, grain); });
+    cx.run(2 * n,
+           [&] { alg::sort_by(cx, kind, a.slice(), out.slice(), 8, grain); });
   };
 }
 
-inline auto prog_lr(size_t n, bool gapping = true, size_t grain = 1) {
+inline auto prog_lr(size_t n, bool gapping = true, size_t grain = 1,
+                    SortKind kind = SortKind::kMsort) {
   const auto succ = alg::random_list(n, n * 7 + 3);
   return [=](auto& cx) {
     auto s = cx.template alloc<i64>(n, "succ");
@@ -188,11 +203,13 @@ inline auto prog_lr(size_t n, bool gapping = true, size_t grain = 1) {
     alg::ListRankOptions opt;
     opt.gapping = gapping;
     opt.grain = grain;
+    opt.sort = kind;
     cx.run(2 * n, [&] { alg::list_rank(cx, s.slice(), r.slice(), opt); });
   };
 }
 
-inline auto prog_cc(size_t n, size_t extra, size_t groups, size_t grain = 1) {
+inline auto prog_cc(size_t n, size_t extra, size_t groups, size_t grain = 1,
+                    SortKind kind = SortKind::kMsort) {
   const auto e = alg::random_graph(n, extra, groups, n * 13 + 7);
   return [=](auto& cx) {
     const size_t m = e.u.size();
@@ -203,6 +220,7 @@ inline auto prog_cc(size_t n, size_t extra, size_t groups, size_t grain = 1) {
     auto label = cx.template alloc<i64>(n, "label");
     alg::CcOptions opt;
     opt.grain = grain;
+    opt.sort = kind;
     cx.run(2 * (n + m), [&] {
       alg::connected_components(cx, n, eu.slice().first(m),
                                 ev.slice().first(m), label.slice(), opt);
@@ -257,17 +275,19 @@ inline TaskGraph rec_fft(size_t n, bool bi_transpose = false,
   return engine().record(prog_fft(n, bi_transpose, grain)).graph;
 }
 
-inline TaskGraph rec_sort(size_t n, size_t grain = 1) {
-  return engine().record(prog_sort(n, grain)).graph;
+inline TaskGraph rec_sort(size_t n, size_t grain = 1,
+                          SortKind kind = SortKind::kMsort) {
+  return engine().record(prog_sort(n, grain, kind)).graph;
 }
 
-inline TaskGraph rec_lr(size_t n, bool gapping = true, size_t grain = 1) {
-  return engine().record(prog_lr(n, gapping, grain)).graph;
+inline TaskGraph rec_lr(size_t n, bool gapping = true, size_t grain = 1,
+                        SortKind kind = SortKind::kMsort) {
+  return engine().record(prog_lr(n, gapping, grain, kind)).graph;
 }
 
 inline TaskGraph rec_cc(size_t n, size_t extra, size_t groups,
-                        size_t grain = 1) {
-  return engine().record(prog_cc(n, extra, groups, grain)).graph;
+                        size_t grain = 1, SortKind kind = SortKind::kMsort) {
+  return engine().record(prog_cc(n, extra, groups, grain, kind)).graph;
 }
 
 // ---- run helpers ----

@@ -26,6 +26,7 @@ namespace ro::alg {
 struct CcOptions {
   size_t grain = 1;
   uint32_t max_rounds = 0;  // 0 = auto: 4·log2(n) + 8 (safety cap)
+  SortKind sort = SortKind::kMsort;  // sorting primitive for all passes
 };
 
 template <class Ctx>
@@ -85,7 +86,7 @@ void connected_components(Ctx& cx, size_t n, Slice<i64> eu, Slice<i64> ev,
           }
         });
       }
-      msort(cx, recs.slice(), sorted.slice(), 8, grain);
+      sort_by(cx, opt.sort, recs.slice(), sorted.slice(), 8, grain);
       auto srt = sorted.slice();
       bp_range(cx, 0, 2 * m, grain, 3, [&](size_t lo, size_t hi) {
         for (size_t j = lo; j < hi; ++j) {
@@ -108,7 +109,7 @@ void connected_components(Ctx& cx, size_t n, Slice<i64> eu, Slice<i64> ev,
         auto next = cx.template alloc<i64>(n, "cc.pnext");
         gather(cx, StridedView{parent.slice(), 1},
                StridedView{parent.slice(), 1},
-               StridedView{next.slice(), 1}, n, grain);
+               StridedView{next.slice(), 1}, n, grain, opt.sort);
         parent = std::move(next);
       }
     }
@@ -118,17 +119,17 @@ void connected_components(Ctx& cx, size_t n, Slice<i64> eu, Slice<i64> ev,
       auto next_comp = cx.template alloc<i64>(n, "cc.comp2");
       gather(cx, StridedView{comp.slice(), 1},
              StridedView{parent.slice(), 1},
-             StridedView{next_comp.slice(), 1}, n, grain);
+             StridedView{next_comp.slice(), 1}, n, grain, opt.sort);
       comp = std::move(next_comp);
     }
     auto nu = cx.template alloc<i64>(std::max<size_t>(1, m), "cc.nu");
     auto nv = cx.template alloc<i64>(std::max<size_t>(1, m), "cc.nv");
     gather(cx, StridedView{cur_u.slice(), 1},
            StridedView{parent.slice(), 1}, StridedView{nu.slice(), 1}, m,
-           grain);
+           grain, opt.sort);
     gather(cx, StridedView{cur_v.slice(), 1},
            StridedView{parent.slice(), 1}, StridedView{nv.slice(), 1}, m,
-           grain);
+           grain, opt.sort);
 
     // Drop self-edges and duplicates: sort packed (min,max) pairs, keep
     // group firsts, pack survivors.
@@ -146,7 +147,7 @@ void connected_components(Ctx& cx, size_t n, Slice<i64> eu, Slice<i64> ev,
       });
     }
     auto psorted = cx.template alloc<i64>(std::max<size_t>(1, m), "cc.pks");
-    msort(cx, packed.slice(), psorted.slice(), 8, grain);
+    sort_by(cx, opt.sort, packed.slice(), psorted.slice(), 8, grain);
     auto keep = cx.template alloc<i64>(std::max<size_t>(1, m), "cc.keep");
     {
       auto srt = psorted.slice();

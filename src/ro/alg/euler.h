@@ -73,7 +73,7 @@ EulerResult euler_tour(Ctx& cx, size_t n, Slice<i64> eu, Slice<i64> ev,
       }
     });
   }
-  msort(cx, recs.slice(), sorted.slice(), 8, grain);
+  sort_by(cx, opt.sort, recs.slice(), sorted.slice(), 8, grain);
 
   // 2. first_idx[v] = first sorted position of v's group (scatter of group
   //    starts; every vertex of a tree has degree >= 1).
@@ -124,7 +124,7 @@ EulerResult euler_tour(Ctx& cx, size_t n, Slice<i64> eu, Slice<i64> ev,
       }
       gather(cx, StridedView{vkeys.slice(), 1},
              StridedView{arc_at.slice(), 1}, StridedView{wrap_arc.slice(), 1},
-             k, grain);
+             k, grain, opt.sort);
     }
     auto srt = sorted.slice();
     auto sc = succ.slice();

@@ -32,6 +32,7 @@ struct ListRankOptions {
   size_t grain = 1;
   uint64_t seed = 0x11572;
   size_t jump_threshold = 0;  // 0 = auto: max(64, n / log2 n)
+  SortKind sort = SortKind::kMsort;  // routing sort for the gathers
 };
 
 namespace detail {
@@ -109,7 +110,7 @@ void list_rank_weighted(Ctx& cx, Slice<i64> succ_in, Slice<i64> w_in,
       });
       auto coin_s = cx.template alloc<i64>(m * stride, "lr.coin_s");
       StridedView cs{coin_s.slice(), stride};
-      gather(cx, succ, cv, cs, m, grain);
+      gather(cx, succ, cv, cs, m, grain, opt.sort);
       bp_range(cx, 0, m, grain, 4, [&](size_t lo, size_t hi) {
         for (size_t i = lo; i < hi; ++i) {
           const bool is_tail =
@@ -132,9 +133,9 @@ void list_rank_weighted(Ctx& cx, Slice<i64> succ_in, Slice<i64> w_in,
     StridedView ss{sel_s.slice(), stride};
     StridedView s2{succ_s.slice(), stride};
     StridedView ws{w_s.slice(), stride};
-    gather(cx, succ, sel, ss, m, grain);
-    gather(cx, succ, succ, s2, m, grain);
-    gather(cx, succ, w, ws, m, grain);
+    gather(cx, succ, sel, ss, m, grain, opt.sort);
+    gather(cx, succ, succ, s2, m, grain, opt.sort);
+    gather(cx, succ, w, ws, m, grain, opt.sort);
 
     auto succ_spl = cx.template alloc<i64>(m * stride, "lr.succ_spl");
     auto w_spl = cx.template alloc<i64>(m * stride, "lr.w_spl");
@@ -160,7 +161,7 @@ void list_rank_weighted(Ctx& cx, Slice<i64> succ_in, Slice<i64> w_in,
     // New-id of each node's spliced successor.
     auto pos_s = cx.template alloc<i64>(m, "lr.pos_s");
     gather(cx, sp, StridedView{pos.slice(), 1},
-           StridedView{pos_s.slice(), 1}, m, grain);
+           StridedView{pos_s.slice(), 1}, m, grain, opt.sort);
 
     // Build the next level (gapped layout).
     const uint64_t stride_next = detail::lr_stride(opt.gapping, n0, m_next);
@@ -221,8 +222,8 @@ void list_rank_weighted(Ctx& cx, Slice<i64> succ_in, Slice<i64> w_in,
       StridedView rv{r_jump.slice(), stride};
       StridedView rsv{r_s.slice(), stride};
       StridedView ssv{s_s.slice(), stride};
-      gather(cx, sv, rv, rsv, m, grain);
-      gather(cx, sv, sv, ssv, m, grain);
+      gather(cx, sv, rv, rsv, m, grain, opt.sort);
+      gather(cx, sv, sv, ssv, m, grain, opt.sort);
       auto r_new = cx.template alloc<i64>(std::max<size_t>(1, m * stride),
                                           "lr.jump_r2");
       auto s_new = cx.template alloc<i64>(std::max<size_t>(1, m * stride),
@@ -270,7 +271,7 @@ void list_rank_weighted(Ctx& cx, Slice<i64> succ_in, Slice<i64> w_in,
     auto r_s = cx.template alloc<i64>(std::max<size_t>(1, lm * lstride),
                                       "lr.exp_rs");
     StridedView rsv{r_s.slice(), lstride};
-    gather(cx, sp, rl, rsv, lm, grain);
+    gather(cx, sp, rl, rsv, lm, grain, opt.sort);
     bp_range(cx, 0, lm, grain, 4, [&](size_t lo, size_t hi) {
       for (size_t i = lo; i < hi; ++i) {
         if (sel.get(cx, i) != 0) {

@@ -5,11 +5,13 @@
 //   scatter: out[idx[i]] = values[i]        (idx a permutation subset)
 //
 // Both cost O(sort(n)) cache misses instead of n random misses.  Packing:
-// records are (hi << 32) | lo with both halves < 2^31, checked.
+// records are (hi << 32) | lo with both halves < 2^31, checked.  The
+// routing sort is selectable at runtime (SortKind: HBP msort or SPMS).
 #pragma once
 
 #include "ro/alg/scan.h"
 #include "ro/alg/sort.h"
+#include "ro/alg/spms.h"
 #include "ro/core/context.h"
 #include "ro/mem/varray.h"
 #include "ro/util/check.h"
@@ -53,7 +55,8 @@ struct StridedView {
 /// order (monotone -> scan-friendly); sort (i, value) back by i; unpack.
 template <class Ctx>
 void gather(Ctx& cx, const StridedView& idx, const StridedView& values,
-            const StridedView& out, size_t m, size_t grain = 1) {
+            const StridedView& out, size_t m, size_t grain = 1,
+            SortKind sort = SortKind::kMsort) {
   auto req = cx.template alloc<i64>(m, "route.req");
   auto req_sorted = cx.template alloc<i64>(m, "route.req_sorted");
   auto resp = cx.template alloc<i64>(m, "route.resp");
@@ -68,7 +71,7 @@ void gather(Ctx& cx, const StridedView& idx, const StridedView& values,
       cx.set(rq, i, detail::pack2(idx.get(cx, i), static_cast<i64>(i)));
     }
   });
-  msort(cx, rq, rqs, 8, grain);
+  sort_by(cx, sort, rq, rqs, 8, grain);
   // Read values in sorted target order; emit (origin, value).
   bp_range(cx, 0, m, grain, 4, [&](size_t lo, size_t hi) {
     for (size_t i = lo; i < hi; ++i) {
@@ -77,7 +80,7 @@ void gather(Ctx& cx, const StridedView& idx, const StridedView& values,
       cx.set(rp, i, detail::pack2(detail::lo32(p), v));
     }
   });
-  msort(cx, rp, rps, 8, grain);
+  sort_by(cx, sort, rp, rps, 8, grain);
   bp_range(cx, 0, m, grain, 2, [&](size_t lo, size_t hi) {
     for (size_t i = lo; i < hi; ++i) {
       out.set(cx, i, detail::lo32(cx.get(rps, i)));
@@ -89,7 +92,8 @@ void gather(Ctx& cx, const StridedView& idx, const StridedView& values,
 /// Sorting by destination makes the writes a monotone scan.
 template <class Ctx>
 void scatter(Ctx& cx, const StridedView& idx, const StridedView& values,
-             const StridedView& out, size_t m, size_t grain = 1) {
+             const StridedView& out, size_t m, size_t grain = 1,
+             SortKind sort = SortKind::kMsort) {
   auto req = cx.template alloc<i64>(m, "scatter.req");
   auto req_sorted = cx.template alloc<i64>(m, "scatter.req_sorted");
   auto rq = req.slice();
@@ -99,7 +103,7 @@ void scatter(Ctx& cx, const StridedView& idx, const StridedView& values,
       cx.set(rq, i, detail::pack2(idx.get(cx, i), values.get(cx, i)));
     }
   });
-  msort(cx, rq, rqs, 8, grain);
+  sort_by(cx, sort, rq, rqs, 8, grain);
   bp_range(cx, 0, m, grain, 2, [&](size_t lo, size_t hi) {
     for (size_t i = lo; i < hi; ++i) {
       const i64 p = cx.get(rqs, i);

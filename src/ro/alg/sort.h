@@ -1,16 +1,19 @@
-// Sort — HBP merge sort with parallel merge, the stand-in for SPMS [12]
-// (see DESIGN.md substitution #2).
+// Sort — HBP merge sort with parallel merge: the simple baseline sorting
+// primitive.  The paper's real primitive, SPMS (Sample-Partition-Merge
+// Sort [12]), lives in spms.h; every sort consumer picks between the two
+// at runtime through the SortKind knob (see alg::sort_by in spms.h).
 //
 // Type-2 HBP shape: two recursive half-sorts into fresh local arrays
 // followed by a parallel merge that splits by binary search.  Limited
 // access: every array is written once; reads are unrestricted.  Bounds:
 // W = O(n log n), T∞ = O(log³ n) (log² per merge × log levels; SPMS achieves
 // O(log n · log log n)), Q = O((n/B)·log₂(n/M)) vs SPMS's O((n/B)·log_M n).
-// List ranking and CC use sort as a black box, so only the log base of
-// their cache terms differs from the paper's.
+// msort is kept as the default for small routing sorts and as the fallback
+// inside SPMS itself; bench_spms compares the two head to head.
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "ro/alg/scan.h"
@@ -19,6 +22,12 @@
 #include "ro/util/check.h"
 
 namespace ro::alg {
+
+/// Runtime choice of sorting primitive for the sort-consuming algorithms
+/// (route, list ranking, CC, Euler tours): the HBP merge sort below or the
+/// paper's SPMS (spms.h).  Threaded through the options structs and the
+/// bench `--sort=` flag.
+enum class SortKind : uint8_t { kMsort, kSpms };
 
 namespace detail {
 

@@ -1,0 +1,580 @@
+// SPMS — Sample, Partition, and Merge Sort, the paper's sorting primitive
+// ("Resource Oblivious Sorting on Multicores", Cole & Ramachandran [12]).
+//
+// Three-phase recursion on n keys (docs/spms.md maps each phase to the
+// paper's bounds and records where this implementation simplifies):
+//   1. Sample / subsort: split into k = Θ(√n) contiguous runs of ~4√n and
+//      recursively sort them in parallel (one T(√n) term).
+//   2. Partition: deterministically sample each sorted run at stride
+//      4⌈√m⌉ with per-run staggered offsets (so iid runs yield pivots at
+//      distinct quantiles), sort the sample by a *recursive multiway
+//      merge* (the interleaving that names the algorithm — the sample is
+//      itself r sorted subsequences), deduplicate it into pivot values
+//      with the scan.h pack primitives, locate every pivot in every run
+//      with a parallel divide-and-conquer multisearch, and derive bucket
+//      boundaries and segment offsets with one prefix-sums pass over the
+//      cache-obliviously tiled r×(2t+1) boundary table.
+//   3. Merge: the pivots cut the output into interleaved buckets —
+//      equal-value buckets resolved by a parallel fill (this is what keeps
+//      duplicate-heavy inputs linear) and strict-gap buckets, each staged
+//      into a contiguous frame-local buffer and merged by a balanced
+//      binary tree over √-splitting co-ranked merges (merge2).
+//
+// Bounds vs the paper: W = O(n log n) and Q = O((n/B)·log_M n)-shaped
+// (bench_spms measures Q below msort's (n/B)·log₂(n/M) from n = 2^16 up);
+// the span of this implementation is O(log² n · log log n) — machinery
+// levels cost O(log² m) and the recursion has O(log log n) levels — versus
+// the paper's O(log n · log log n) via its more intricate merge, and
+// versus msort's O(log³ n).  test_spms asserts the measured growth is
+// flatter than msort's across sizes.
+//
+// Limited access: every scratch array and every output position is written
+// exactly once per owning merge call (Def 2.4); base cases use the same
+// read-once/sort-in-registers/write-once idiom as msort.  All scratch is
+// frame-local (cx.local), so replay reuses arena stacks exactly as msort's
+// temporaries do.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "ro/alg/scan.h"
+#include "ro/alg/sort.h"
+#include "ro/core/context.h"
+#include "ro/mem/varray.h"
+#include "ro/util/bits.h"
+#include "ro/util/check.h"
+
+namespace ro::alg {
+
+/// "msort" / "spms" <-> SortKind (the bench `--sort=` flag).  Returns false
+/// and leaves `out` untouched on unknown names.
+bool parse_sort_kind(const std::string& name, SortKind& out);
+const char* sort_kind_name(SortKind k);
+
+namespace detail {
+
+/// Leaf size below which a multiway-merge subproblem is resolved directly.
+inline constexpr size_t kSpmsMergeBase = 32;
+/// Below this size merge2's √-splitting hands over to merge_rec.
+inline constexpr size_t kMerge2Min = 1024;
+/// Paranoia cap: structural progress is guaranteed (every merge level has
+/// at least one pivot, so strict-gap buckets shrink), but a cap keeps any
+/// unforeseen degeneracy from recursing unboundedly — at the cap the
+/// subproblem is resolved by the sequential base case (correct, if slow;
+/// unreachable in practice).
+inline constexpr uint32_t kSpmsDepthCap = 64;
+
+/// ⌈√m⌉ (m >= 1).
+inline size_t ceil_sqrt(size_t m) { return m <= 1 ? 1 : isqrt(m - 1) + 1; }
+
+/// Sampling stride for a merge of total size m: every 4⌈√m⌉-th element, so
+/// the sample (and with it the pivot count t) stays ~√m/4 and the r×t
+/// partition tables stay a small fraction of m.
+inline size_t spms_stride(size_t m) { return 4 * ceil_sqrt(m); }
+
+/// Cap on the number of sequences a merge level works on directly: with
+/// r ≤ ⌈√m⌉/4 the r×t boundary tables hold ≤ ~m/16 entries.  Merges that
+/// arrive with more sequences (buckets with many tiny segments) first halve
+/// r with pairwise parallel merge rounds.
+inline size_t spms_seq_cap(size_t m) {
+  return std::max<size_t>(2, ceil_sqrt(m) / 4);
+}
+
+/// Sequence i's sampling offset: strides start at (i/r)·s so that when
+/// each run yields only one sample, the r samples sit at r *distinct*
+/// quantiles instead of r copies of the same one (iid runs would otherwise
+/// put every pivot at the global median and leave two giant end buckets).
+inline size_t spms_sample_off(size_t i, size_t r, size_t s) {
+  return (i * s) / r;
+}
+
+/// Number of samples of a length-`len` sequence at stride s from `off`.
+inline size_t spms_sample_count(size_t len, size_t s, size_t off) {
+  return len > off ? (len - off - 1) / s + 1 : 0;
+}
+
+/// Base case shared by the sort and merge recursions: read each element
+/// once, order in registers, write each output once (msort's idiom).
+template <class Ctx>
+void spms_base(Ctx& cx, const std::vector<Slice<i64>>& seqs, Slice<i64> out) {
+  std::vector<i64> buf;
+  buf.reserve(out.n);
+  for (const Slice<i64>& s : seqs) {
+    for (size_t i = 0; i < s.n; ++i) buf.push_back(cx.get(s, i));
+  }
+  RO_CHECK(buf.size() == out.n);
+  std::sort(buf.begin(), buf.end());
+  for (size_t i = 0; i < out.n; ++i) cx.set(out, i, buf[i]);
+}
+
+/// Parallel copy of one sorted sequence into its output range.
+template <class Ctx>
+void spms_copy(Ctx& cx, Slice<i64> src, Slice<i64> out, size_t grain) {
+  RO_CHECK(src.n == out.n);
+  bp_range(cx, 0, src.n, grain, 2, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) cx.set(out, i, cx.get(src, i));
+  });
+}
+
+/// Divide-and-conquer multisearch: resolves boundary positions for pivots
+/// [j0, j1) of `pv` within seq range [slo, shi), writing them to row
+/// `row[j]`.  With `strict`, bound[j] = first index with seq[idx] >= pv[j]
+/// (lower bound); otherwise first index with seq[idx] > pv[j] (upper
+/// bound).  Each node binary-searches the middle pivot, then the two
+/// halves recurse on disjoint halves of the sequence range in parallel —
+/// span O(log t · log len), reads confined to the run and the pivot array.
+template <class Ctx>
+void multisearch(Ctx& cx, Slice<i64> seq, Slice<i64> pv, Slice<i64> row,
+                 size_t j0, size_t j1, size_t slo, size_t shi, bool strict) {
+  if (j0 >= j1) return;
+  const size_t jm = j0 + (j1 - j0) / 2;
+  const i64 p = cx.get(pv, jm);
+  size_t lo = slo;
+  size_t hi = shi;
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    const i64 v = cx.get(seq, mid);
+    if (strict ? (v < p) : (v <= p)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  const size_t pos = lo;
+  cx.set(row, jm, static_cast<i64>(pos));
+  if (j1 - j0 == 1) return;
+  cx.fork2(
+      2 * (jm - j0 + (pos - slo) + 1),
+      [&] { multisearch(cx, seq, pv, row, j0, jm, slo, pos, strict); },
+      2 * (j1 - jm + (shi - pos) + 1),
+      [&] { multisearch(cx, seq, pv, row, jm + 1, j1, pos, shi, strict); });
+}
+
+template <class Ctx>
+void spms_sort_rec(Ctx& cx, Slice<i64> a, Slice<i64> out, size_t base,
+                   size_t grain, uint32_t depth);
+
+/// √-splitting binary merge — SPMS's replacement for sort.h's merge_rec.
+/// Instead of one pivot split per recursion level (O(log² m) span), it
+/// co-ranks ⌈√m⌉ evenly spaced *output* positions in parallel (one
+/// O(log m) search each) and recurses on the resulting √m-sized chunks:
+/// T(m) = O(log m) + T(√m) = O(log m).  This is the rank-based splitting
+/// the paper's merge relies on for its T∞ bound.
+template <class Ctx>
+void merge2(Ctx& cx, Slice<i64> a, Slice<i64> b, Slice<i64> out, size_t base,
+            size_t grain) {
+  RO_CHECK(out.n == a.n + b.n);
+  const size_t m = out.n;
+  if (a.n == 0) {
+    spms_copy(cx, b, out, grain);
+    return;
+  }
+  if (b.n == 0) {
+    spms_copy(cx, a, out, grain);
+    return;
+  }
+  if (m < kMerge2Min) {
+    // Below this size the co-ranking setup costs more than it saves;
+    // merge_rec's single-pivot splitting has the smaller constants.
+    merge_rec(cx, a, b, out, std::max(base, size_t{8}), grain);
+    return;
+  }
+  const size_t c = ceil_sqrt(m);
+  const size_t chunks = (m + c - 1) / c;
+  auto split = cx.template local<i64>(chunks - 1);
+  {
+    auto sp = split.slice();
+    // Co-rank output position q = (j+1)·c: the smallest ai with
+    // a[ai] >= b[q-ai-1] gives a valid prefix split (its complement
+    // condition a[ai-1] < b[q-ai] holds by minimality).
+    fork_range(cx, 0, chunks - 1, 2 * (log2_ceil(m | 1) + 1), [&](size_t j) {
+      const size_t q = (j + 1) * c;
+      size_t lo = q > b.n ? q - b.n : 0;
+      size_t hi = std::min(q, a.n);
+      while (lo < hi) {
+        const size_t mid = lo + (hi - lo) / 2;
+        if (cx.get(a, mid) >= cx.get(b, q - mid - 1)) {
+          hi = mid;
+        } else {
+          lo = mid + 1;
+        }
+      }
+      cx.set(sp, j, static_cast<i64>(lo));
+    });
+  }
+  // Chunk boundaries, made monotone (ties admit several valid splits).
+  std::vector<size_t> ai(chunks + 1);
+  std::vector<size_t> qa(chunks + 1);
+  ai[0] = 0;
+  qa[0] = 0;
+  for (size_t j = 1; j < chunks; ++j) {
+    qa[j] = j * c;
+    ai[j] = std::max<size_t>(ai[j - 1], static_cast<size_t>(split.raw()[j - 1]));
+  }
+  ai[chunks] = a.n;
+  qa[chunks] = m;
+  fork_range_sized(
+      cx, 0, chunks, [&](size_t j) { return 2 * (qa[j + 1] - qa[j]); },
+      [&](size_t j) {
+        const size_t a0 = ai[j];
+        const size_t a1 = ai[j + 1];
+        const size_t b0 = qa[j] - a0;
+        const size_t b1 = qa[j + 1] - a1;
+        merge2(cx, a.sub(a0, a1 - a0), b.sub(b0, b1 - b0),
+               out.sub(qa[j], qa[j + 1] - qa[j]), base, grain);
+      });
+}
+
+/// Recursive 2D decomposition over [b0, b1) × [i0, i1): forks the longer
+/// axis until tiles are ≤ 8×8, then runs `body(b0, b1, i0, i1)`.  Keeps
+/// passes that pair a bucket-major array with seq-major tables (a logical
+/// transpose) cache-oblivious instead of striding across one of them.
+template <class Ctx, class Body>
+void tile2d(Ctx& cx, size_t b0, size_t b1, size_t i0, size_t i1,
+            uint64_t words_per_cell, Body&& body) {
+  const size_t db = b1 - b0;
+  const size_t di = i1 - i0;
+  if (db == 0 || di == 0) return;
+  if (db <= 8 && di <= 8) {
+    body(b0, b1, i0, i1);
+    return;
+  }
+  if (db >= di) {
+    const size_t bm = b0 + db / 2;
+    cx.fork2(
+        (bm - b0) * di * words_per_cell,
+        [&] { tile2d(cx, b0, bm, i0, i1, words_per_cell, body); },
+        (b1 - bm) * di * words_per_cell,
+        [&] { tile2d(cx, bm, b1, i0, i1, words_per_cell, body); });
+  } else {
+    const size_t im = i0 + di / 2;
+    cx.fork2(
+        db * (im - i0) * words_per_cell,
+        [&] { tile2d(cx, b0, b1, i0, im, words_per_cell, body); },
+        db * (i1 - im) * words_per_cell,
+        [&] { tile2d(cx, b0, b1, im, i1, words_per_cell, body); });
+  }
+}
+
+/// Balanced binary merge tree over seqs[lo, hi): the resolver for bucket
+/// subproblems whose sequence count is too large for the sampling
+/// machinery (r² ≫ m).  Halves of the list merge in parallel into scratch,
+/// then one parallel binary merge combines them — span O(log r · log² m),
+/// linear work per tree level.
+template <class Ctx>
+void merge_many(Ctx& cx, const std::vector<Slice<i64>>& seqs, size_t lo,
+                size_t hi, Slice<i64> out, size_t base, size_t grain) {
+  if (hi == lo) return;
+  if (hi - lo == 1) {
+    spms_copy(cx, seqs[lo], out, grain);
+    return;
+  }
+  if (hi - lo == 2) {
+    merge2(cx, seqs[lo], seqs[lo + 1], out, 8, grain);
+    return;
+  }
+  if (out.n <= std::max(base, kSpmsMergeBase)) {
+    std::vector<Slice<i64>> segs(seqs.begin() + lo, seqs.begin() + hi);
+    spms_base(cx, segs, out);
+    return;
+  }
+  // Split the sequence list where the words split most evenly.
+  size_t words = 0;
+  for (size_t i = lo; i < hi; ++i) words += seqs[i].n;
+  size_t mid = lo + 1;
+  size_t left_words = seqs[lo].n;
+  while (mid + 1 < hi && 2 * (left_words + seqs[mid].n) <= words) {
+    left_words += seqs[mid].n;
+    ++mid;
+  }
+  auto scratch = cx.template local<i64>(words);
+  auto sl = scratch.slice(0, left_words);
+  auto sr = scratch.slice(left_words, words - left_words);
+  cx.fork2(
+      2 * left_words,
+      [&] { merge_many(cx, seqs, lo, mid, sl, base, grain); },
+      2 * (words - left_words),
+      [&] { merge_many(cx, seqs, mid, hi, sr, base, grain); });
+  merge2(cx, sl, sr, out, 8, grain);
+}
+
+/// Multiway merge of the sorted sequences `seqs_in` (total size out.n).
+template <class Ctx>
+void spms_merge(Ctx& cx, const std::vector<Slice<i64>>& seqs_in,
+                Slice<i64> out, size_t base, size_t grain, uint32_t depth) {
+  std::vector<Slice<i64>> seqs;
+  seqs.reserve(seqs_in.size());
+  size_t total = 0;
+  for (const Slice<i64>& s : seqs_in) {
+    if (!s.empty()) {
+      seqs.push_back(s);
+      total += s.n;
+    }
+  }
+  const size_t m = out.n;
+  RO_CHECK(total == m);
+  if (m == 0) return;
+  const size_t r = seqs.size();
+  if (r == 1) {
+    spms_copy(cx, seqs[0], out, grain);
+    return;
+  }
+  if (m <= std::max({base, kSpmsMergeBase, 2 * r}) ||
+      depth >= kSpmsDepthCap) {
+    spms_base(cx, seqs, out);
+    return;
+  }
+  if (r == 2) {
+    merge2(cx, seqs[0], seqs[1], out, 8, grain);
+    return;
+  }
+  const size_t s = spms_stride(m);
+  size_t ns = 0;
+  for (size_t i = 0; i < r; ++i) {
+    ns += spms_sample_count(seqs[i].n, s, spms_sample_off(i, r, s));
+  }
+  if (r > spms_seq_cap(m) || ns < 2) {
+    // Bucket shape (many short segments): the r×t boundary tables would
+    // dominate, so resolve with the binary merge tree instead.
+    merge_many(cx, seqs, 0, seqs.size(), out, base, grain);
+    return;
+  }
+
+  // ---- Phase 2a: deterministic sample, every s-th element of each run ----
+  std::vector<size_t> scnt(r);
+  std::vector<size_t> soff(r + 1, 0);
+  for (size_t i = 0; i < r; ++i) {
+    scnt[i] = spms_sample_count(seqs[i].n, s, spms_sample_off(i, r, s));
+    soff[i + 1] = soff[i] + scnt[i];
+  }
+  RO_CHECK(soff[r] == ns && ns >= 2);
+  auto sample = cx.template local<i64>(ns);
+  {
+    auto sm = sample.slice();
+    fork_range_sized(
+        cx, 0, r, [&](size_t i) { return 2 * scnt[i]; },
+        [&](size_t i) {
+          const Slice<i64> sq = seqs[i];
+          auto dst = sm.sub(soff[i], scnt[i]);
+          const size_t off = spms_sample_off(i, r, s);
+          bp_range(cx, 0, scnt[i], grain, 2, [&](size_t lo, size_t hi) {
+            for (size_t j = lo; j < hi; ++j) {
+              cx.set(dst, j, cx.get(sq, off + j * s));
+            }
+          });
+        });
+  }
+
+  // ---- Phase 2b: sort the sample by recursive multiway merge (it is r
+  // sorted subsequences of the runs), then dedup into pivot values ----
+  auto sample_sorted = cx.template local<i64>(ns);
+  {
+    std::vector<Slice<i64>> sseqs(r);
+    for (size_t i = 0; i < r; ++i) sseqs[i] = sample.slice(soff[i], scnt[i]);
+    spms_merge(cx, sseqs, sample_sorted.slice(), base, grain, depth + 1);
+  }
+  auto keep = cx.template local<i64>(ns);
+  auto pos = cx.template local<i64>(ns);
+  {
+    auto ss = sample_sorted.slice();
+    auto ks = keep.slice();
+    bp_range(cx, 0, ns, grain, 3, [&](size_t lo, size_t hi) {
+      for (size_t j = lo; j < hi; ++j) {
+        const bool first = j == 0 || cx.get(ss, j - 1) != cx.get(ss, j);
+        cx.set(ks, j, first ? i64{1} : i64{0});
+      }
+    });
+  }
+  prefix_sums_exclusive(cx, keep.slice(), pos.slice(), grain);
+  const size_t t = static_cast<size_t>(pos.raw()[ns - 1] + keep.raw()[ns - 1]);
+  auto pivots = cx.template local<i64>(t);
+  scatter_pack(cx, sample_sorted.slice(), keep.slice(), pos.slice(),
+               pivots.slice(), grain);
+
+  // ---- Phase 2c: locate every pivot in every run (lower and upper
+  // bounds) with the parallel multisearch ----
+  auto lo_tab = cx.template local<i64>(r * t);
+  auto hi_tab = cx.template local<i64>(r * t);
+  {
+    auto lt = lo_tab.slice();
+    auto ht = hi_tab.slice();
+    auto pv = pivots.slice();
+    fork_range_sized(
+        cx, 0, r, [&](size_t i) { return 2 * (seqs[i].n + t); },
+        [&](size_t i) {
+          cx.fork2(
+              seqs[i].n + t,
+              [&] {
+                multisearch(cx, seqs[i], pv, lt.sub(i * t, t), 0, t, 0,
+                            seqs[i].n, /*strict=*/true);
+              },
+              seqs[i].n + t, [&] {
+                multisearch(cx, seqs[i], pv, ht.sub(i * t, t), 0, t, 0,
+                            seqs[i].n, /*strict=*/false);
+              });
+        });
+  }
+
+  // ---- Phase 3: interleaved buckets G_0 E_0 G_1 E_1 ... E_{t-1} G_t.
+  // E_j holds the elements equal to pivot j (filled directly); G_j holds
+  // the values strictly between pivots j-1 and j (merged recursively; each
+  // run contributes < s of them, the sampling guarantee).  Per-segment
+  // lengths prefix-sum to both bucket boundaries and segment offsets. ----
+  const size_t nb = 2 * t + 1;
+  auto seg_len = cx.template local<i64>(nb * r);
+  {
+    auto sl = seg_len.slice();
+    auto lt = lo_tab.slice();
+    auto ht = hi_tab.slice();
+    // seg_len is bucket-major, the lo/hi tables seq-major — a logical
+    // transpose, so tile the pass instead of striding across the tables.
+    tile2d(cx, 0, nb, 0, r, 4, [&](size_t b0, size_t b1, size_t i0,
+                                   size_t i1) {
+      for (size_t i = i0; i < i1; ++i) {
+        for (size_t b = b0; b < b1; ++b) {
+          i64 len;
+          if (b % 2 == 1) {  // E bucket for pivot j = (b-1)/2
+            const size_t j = (b - 1) / 2;
+            len = cx.get(ht, i * t + j) - cx.get(lt, i * t + j);
+          } else {  // G bucket j = b/2: (hi of pivot j-1, lo of pivot j)
+            const size_t j = b / 2;
+            const i64 from = j == 0 ? 0 : cx.get(ht, i * t + (j - 1));
+            const i64 to = j == t ? static_cast<i64>(seqs[i].n)
+                                  : cx.get(lt, i * t + j);
+            len = to - from;
+          }
+          cx.set(sl, b * r + i, len);
+        }
+      }
+    });
+  }
+  auto seg_off = cx.template local<i64>(nb * r);
+  // Coarser leaves here only shrink the prefix tree (the values are O(1)
+  // bookkeeping words, not elements).
+  prefix_sums_exclusive(cx, seg_len.slice(), seg_off.slice(),
+                        std::max<size_t>(grain, 8));
+
+  // Bucket boundaries for recursion control come from the host-visible
+  // prefix sums (the same idiom as list ranking's survivor counts).
+  const i64* off_raw = seg_off.raw();
+  const i64* len_raw = seg_len.raw();
+  auto bucket_begin = [&](size_t b) {
+    return static_cast<size_t>(off_raw[b * r]);
+  };
+  auto bucket_end = [&](size_t b) {
+    return b + 1 < nb ? static_cast<size_t>(off_raw[(b + 1) * r]) : m;
+  };
+  fork_range_sized(
+      cx, 0, nb,
+      [&](size_t b) { return 2 * (bucket_end(b) - bucket_begin(b)) + 1; },
+      [&](size_t b) {
+        const size_t begin = bucket_begin(b);
+        const size_t size = bucket_end(b) - begin;
+        if (size == 0) return;
+        Slice<i64> dst = out.sub(begin, size);
+        if (b % 2 == 1) {  // equal-value bucket: fill with the pivot
+          const size_t j = (b - 1) / 2;
+          const i64 v = cx.get(pivots.slice(), j);
+          bp_range(cx, 0, size, grain, 1, [&](size_t lo, size_t hi) {
+            for (size_t q = lo; q < hi; ++q) cx.set(dst, q, v);
+          });
+          return;
+        }
+        const size_t j = b / 2;  // strict-gap bucket: recursive merge
+        std::vector<Slice<i64>> srcs;
+        std::vector<size_t> offs;
+        srcs.reserve(r);
+        offs.reserve(r + 1);
+        offs.push_back(0);
+        for (size_t i = 0; i < r; ++i) {
+          const size_t from =
+              j == 0 ? 0
+                     : static_cast<size_t>(hi_tab.raw()[i * t + (j - 1)]);
+          const size_t len = static_cast<size_t>(len_raw[b * r + i]);
+          if (len) {
+            srcs.push_back(seqs[i].sub(from, len));
+            offs.push_back(offs.back() + len);
+          }
+        }
+        // Structural guarantee: a strict gap excludes at least the pivot
+        // occurrences themselves, so the subproblem shrank.
+        RO_CHECK_MSG(size < m, "SPMS bucket failed to shrink");
+        // Stage the bucket's segments contiguously (this materializes the
+        // partition): the recursive merge then reads one compact range
+        // instead of r scattered ones, which is what keeps a bucket's
+        // working set ~its own size on any cache.
+        auto staged = cx.template local<i64>(size);
+        auto st = staged.slice();
+        fork_range_sized(
+            cx, 0, srcs.size(),
+            [&](size_t i) { return 2 * srcs[i].n; },
+            [&](size_t i) {
+              spms_copy(cx, srcs[i], st.sub(offs[i], srcs[i].n), grain);
+            });
+        std::vector<Slice<i64>> segs(srcs.size());
+        for (size_t i = 0; i < srcs.size(); ++i) {
+          segs[i] = st.sub(offs[i], srcs[i].n);
+        }
+        spms_merge(cx, segs, dst, base, grain, depth + 1);
+      });
+}
+
+template <class Ctx>
+void spms_sort_rec(Ctx& cx, Slice<i64> a, Slice<i64> out, size_t base,
+                   size_t grain, uint32_t depth) {
+  RO_CHECK(a.n == out.n);
+  const size_t n = a.n;
+  if (n <= std::max(base, kSpmsMergeBase)) {
+    spms_base(cx, {a}, out);
+    return;
+  }
+  // Phase 1: k = ⌈√n⌉/4 contiguous runs of size ~4√n, sorted recursively
+  // in parallel into fresh scratch (written once — limited access).  The
+  // divisor keeps k at the merge's sequence cap so the top merge needs no
+  // pair rounds and its boundary tables stay ≤ ~m/16 entries.
+  const size_t k = spms_seq_cap(n);
+  const size_t run = (n + k - 1) / k;
+  const size_t nruns = (n + run - 1) / run;
+  auto runs = cx.template local<i64>(n);
+  {
+    auto rs = runs.slice();
+    fork_range(cx, 0, nruns, 2 * run, [&](size_t i) {
+      const size_t lo = i * run;
+      const size_t len = std::min(run, n - lo);
+      spms_sort_rec(cx, a.sub(lo, len), rs.sub(lo, len), base, grain,
+                    depth + 1);
+    });
+  }
+  std::vector<Slice<i64>> seqs(nruns);
+  for (size_t i = 0; i < nruns; ++i) {
+    const size_t lo = i * run;
+    seqs[i] = runs.slice(lo, std::min(run, n - lo));
+  }
+  spms_merge(cx, seqs, out, base, grain, depth);
+}
+
+}  // namespace detail
+
+/// Sorts `a` into `out` with SPMS (non-destructive; |a| = |out|).
+template <class Ctx>
+void spms(Ctx& cx, Slice<i64> a, Slice<i64> out, size_t base = 32,
+          size_t grain = 1) {
+  detail::spms_sort_rec(cx, a, out, base, grain, 0);
+}
+
+/// Runtime dispatch for the sort-consuming algorithms (route, LR, CC,
+/// Euler): one knob selects the primitive, everything downstream is
+/// unchanged.
+template <class Ctx>
+void sort_by(Ctx& cx, SortKind kind, Slice<i64> a, Slice<i64> out,
+             size_t base = 8, size_t grain = 1) {
+  if (kind == SortKind::kSpms) {
+    spms(cx, a, out, std::max<size_t>(base, 32), grain);
+  } else {
+    msort(cx, a, out, base, grain);
+  }
+}
+
+}  // namespace ro::alg

@@ -20,9 +20,20 @@ namespace ro {
 /// Maps logical index -> strided index (every `stride`-th slot used).
 struct StrideLayout {
   uint64_t stride = 1;
-  uint64_t slot(uint64_t logical) const { return logical * stride; }
+  uint64_t slot(uint64_t logical) const {
+    RO_CHECK_MSG(stride >= 1, "StrideLayout stride must be >= 1");
+    RO_CHECK_MSG(logical <= UINT64_MAX / stride,
+                 "StrideLayout::slot overflows uint64_t");
+    return logical * stride;
+  }
   /// Space needed to hold `count` logical elements.
-  uint64_t space(uint64_t count) const { return count ? (count - 1) * stride + 1 : 0; }
+  uint64_t space(uint64_t count) const {
+    if (count == 0) return 0;
+    RO_CHECK_MSG(stride >= 1, "StrideLayout stride must be >= 1");
+    RO_CHECK_MSG(count - 1 <= (UINT64_MAX - 1) / stride,
+                 "StrideLayout::space overflows uint64_t");
+    return (count - 1) * stride + 1;
+  }
 };
 
 /// Gap assigned to subarrays of size `r` in the gapped-RM destination:
@@ -50,10 +61,14 @@ class RowGapLayout {
     // padded width of a side-s subrow, bottom-up.
     uint64_t w = 1;
     for (uint64_t s = 2; s <= n; s *= 2) {
+      RO_CHECK_MSG(w <= (UINT64_MAX - gap_for(s)) / 2,
+                   "RowGapLayout width overflows uint64_t");
       w = 2 * w + gap_for(s);
       widths_[log2_floor(s)] = w;
     }
     padded_row_ = w;
+    RO_CHECK_MSG(n_ == 0 || padded_row_ <= UINT64_MAX / n_,
+                 "RowGapLayout::space overflows uint64_t");
   }
 
   /// Padded offset of logical (row, col), both in [0, n).

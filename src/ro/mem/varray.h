@@ -91,6 +91,8 @@ class Local {
 
   Slice<T> slice() { return Slice<T>{data_.get(), off_, act_, n_}; }
   Slice<T> slice(size_t off, size_t len) { return slice().sub(off, len); }
+  T* raw() { return data_.get(); }
+  const T* raw() const { return data_.get(); }
   size_t size() const { return n_; }
 
  private:

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "ro/util/check.h"
+
 namespace ro {
 
 Cli::Cli(int argc, char** argv) {
@@ -28,12 +30,24 @@ bool Cli::has(const std::string& name) const { return flags_.count(name) > 0; }
 
 int64_t Cli::get_int(const std::string& name, int64_t def) const {
   auto it = flags_.find(name);
-  return it == flags_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 0);
+  if (it == flags_.end()) return def;
+  const char* begin = it->second.c_str();
+  char* end = nullptr;
+  const int64_t v = std::strtoll(begin, &end, 0);
+  if (end == begin) return def;  // no digits at all: fall back
+  RO_CHECK_MSG(*end == '\0', "integer flag has trailing garbage");
+  return v;
 }
 
 double Cli::get_double(const std::string& name, double def) const {
   auto it = flags_.find(name);
-  return it == flags_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+  if (it == flags_.end()) return def;
+  const char* begin = it->second.c_str();
+  char* end = nullptr;
+  const double v = std::strtod(begin, &end);
+  if (end == begin) return def;  // no digits at all: fall back
+  RO_CHECK_MSG(*end == '\0', "numeric flag has trailing garbage");
+  return v;
 }
 
 std::string Cli::get_str(const std::string& name,

@@ -10,7 +10,10 @@
 namespace ro {
 
 /// Parsed command line.  Lookups fall back to defaults so every binary runs
-/// with no arguments.
+/// with no arguments.  Numeric lookups validate the whole token: a value
+/// with no leading digits (`--n=abc`) falls back to the default, while
+/// partially-numeric garbage (`--n=12x`) is an RO_CHECK failure rather
+/// than a silently truncated number.
 class Cli {
  public:
   Cli(int argc, char** argv);

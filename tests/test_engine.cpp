@@ -12,6 +12,7 @@
 #include "ro/alg/mt.h"
 #include "ro/alg/scan.h"
 #include "ro/alg/sort.h"
+#include "ro/alg/spms.h"
 #include "ro/engine/engine.h"
 #include "ro/util/rng.h"
 #include "test_helpers.h"
@@ -195,6 +196,38 @@ TEST(Engine, ReportJsonCarriesBackendFields) {
   EXPECT_EQ(arr.front(), '[');
   EXPECT_NE(arr.find("sim-pws"), std::string::npos);
   EXPECT_NE(arr.find("par-priority"), std::string::npos);
+}
+
+TEST(Engine, ReportJsonEscapesLabelStrings) {
+  // Regression: a label containing quotes, backslashes, newlines or raw
+  // control bytes must still serialize to valid JSON (the kv helper once
+  // wrote string values verbatim).
+  RunReport r;
+  r.label = "a\"b\\c\nd\te\rf\x01g";
+  const std::string j = r.to_json();
+  EXPECT_NE(j.find("\"label\":\"a\\\"b\\\\c\\nd\\te\\rf\\u0001g\""),
+            std::string::npos)
+      << j;
+  // No raw control bytes and no unescaped quote may survive inside the
+  // serialized value.
+  const auto val_at = j.find("a\\\"");
+  ASSERT_NE(val_at, std::string::npos);
+  for (char c : j) EXPECT_GE(static_cast<unsigned char>(c), 0x20) << j;
+}
+
+TEST(EngineParity, SpmsSort) {
+  const size_t n = 2048;
+  expect_parity("spms", [n](std::vector<i64>& out) {
+    return [n, &out](auto& cx) {
+      auto a = cx.template alloc<i64>(n, "a");
+      Rng rng(99);
+      for (size_t i = 0; i < n; ++i)
+        a.raw()[i] = static_cast<i64>(rng.next() >> 1);
+      auto o = cx.template alloc<i64>(n, "o");
+      cx.run(2 * n, [&] { alg::spms(cx, a.slice(), o.slice()); });
+      out.assign(o.raw(), o.raw() + n);
+    };
+  });
 }
 
 TEST(Engine, BackendNamesRoundTrip) {

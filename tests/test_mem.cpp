@@ -76,6 +76,36 @@ TEST(GapLayout, StrideLayoutBasics) {
   EXPECT_EQ(s.space(0), 0u);
 }
 
+TEST(GapLayout, StrideLayoutEdges) {
+  // count == 0 never touches the stride (even a degenerate one).
+  EXPECT_EQ(StrideLayout{0}.space(0), 0u);
+  // A single element needs one slot regardless of stride.
+  EXPECT_EQ(StrideLayout{1u << 20}.space(1), 1u);
+  // Largest stride that still fits: (count-1)*stride + 1 at the brink.
+  StrideLayout big{uint64_t{1} << 62};
+  EXPECT_EQ(big.space(2), (uint64_t{1} << 62) + 1);
+}
+
+TEST(GapLayoutDeathTest, StrideOverflowIsChecked) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // count × stride overflowing uint64_t must RO_CHECK-fail, not wrap.
+  StrideLayout s{uint64_t{1} << 32};
+  EXPECT_DEATH(s.space(uint64_t{1} << 33), "overflow");
+  EXPECT_DEATH(s.slot(uint64_t{1} << 33), "overflow");
+}
+
+TEST(GapLayout, GapForTinyR) {
+  // The r/log²r formula degenerates below r = 4; everything tiny clamps
+  // to a single word of gap.
+  EXPECT_EQ(gap_for(0), 1u);
+  EXPECT_EQ(gap_for(1), 1u);
+  EXPECT_EQ(gap_for(2), 1u);
+  EXPECT_EQ(gap_for(3), 1u);
+  EXPECT_EQ(gap_for(4), 1u);  // 4 / (2·2) = 1
+  EXPECT_EQ(gap_for(8), 1u);  // 8/(3·3) rounds to 0, clamped to 1
+  EXPECT_GE(gap_for(1 << 10), 1u);
+}
+
 TEST(GapLayout, GapForShrinksRelatively) {
   // gap_for(r)/r -> 0: the total space overhead converges (§3.2).
   EXPECT_EQ(gap_for(2), 1u);

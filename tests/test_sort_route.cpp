@@ -54,6 +54,25 @@ TEST(Sort, AlreadySortedAndReverse) {
   }
 }
 
+TEST(Sort, AllEqualAndSawtooth) {
+  // Adversarial duplicate patterns: merge_rec's pivot/binary-search split
+  // historically only saw random data (the SPMS suite covers both kinds;
+  // this keeps the msort-only path honest too).
+  const size_t n = 1024;
+  for (const bool saw : {false, true}) {
+    SeqCtx cx;
+    auto a = cx.alloc<i64>(n);
+    for (size_t i = 0; i < n; ++i) {
+      a.raw()[i] = saw ? static_cast<i64>(i % 5) - 2 : i64{7};
+    }
+    std::vector<i64> want(a.raw(), a.raw() + n);
+    std::sort(want.begin(), want.end());
+    auto out = cx.alloc<i64>(n);
+    cx.run(1, [&] { alg::msort(cx, a.slice(), out.slice()); });
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(out.raw()[i], want[i]) << i;
+  }
+}
+
 TEST(Sort, ManyDuplicates) {
   const size_t n = 1024;
   SeqCtx cx;

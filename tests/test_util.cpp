@@ -129,6 +129,32 @@ TEST(Table, NumFormatting) {
   EXPECT_EQ(Table::num(int64_t{-7}), "-7");
 }
 
+TEST(Cli, NonNumericValueFallsBackToDefault) {
+  // `--n=abc` used to parse as 0 via strtoll's nullptr endptr; it must
+  // fall back to the caller's default instead.
+  const char* argv[] = {"prog", "--n=abc", "--x=", "--f=oops"};
+  Cli cli(4, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("n", 17), 17);
+  EXPECT_EQ(cli.get_int("x", -3), -3);  // empty value
+  EXPECT_DOUBLE_EQ(cli.get_double("f", 2.5), 2.5);
+}
+
+TEST(Cli, NumericValuesFullyParsed) {
+  const char* argv[] = {"prog", "--n=0x10", "--m=-42", "--f=1.5e3"};
+  Cli cli(4, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("n", 0), 16);  // base-0: hex accepted
+  EXPECT_EQ(cli.get_int("m", 0), -42);
+  EXPECT_DOUBLE_EQ(cli.get_double("f", 0), 1500.0);
+}
+
+TEST(CliDeathTest, PartiallyNumericGarbageIsChecked) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const char* argv[] = {"prog", "--n=12x", "--f=3.5qq"};
+  Cli cli(3, const_cast<char**>(argv));
+  EXPECT_DEATH(cli.get_int("n", 0), "trailing garbage");
+  EXPECT_DEATH(cli.get_double("f", 0), "trailing garbage");
+}
+
 TEST(Cli, ParsesFlagsAndPositional) {
   const char* argv[] = {"prog", "--n=32", "--name", "x", "pos1", "--flag"};
   Cli cli(6, const_cast<char**>(argv));
