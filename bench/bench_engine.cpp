@@ -4,7 +4,7 @@
 // perf trajectory of the engine accumulates across commits.
 //
 //   $ ./bench_engine [--n=16384] [--p=8] [--M=4096] [--B=32]
-//                    [--out=BENCH_engine.json]
+//                    [--replay-threads=1] [--out=BENCH_engine.json]
 #include <cstdio>
 #include <fstream>
 
@@ -21,6 +21,10 @@ int main(int argc, char** argv) {
   opt.sim.M = static_cast<uint64_t>(cli.get_int("M", 1 << 12));
   opt.sim.B = static_cast<uint32_t>(cli.get_int("B", 32));
   opt.threads = static_cast<unsigned>(cli.get_int("threads", 0));
+  // Host-parallel replay (overlaps each replay with its p=1 baseline walk);
+  // metrics are bit-identical for every value — see docs/sharding.md.
+  opt.sim.replay_threads =
+      static_cast<uint32_t>(cli.get_int("replay-threads", 1));
 
   std::vector<RunReport> reports;
   Table t("Engine smoke: every backend, one RunOptions change");

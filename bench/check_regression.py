@@ -15,6 +15,15 @@ only one of the two files are reported but never fail the gate (new
 workloads should not need a baseline edit to land, and retired ones
 should not break the build).  Exit status: 0 = pass, 1 = regression,
 2 = usage/IO error.
+
+Deterministic metrics (simulated makespan, cache/block misses, steal
+counts: same trace + same simulator = identical on every runner) get the
+stricter --exact-metrics gate: any drift at all fails, no noise band, no
+--min-ms guard.  Metrics absent from a row in either file (e.g. the
+par-* backends have no simulator section) are skipped for that row.
+
+    $ python3 bench/check_regression.py build/BENCH_engine.json \
+          --exact-metrics makespan,cache_misses,block_misses,steals
 """
 
 import argparse
@@ -35,6 +44,41 @@ def load_reports(path):
     return keyed
 
 
+def check_exact(base, fresh, metrics):
+    """Exact-equality gate over deterministic fields; any drift fails."""
+    drifts = []
+    compared = 0
+    for key, b in sorted(base.items()):
+        f = fresh.get(key)
+        if f is None:
+            print(f"  [gone] {key[0]}/{key[1]} — in baseline only")
+            continue
+        for m in metrics:
+            bv, fv = b.get(m), f.get(m)
+            if bv is None or fv is None:
+                continue  # e.g. par-* rows carry no simulator fields
+            compared += 1
+            if bv != fv:
+                print(f"  [DRIFT] {key[0]}/{key[1]}: {m} {bv} -> {fv}")
+                drifts.append((key, m, bv, fv))
+            else:
+                print(f"  [ok] {key[0]}/{key[1]}: {m} {bv}")
+    for key in sorted(set(fresh) - set(base)):
+        print(f"  [new] {key[0]}/{key[1]} — not in baseline")
+    if not compared:
+        # Fail closed: a renamed/dropped field must not silently disable a
+        # gate whose contract is "any drift fails".
+        print("check_regression: no comparable deterministic fields — the "
+              "gate would check nothing; failing", file=sys.stderr)
+        return 1
+    if drifts:
+        print(f"check_regression: {len(drifts)} deterministic value(s) "
+              f"drifted from the baseline", file=sys.stderr)
+        return 1
+    print(f"check_regression: {compared} deterministic value(s) exact")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("fresh", help="freshly emitted BENCH_engine.json")
@@ -46,10 +90,18 @@ def main():
     ap.add_argument("--min-ms", type=float, default=5.0, dest="min_ms",
                     help="skip rows whose baseline metric is below this "
                          "(noise guard, default: 5.0)")
+    ap.add_argument("--exact-metrics", default="", dest="exact_metrics",
+                    help="comma-separated deterministic fields that must "
+                         "match the baseline exactly (no threshold, no "
+                         "--min-ms guard); any drift fails")
     args = ap.parse_args()
 
     fresh = load_reports(args.fresh)
     base = load_reports(args.baseline)
+
+    exact = [m for m in args.exact_metrics.split(",") if m]
+    if exact:
+        return check_exact(base, fresh, exact)
 
     regressions = []
     compared = 0

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Accumulate per-commit bench artifacts into a trajectory file.
+
+CI uploads BENCH_engine.json on every commit; this tool folds any number
+of those artifacts into one BENCH_history.json — a JSON array of
+{"commit", "reports"} entries, newest last — so the perf trajectory of
+the engine can be plotted or gated across commits without re-running old
+revisions.
+
+    # append (or replace) this commit's entry
+    $ python3 bench/history.py add build/BENCH_engine.json \
+          --commit "$GITHUB_SHA" --history BENCH_history.json
+
+    # one line per (label, backend): metric trajectory over commits
+    $ python3 bench/history.py show --history BENCH_history.json \
+          --metric makespan
+
+`add` is idempotent per commit: re-adding a commit replaces its entry, so
+re-runs never duplicate history.  Entries keep the order in which they
+were first added (the per-branch commit order when driven from CI).
+Exit status: 0 = ok, 2 = usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_json(path, default=None):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except FileNotFoundError:
+        if default is not None:
+            return default
+        print(f"history: cannot read {path}", file=sys.stderr)
+        sys.exit(2)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"history: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def cmd_add(args):
+    reports = load_json(args.fresh)
+    if not isinstance(reports, list):
+        print(f"history: {args.fresh} is not a report array", file=sys.stderr)
+        return 2
+    history = load_json(args.history, default=[])
+    entry = {"commit": args.commit, "reports": reports}
+    replaced = False
+    for i, e in enumerate(history):
+        if e.get("commit") == args.commit:
+            history[i] = entry
+            replaced = True
+            break
+    if not replaced:
+        history.append(entry)
+    if args.max_entries and len(history) > args.max_entries:
+        history = history[-args.max_entries:]
+    try:
+        with open(args.history, "w") as f:
+            json.dump(history, f, indent=1)
+            f.write("\n")
+    except OSError as e:
+        print(f"history: cannot write {args.history}: {e}", file=sys.stderr)
+        return 2
+    verb = "replaced" if replaced else "appended"
+    print(f"history: {verb} {args.commit[:12]} "
+          f"({len(reports)} reports, {len(history)} commits total)")
+    return 0
+
+
+def cmd_show(args):
+    history = load_json(args.history)
+    commits = [e.get("commit", "?")[:10] for e in history]
+    rows = {}
+    for i, e in enumerate(history):
+        for r in e.get("reports", []):
+            key = (r.get("label", "?"), r.get("backend", "?"))
+            rows.setdefault(key, [None] * len(history))[i] = \
+                r.get(args.metric)
+    print(f"{args.metric} over {len(history)} commit(s): "
+          f"{' '.join(commits)}")
+    for (label, backend) in sorted(rows):
+        vals = " ".join("-" if v is None else str(v)
+                        for v in rows[(label, backend)])
+        print(f"  {label}/{backend}: {vals}")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    add = sub.add_parser("add", help="fold one bench artifact into history")
+    add.add_argument("fresh", help="freshly emitted BENCH_engine.json")
+    add.add_argument("--commit", required=True, help="commit SHA of the run")
+    add.add_argument("--history", default="BENCH_history.json")
+    add.add_argument("--max-entries", type=int, default=0,
+                     help="keep only the newest N commits (0 = unlimited)")
+    add.set_defaults(fn=cmd_add)
+
+    show = sub.add_parser("show", help="print metric trajectories")
+    show.add_argument("--history", default="BENCH_history.json")
+    show.add_argument("--metric", default="makespan")
+    show.set_defaults(fn=cmd_show)
+
+    args = ap.parse_args()
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `history.py show | head`
+        sys.exit(0)

@@ -1,5 +1,8 @@
 #include "ro/core/graph.h"
 
+#include <algorithm>
+#include <unordered_set>
+
 #include "ro/util/check.h"
 
 namespace ro {
@@ -39,6 +42,62 @@ GraphStats TaskGraph::analyze() const {
   }
   st.span = span.empty() ? 0 : span[root];
   return st;
+}
+
+std::vector<ShardSpan> TaskGraph::shard_spans() const {
+  if (!shards.empty()) return shards;
+  return {ShardSpan{shard_of(data_base), root, data_base, data_top,
+                    /*first_act=*/0, static_cast<uint32_t>(acts.size()),
+                    /*first_seg=*/0, static_cast<uint32_t>(segments.size())}};
+}
+
+TaskGraph merge_shards(std::vector<TaskGraph> parts) {
+  RO_CHECK_MSG(!parts.empty(), "merge_shards needs at least one recording");
+  TaskGraph out;
+  out.align_words = parts[0].align_words;
+  std::unordered_set<uint32_t> seen_shards;
+  for (size_t k = 0; k < parts.size(); ++k) {
+    TaskGraph& g = parts[k];
+    RO_CHECK_MSG(g.shards.empty(),
+                 "merge_shards inputs must be single-shard recordings");
+    RO_CHECK_MSG(g.align_words == out.align_words,
+                 "merge_shards inputs must share an allocation alignment");
+    const uint32_t act_off = static_cast<uint32_t>(out.acts.size());
+    const uint32_t seg_off = static_cast<uint32_t>(out.segments.size());
+    const uint64_t acc_off = out.accesses.size();
+    RO_CHECK_MSG(out.acts.size() + g.acts.size() < (uint64_t{1} << 31),
+                 "merged graph exceeds activation id range");
+
+    const uint32_t sid = shard_of(g.data_base);
+    RO_CHECK_MSG(seen_shards.insert(sid).second,
+                 "merge_shards inputs must occupy distinct shards");
+    out.shards.push_back(ShardSpan{
+        sid, g.root + act_off, g.data_base, g.data_top, act_off,
+        static_cast<uint32_t>(g.acts.size()), seg_off,
+        static_cast<uint32_t>(g.segments.size())});
+
+    for (Activation a : g.acts) {
+      if (a.parent != kNoAct) a.parent += act_off;
+      a.first_seg += seg_off;
+      out.acts.push_back(a);
+    }
+    for (Segment s : g.segments) {
+      s.acc_begin += acc_off;
+      s.acc_end += acc_off;
+      if (s.left >= 0) s.left += static_cast<int32_t>(act_off);
+      if (s.right >= 0) s.right += static_cast<int32_t>(act_off);
+      out.segments.push_back(s);
+    }
+    for (Access a : g.accesses) {
+      if (a.act != kNoAct) a.act += act_off;
+      out.accesses.push_back(a);
+    }
+    out.data_base = k == 0 ? g.data_base : std::min(out.data_base, g.data_base);
+    out.data_top = std::max(out.data_top, g.data_top);
+    g = TaskGraph{};  // release the part's storage as we go
+  }
+  out.root = out.shards[0].root;
+  return out;
 }
 
 }  // namespace ro

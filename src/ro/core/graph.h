@@ -31,6 +31,7 @@ struct Access {
   uint16_t len;    // words touched
   uint16_t flags;  // bit0 = write
   bool is_write() const { return flags & 1; }
+  friend bool operator==(const Access&, const Access&) = default;
 };
 static_assert(sizeof(Access) == 16);
 
@@ -41,6 +42,7 @@ struct Segment {
   int32_t left = -1;   // forked children (activation ids); -1 = terminal
   int32_t right = -1;
   bool has_fork() const { return left >= 0; }
+  friend bool operator==(const Segment&, const Segment&) = default;
 };
 
 /// One task.  Segments are contiguous in TaskGraph::segments
@@ -55,6 +57,27 @@ struct Activation {
   uint32_t num_segs = 0;
   uint32_t frame_words = 0;     // locals (+padding) + fork slots
   uint32_t fork_slot_base = 0;  // offset of fork bookkeeping slots in frame
+  friend bool operator==(const Activation&, const Activation&) = default;
+};
+
+/// One shard's slice of a (possibly merged) recording: an independent
+/// fork-join component rooted at `root` whose global addresses live in
+/// [base, base + 2^40).  Components share no addresses and no activations,
+/// so each replays on its own simulated machine with exact per-shard block
+/// accounting — the unit of parallel replay (sched/replay.h).
+struct ShardSpan {
+  uint32_t shard = 0;     // shard id (== shard_of(base))
+  uint32_t root = 0;      // root activation of this component
+  vaddr_t base = 0;       // first address of the shard's range
+  vaddr_t data_top = 0;   // first address beyond the shard's recorded data
+  // Dense index ranges of the component in the merged tables (merge_shards
+  // keeps each input contiguous), so a shard replayer sizes its state by
+  // its own component, not the whole batch.
+  uint32_t first_act = 0;
+  uint32_t num_acts = 0;
+  uint32_t first_seg = 0;
+  uint32_t num_segs = 0;
+  friend bool operator==(const ShardSpan&, const ShardSpan&) = default;
 };
 
 /// Summary statistics derived from a graph (see analyze()).
@@ -74,14 +97,22 @@ class TaskGraph {
   std::vector<Segment> segments;
   std::vector<Access> accesses;
   uint32_t root = 0;
+  vaddr_t data_base = 0;     // first vaddr of recorded global data (shard base)
   vaddr_t data_top = 0;      // first vaddr beyond recorded global data
   uint64_t align_words = 0;  // allocation alignment used while recording
+  // Shard components of a merged batch recording (merge_shards); empty for
+  // a classic single-shard graph, whose one implicit span is
+  // {shard_of(data_base), root, data_base, data_top}.
+  std::vector<ShardSpan> shards;
 
   /// Per-access/fork/join cost constants used for work & span accounting.
   static constexpr uint64_t kForkCost = 2;  // two frame-slot writes
   static constexpr uint64_t kJoinCost = 3;  // child result write + 2 reads
 
   GraphStats analyze() const;
+
+  /// The shard components of this graph, in shard order (always >= 1).
+  std::vector<ShardSpan> shard_spans() const;
 
   /// Global segment index of activation a's s-th local segment.
   uint32_t seg_index(uint32_t a, uint32_t local) const {
@@ -91,5 +122,15 @@ class TaskGraph {
   /// Sum of access words in segment (compute cost of the segment body).
   uint64_t seg_cost(const Segment& s) const;
 };
+
+/// Fuses independent single-shard recordings into one batch TaskGraph.
+/// Activation / segment / access indices are remapped into the shared
+/// tables; addresses are left untouched (they are already disjoint by the
+/// shard-id bit split).  Each input must occupy a distinct shard; the
+/// result's `shards` vector lists the components in input order and its
+/// `root` is the first component's root.  The merged graph replays through
+/// ro::simulate exactly as the parts do individually (see
+/// sched/replay.h's determinism guarantee).
+TaskGraph merge_shards(std::vector<TaskGraph> parts);
 
 }  // namespace ro

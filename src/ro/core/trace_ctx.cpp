@@ -3,7 +3,17 @@
 namespace ro {
 
 TraceCtx::TraceCtx(Options opt)
-    : opt_(opt), vspace_(opt.align_words) {}
+    : opt_(opt),
+      owned_(std::make_unique<VSpace>(opt.align_words,
+                                      shard_base(opt.shard))),
+      vs_(owned_.get()) {
+  RO_CHECK_MSG(opt.shard < kMaxShards, "shard id out of range");
+}
+
+TraceCtx::TraceCtx(Options opt, VSpace& vs) : opt_(opt), vs_(&vs) {
+  opt_.align_words = vs.alignment();
+  opt_.shard = vs.shard();
+}
 
 uint32_t TraceCtx::new_act(uint32_t parent, uint32_t parent_seg, uint8_t slot,
                            uint16_t depth, uint64_t size) {

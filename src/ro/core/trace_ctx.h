@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -30,10 +31,16 @@ class TraceCtx : public CtxBase<TraceCtx> {
   struct Options {
     bool padded = false;         // padded BP/HBP frames (Def 3.3)
     uint64_t align_words = 4096; // VSpace allocation alignment
+    uint32_t shard = 0;          // address shard to record into (vspace.h);
+                                 // 0 = the single-shard compatibility path
   };
 
   TraceCtx() : TraceCtx(Options{}) {}
   explicit TraceCtx(Options opt);
+  /// Records into an externally owned space (one shard of a ShardedVSpace);
+  /// `vs` must outlive the context.  opt.shard/align_words are taken from
+  /// the space itself.
+  TraceCtx(Options opt, VSpace& vs);
 
   // ---- CtxBase customization points: record every access, place global
   // arrays in the virtual space, reserve frame offsets for locals ----
@@ -44,7 +51,7 @@ class TraceCtx : public CtxBase<TraceCtx> {
 
   template <class T>
   VArray<T> do_alloc(size_t n, const char* name) {
-    return VArray<T>(vspace_, n, name);
+    return VArray<T>(*vs_, n, name);
   }
 
   template <class T>
@@ -91,12 +98,16 @@ class TraceCtx : public CtxBase<TraceCtx> {
     begin_act(root);
     f();
     end_act();
-    g_.data_top = vspace_.top();
-    g_.align_words = vspace_.alignment();
+    g_.data_base = vs_->base();
+    g_.data_top = vs_->top();
+    g_.align_words = vs_->alignment();
     return std::move(g_);
   }
 
-  VSpace& vspace() { return vspace_; }
+  VSpace& vspace() { return *vs_; }
+
+  /// Shard this context records into.
+  uint32_t shard() const { return vs_->shard(); }
 
  private:
   struct Builder {
@@ -118,7 +129,8 @@ class TraceCtx : public CtxBase<TraceCtx> {
   void end_act();
 
   Options opt_;
-  VSpace vspace_;
+  std::unique_ptr<VSpace> owned_;  // null when recording into an external space
+  VSpace* vs_;
   TaskGraph g_;
   std::vector<Builder> stack_;
 };

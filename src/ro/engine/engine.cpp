@@ -33,16 +33,123 @@ void Engine::fill_replay(RunReport& r, const TaskGraph& g, Backend backend,
   r.p = kind == SchedKind::kSeq ? 1 : sim.p;
   r.M = sim.M;
   r.B = sim.B;
-  r.sim = simulate(g, kind, sim);
-  if (seq_baseline) {
-    const Metrics seq = kind == SchedKind::kSeq
-                            ? r.sim
-                            : simulate(g, SchedKind::kSeq, sim);
+  if (seq_baseline && kind != SchedKind::kSeq) {
+    // The main replay and its p=1 baseline are independent walks of the
+    // same trace: with replay_threads > 1 they (and their shard units)
+    // overlap on pool threads, metrics unchanged.
+    std::vector<ReplayJob> jobs(2);
+    jobs[0] = ReplayJob{&g, kind, sim};
+    jobs[1] = ReplayJob{&g, SchedKind::kSeq, sim};
+    std::vector<Metrics> res = simulate_all(jobs, sim.replay_threads);
+    r.sim = std::move(res[0]);
     r.has_baseline = true;
-    r.q_seq = seq.cache_misses();
-    r.seq_makespan = seq.makespan;
+    r.q_seq = res[1].cache_misses();
+    r.seq_makespan = res[1].makespan;
     r.cache_excess = excess(r.sim.cache_misses(), r.q_seq);
+    return;
   }
+  r.sim = simulate(g, kind, sim);
+  if (seq_baseline) {  // kind == kSeq: the replay is its own baseline
+    r.has_baseline = true;
+    r.q_seq = r.sim.cache_misses();
+    r.seq_makespan = r.sim.makespan;
+    r.cache_excess = 0;
+  }
+}
+
+BatchReport Engine::finish_batch(std::vector<TaskGraph> graphs,
+                                 const RunOptions& opt, double record_ms,
+                                 std::chrono::steady_clock::time_point t0) {
+  BatchReport br;
+  br.label = opt.label;
+  br.backend = opt.backend;
+  br.shards = static_cast<uint32_t>(graphs.size());
+  br.replay_threads = opt.sim.replay_threads;
+  br.record_ms = record_ms;
+
+  std::vector<GraphStats> stats;
+  stats.reserve(graphs.size());
+  for (const TaskGraph& g : graphs) stats.push_back(g.analyze());
+  const TaskGraph merged = merge_shards(std::move(graphs));
+
+  const SchedKind kind = opt.backend == Backend::kSeq ? SchedKind::kSeq
+                         : opt.backend == Backend::kSimPws ? SchedKind::kPws
+                                                           : SchedKind::kRws;
+  const auto tr0 = std::chrono::steady_clock::now();
+  // One combined unit set so the main pass and the p=1 baselines overlap
+  // on the pool (2 * shards units when the baseline is on).
+  std::vector<ReplayJob> jobs;
+  jobs.push_back(ReplayJob{&merged, kind, opt.sim});
+  const bool with_baseline = opt.seq_baseline && kind != SchedKind::kSeq;
+  if (with_baseline) {
+    jobs.push_back(ReplayJob{&merged, SchedKind::kSeq, opt.sim});
+  }
+  std::vector<std::vector<double>> unit_wall;
+  std::vector<std::vector<Metrics>> res =
+      simulate_shards_all(jobs, opt.sim.replay_threads, &unit_wall);
+  const std::vector<Metrics> per = std::move(res[0]);
+  const std::vector<Metrics> base =
+      with_baseline ? std::move(res[1]) : std::vector<Metrics>{};
+  br.replay_ms = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - tr0)
+                     .count();
+
+  br.runs.reserve(per.size());
+  for (size_t i = 0; i < per.size(); ++i) {
+    RunReport r;
+    r.label = opt.label + "#" + std::to_string(i);
+    r.backend = opt.backend;
+    r.has_graph = true;
+    r.graph = stats[i];
+    r.has_sim = true;
+    r.p = kind == SchedKind::kSeq ? 1 : opt.sim.p;
+    r.M = opt.sim.M;
+    r.B = opt.sim.B;
+    r.sim = per[i];
+    if (opt.seq_baseline) {
+      const Metrics& seq = kind == SchedKind::kSeq ? per[i] : base[i];
+      r.has_baseline = true;
+      r.q_seq = seq.cache_misses();
+      r.seq_makespan = seq.makespan;
+      r.cache_excess = excess(r.sim.cache_misses(), r.q_seq);
+    }
+    // Host time spent replaying this shard (main walk + its baseline walk),
+    // so per-shard rows feed wall-clock tooling like any other RunReport.
+    r.wall_ms = unit_wall[0][i] + (with_baseline ? unit_wall[1][i] : 0.0);
+    br.runs.push_back(std::move(r));
+  }
+
+  // Shard-order aggregate: summed recording stats + merged metrics.
+  RunReport& agg = br.aggregate;
+  agg.label = opt.label;
+  agg.backend = opt.backend;
+  agg.has_graph = true;
+  for (const GraphStats& st : stats) {
+    agg.graph.work += st.work;
+    agg.graph.span = std::max(agg.graph.span, st.span);
+    agg.graph.max_depth = std::max(agg.graph.max_depth, st.max_depth);
+    agg.graph.activations += st.activations;
+    agg.graph.accesses += st.accesses;
+    agg.graph.leaves += st.leaves;
+  }
+  agg.has_sim = true;
+  agg.p = kind == SchedKind::kSeq ? 1 : opt.sim.p;
+  agg.M = opt.sim.M;
+  agg.B = opt.sim.B;
+  agg.sim = merge_shard_metrics(per);
+  if (opt.seq_baseline) {
+    const Metrics seq =
+        kind == SchedKind::kSeq ? agg.sim : merge_shard_metrics(base);
+    agg.has_baseline = true;
+    agg.q_seq = seq.cache_misses();
+    agg.seq_makespan = seq.makespan;
+    agg.cache_excess = excess(agg.sim.cache_misses(), agg.q_seq);
+  }
+  br.wall_ms = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+  agg.wall_ms = br.wall_ms;
+  return br;
 }
 
 rt::Pool& Engine::pool(rt::StealPolicy policy, unsigned threads) {

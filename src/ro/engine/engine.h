@@ -29,8 +29,10 @@
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "ro/core/seq_ctx.h"
+#include "ro/core/shard_ctx.h"
 #include "ro/core/trace_ctx.h"
 #include "ro/engine/report.h"
 #include "ro/rt/par_ctx.h"
@@ -46,8 +48,11 @@ struct RunOptions {
 
   // ---- sim backends ----
   SimConfig sim;                // simulated machine (p, M, B, latencies, ...)
+                                // incl. replay_threads, the host-parallel
+                                // record/replay knob (1 = sequential)
   bool padded = false;          // padded BP/HBP frames (Def 3.3)
   uint64_t align_words = 4096;  // VSpace allocation alignment
+  uint32_t shard = 0;           // address shard to record into (vspace.h)
   bool seq_baseline = true;     // also replay at p=1 for Q(n,M,B) + excess
 
   // ---- parallel backends ----
@@ -137,7 +142,7 @@ class Engine {
       case Backend::kSimPws:
       case Backend::kSimRws: {
         Recording rec = record(std::forward<Prog>(prog), opt.padded,
-                               opt.align_words);
+                               opt.align_words, opt.shard);
         fill_replay(r, rec.graph, opt.backend, opt.sim, opt.seq_baseline);
         r.has_graph = true;
         r.graph = rec.stats;
@@ -169,12 +174,16 @@ class Engine {
 
   /// Records `prog` through a fresh TraceCtx (the Engine-owned virtual
   /// address space) and returns the graph + stats for repeated replay.
+  /// `shard` selects the address shard recorded into (0 = the classic
+  /// single-shard layout); replay rebases per shard, so the shard choice
+  /// never changes the replayed Metrics.
   template <class Prog>
   Recording record(Prog&& prog, bool padded = false,
-                   uint64_t align_words = 4096) {
+                   uint64_t align_words = 4096, uint32_t shard = 0) {
     TraceCtx::Options topt;
     topt.padded = padded;
     topt.align_words = align_words;
+    topt.shard = shard;
     TraceCtx cx(topt);
     detail::EngineCtx<TraceCtx> ec(cx);
     prog(ec);
@@ -182,6 +191,45 @@ class Engine {
     rec.graph = std::move(ec.graph());
     rec.stats = rec.graph.analyze();
     return rec;
+  }
+
+  /// Batch pipeline: records `progs[i]` into shard i of one ShardedVSpace —
+  /// on concurrent host threads when opt.sim.replay_threads allows — fuses
+  /// the per-shard graphs with merge_shards, and replays every shard (plus
+  /// its p=1 baseline unless opt.seq_baseline is off) in parallel against
+  /// the machine opt.sim describes.  opt.backend must be kSeq / kSimPws /
+  /// kSimRws.  The BatchReport carries one RunReport per shard (labelled
+  /// "label#i") and the shard-order aggregate; both are bit-identical for
+  /// every replay_threads value.
+  template <class Prog>
+  BatchReport run_batch(const std::vector<Prog>& progs,
+                        const RunOptions& opt = {}) {
+    RO_CHECK_MSG(!progs.empty(), "run_batch needs at least one program");
+    RO_CHECK_MSG(!backend_is_parallel(opt.backend),
+                 "run_batch replays traces; use a seq/sim backend");
+    const auto t0 = std::chrono::steady_clock::now();
+    const uint32_t n = static_cast<uint32_t>(progs.size());
+    ShardedVSpace ssp(n, opt.align_words);
+    std::vector<TaskGraph> graphs(n);
+    auto record_one = [&](size_t i) {
+      TraceCtx::Options topt;
+      topt.padded = opt.padded;
+      ShardCtx cx(ssp, static_cast<uint32_t>(i), topt);
+      detail::EngineCtx<TraceCtx> ec(cx);
+      progs[i](ec);
+      graphs[i] = std::move(ec.graph());
+    };
+    const uint32_t rec_threads = replay_host_threads(opt.sim.replay_threads, n);
+    if (rec_threads <= 1) {
+      for (uint32_t i = 0; i < n; ++i) record_one(i);
+    } else {
+      rt::Pool pool(rec_threads, rt::StealPolicy::kRandom);
+      rt::parallel_index(pool, n, record_one);
+    }
+    const double record_ms = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count();
+    return finish_batch(std::move(graphs), opt, record_ms, t0);
   }
 
   /// Replays a recorded graph on one simulated machine.  `backend` may be
@@ -209,6 +257,12 @@ class Engine {
  private:
   void fill_replay(RunReport& r, const TaskGraph& g, Backend backend,
                    const SimConfig& sim, bool seq_baseline);
+
+  /// Merge + parallel replay + report assembly of the batch pipeline
+  /// (non-template tail of run_batch).
+  BatchReport finish_batch(std::vector<TaskGraph> graphs,
+                           const RunOptions& opt, double record_ms,
+                           std::chrono::steady_clock::time_point t0);
 
   std::unique_ptr<rt::Pool> pools_[2];
 };

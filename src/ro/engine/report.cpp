@@ -1,6 +1,8 @@
 #include "ro/engine/report.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <utility>
 
 namespace ro {
 
@@ -98,19 +100,27 @@ std::string RunReport::to_json() const {
     kv(s, "max_depth", static_cast<uint64_t>(graph.max_depth));
     kv(s, "activations", graph.activations);
     kv(s, "accesses", graph.accesses);
+    kv(s, "leaves", graph.leaves);
   }
   if (has_sim) {
     kv(s, "p", static_cast<uint64_t>(p));
     kv(s, "M", M);
     kv(s, "B", static_cast<uint64_t>(B));
     kv(s, "makespan", sim.makespan);
+    kv(s, "compute", sim.compute());
     kv(s, "cache_misses", sim.cache_misses());
     kv(s, "block_misses", sim.block_misses());
     kv(s, "stack_misses", sim.stack_misses());
     kv(s, "steals", sim.steals());
     kv(s, "steal_attempts", sim.steal_attempts());
+    kv(s, "steal_cycles", sim.steal_cycles());
     kv(s, "usurpations", sim.usurpations());
     kv(s, "idle", sim.idle());
+    kv(s, "l2_hits", sim.l2_hits());
+    kv(s, "hold_waits", sim.hold_waits());
+    kv(s, "total_block_transfers", sim.total_block_transfers);
+    kv(s, "max_block_transfers", sim.max_block_transfers);
+    kv(s, "stack_words", sim.stack_words);
   }
   if (has_baseline) {
     kv(s, "q_seq", q_seq);
@@ -136,6 +146,176 @@ std::string reports_to_json(const std::vector<RunReport>& reports) {
     s += "\n";
   }
   s += "]\n";
+  return s;
+}
+
+namespace {
+
+/// Tokenizes one flat JSON object {"key":value,...} into key -> raw value
+/// (strings unescaped, numbers verbatim).  No nesting — exactly the
+/// to_json output shape.
+bool scan_flat_object(const std::string& j,
+                      std::vector<std::pair<std::string, std::string>>& kvs) {
+  size_t i = j.find('{');
+  if (i == std::string::npos) return false;
+  ++i;
+  auto skip_ws = [&] {
+    while (i < j.size() && (j[i] == ' ' || j[i] == '\n' || j[i] == '\t' ||
+                            j[i] == '\r' || j[i] == ','))
+      ++i;
+  };
+  auto parse_string = [&](std::string& out) {
+    if (i >= j.size() || j[i] != '"') return false;
+    ++i;
+    out.clear();
+    while (i < j.size() && j[i] != '"') {
+      if (j[i] == '\\') {
+        if (i + 1 >= j.size()) return false;
+        const char e = j[i + 1];
+        if (e == 'n') out += '\n';
+        else if (e == 't') out += '\t';
+        else if (e == 'r') out += '\r';
+        else if (e == 'u') {
+          if (i + 5 >= j.size()) return false;
+          out += static_cast<char>(
+              std::strtoul(j.substr(i + 2, 4).c_str(), nullptr, 16));
+          i += 4;
+        } else out += e;  // \" \\ \/ and friends
+        i += 2;
+      } else {
+        out += j[i++];
+      }
+    }
+    if (i >= j.size()) return false;
+    ++i;  // closing quote
+    return true;
+  };
+  while (true) {
+    skip_ws();
+    if (i >= j.size()) return false;
+    if (j[i] == '}') return true;
+    std::string key;
+    if (!parse_string(key)) return false;
+    skip_ws();
+    if (i >= j.size() || j[i] != ':') return false;
+    ++i;
+    skip_ws();
+    std::string val;
+    if (i < j.size() && j[i] == '"') {
+      if (!parse_string(val)) return false;
+    } else {
+      const size_t v0 = i;
+      while (i < j.size() && j[i] != ',' && j[i] != '}') ++i;
+      val = j.substr(v0, i - v0);
+      if (val.empty()) return false;
+    }
+    kvs.emplace_back(std::move(key), std::move(val));
+  }
+}
+
+uint64_t as_u64(const std::string& v) { return std::strtoull(v.c_str(), nullptr, 10); }
+
+}  // namespace
+
+bool report_from_json(const std::string& json, RunReport& out) {
+  std::vector<std::pair<std::string, std::string>> kvs;
+  if (!scan_flat_object(json, kvs)) return false;
+  out = RunReport{};
+  CoreMetrics agg;  // single synthetic core holding the parsed aggregates
+  uint64_t cache = 0, block = 0, stack = 0;
+  bool have_sim = false;
+  for (const auto& [k, v] : kvs) {
+    if (k == "label") out.label = v;
+    else if (k == "backend") {
+      if (!parse_backend(v, out.backend)) return false;
+    } else if (k == "wall_ms") out.wall_ms = std::strtod(v.c_str(), nullptr);
+    else if (k == "work") { out.has_graph = true; out.graph.work = as_u64(v); }
+    else if (k == "span") out.graph.span = as_u64(v);
+    else if (k == "max_depth")
+      out.graph.max_depth = static_cast<uint32_t>(as_u64(v));
+    else if (k == "activations") out.graph.activations = as_u64(v);
+    else if (k == "accesses") out.graph.accesses = as_u64(v);
+    else if (k == "leaves") out.graph.leaves = as_u64(v);
+    else if (k == "p") { have_sim = true; out.p = static_cast<uint32_t>(as_u64(v)); }
+    else if (k == "M") out.M = as_u64(v);
+    else if (k == "B") out.B = static_cast<uint32_t>(as_u64(v));
+    else if (k == "makespan") out.sim.makespan = as_u64(v);
+    else if (k == "compute") agg.compute = as_u64(v);
+    else if (k == "cache_misses") cache = as_u64(v);
+    else if (k == "block_misses") block = as_u64(v);
+    else if (k == "stack_misses") stack = as_u64(v);
+    else if (k == "steals") agg.steals = as_u64(v);
+    else if (k == "steal_attempts") agg.steal_attempts = as_u64(v);
+    else if (k == "steal_cycles") agg.steal_cycles = as_u64(v);
+    else if (k == "usurpations") agg.usurpations = as_u64(v);
+    else if (k == "idle") agg.idle = as_u64(v);
+    else if (k == "l2_hits") agg.l2_hits = as_u64(v);
+    else if (k == "hold_waits") agg.hold_waits = as_u64(v);
+    else if (k == "total_block_transfers")
+      out.sim.total_block_transfers = as_u64(v);
+    else if (k == "max_block_transfers")
+      out.sim.max_block_transfers = as_u64(v);
+    else if (k == "stack_words") out.sim.stack_words = as_u64(v);
+    else if (k == "q_seq") { out.has_baseline = true; out.q_seq = as_u64(v); }
+    else if (k == "seq_makespan") out.seq_makespan = as_u64(v);
+    else if (k == "cache_excess") out.cache_excess = as_u64(v);
+    else if (k == "sim_speedup") {}  // derived; recomputed from the fields
+    else if (k == "threads") {
+      out.has_pool = true;
+      out.threads = static_cast<uint32_t>(as_u64(v));
+    } else if (k == "pool_steals") out.pool_steals = as_u64(v);
+    else if (k == "pool_failed_steals") out.pool_failed_steals = as_u64(v);
+    // Unknown keys are skipped: newer writers stay readable.
+  }
+  if (have_sim) {
+    out.has_sim = true;
+    // Split the three overlapping totals (cache = cold+capacity over
+    // data+stack, block = coherence over data+stack, stack = all classes
+    // at stack addresses) into the 2x3 miss matrix of one core so every
+    // derived counter re-serializes exactly.
+    const uint64_t stack_classical = stack < cache ? stack : cache;
+    const uint64_t stack_coherence = stack - stack_classical;
+    if (stack_coherence > block) return false;  // inconsistent totals
+    agg.miss[0][static_cast<int>(MissClass::kCold)] = cache - stack_classical;
+    agg.miss[1][static_cast<int>(MissClass::kCold)] = stack_classical;
+    agg.miss[0][static_cast<int>(MissClass::kCoherence)] =
+        block - stack_coherence;
+    agg.miss[1][static_cast<int>(MissClass::kCoherence)] = stack_coherence;
+    out.sim.core.push_back(agg);
+  }
+  return true;
+}
+
+namespace {
+
+void append_raw(std::string& s, const char* key, const std::string& raw) {
+  if (s.size() > 1) s += ",";
+  s += "\"";
+  s += key;
+  s += "\":";
+  s += raw;
+}
+
+}  // namespace
+
+std::string BatchReport::to_json() const {
+  std::string s = "{";
+  append_kv(s, "label", escape(label), true);
+  append_kv(s, "backend", backend_name(backend), true);
+  kv(s, "shards", static_cast<uint64_t>(shards));
+  kv(s, "replay_threads", static_cast<uint64_t>(replay_threads));
+  kv(s, "wall_ms", wall_ms);
+  kv(s, "record_ms", record_ms);
+  kv(s, "replay_ms", replay_ms);
+  append_raw(s, "aggregate", aggregate.to_json());
+  std::string arr = "[";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    if (i) arr += ",";
+    arr += runs[i].to_json();
+  }
+  arr += "]";
+  append_raw(s, "runs", arr);
+  s += "}";
   return s;
 }
 

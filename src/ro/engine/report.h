@@ -77,4 +77,32 @@ struct RunReport {
 /// JSON array of reports — the BENCH_*.json format.
 std::string reports_to_json(const std::vector<RunReport>& reports);
 
+/// Parses a flat RunReport JSON object (the to_json format) back into a
+/// report.  Aggregated simulator counters are reconstructed into a single
+/// synthetic core, so every derived observable that to_json emits
+/// (cache_misses, stack_misses, sim_speedup, ...) round-trips exactly:
+/// report_from_json(r.to_json()).to_json() == r.to_json().  Returns false
+/// on malformed JSON or inconsistent counters; `out` is then unspecified.
+/// This is the seam the bench-history tooling and BatchReport aggregation
+/// rest on — a field silently dropped by to_json fails the round-trip test.
+bool report_from_json(const std::string& json, RunReport& out);
+
+/// The result of one Engine::run_batch: per-shard RunReports (shard order)
+/// plus the shard-order aggregate, with the batch phase timings.
+struct BatchReport {
+  std::string label;
+  Backend backend = Backend::kSimPws;
+  uint32_t shards = 0;
+  uint32_t replay_threads = 1;  // requested host parallelism (0 = auto)
+  double wall_ms = 0;           // record + merge + replay, end to end
+  double record_ms = 0;         // parallel recording phase
+  double replay_ms = 0;         // parallel replay phase (incl. baselines)
+
+  std::vector<RunReport> runs;  // one per shard, in shard order
+  RunReport aggregate;          // shard-order merge (deterministic)
+
+  /// Nested JSON: batch scalars + "aggregate" object + "runs" array.
+  std::string to_json() const;
+};
+
 }  // namespace ro

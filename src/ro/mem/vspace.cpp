@@ -2,13 +2,18 @@
 
 namespace ro {
 
-VSpace::VSpace(uint64_t alignment_words) : alignment_(alignment_words) {
+VSpace::VSpace(uint64_t alignment_words, vaddr_t base)
+    : alignment_(alignment_words), base_(base), top_(base) {
   RO_CHECK_MSG(is_pow2(alignment_words), "alignment must be a power of two");
+  RO_CHECK_MSG(base % alignment_words == 0,
+               "space base must be alignment-aligned");
 }
 
 vaddr_t VSpace::allocate(uint64_t words, std::string name) {
   vaddr_t base = round_up_pow2(top_, alignment_);
   top_ = base + words;
+  RO_CHECK_MSG(top_ - base_ <= kShardSpanWords,
+               "allocation overflows the shard's 2^40-word address range");
   regions_.push_back(Region{base, words, std::move(name)});
   return base;
 }
@@ -18,6 +23,38 @@ std::string VSpace::region_of(vaddr_t a) const {
     if (a >= r.base && a < r.base + r.words) return r.name;
   }
   return "?";
+}
+
+ShardedVSpace::ShardedVSpace(uint32_t shards, uint64_t alignment_words)
+    : alignment_(alignment_words) {
+  RO_CHECK_MSG(shards >= 1 && shards <= kMaxShards,
+               "shard count must be in [1, 2^24]");
+  spaces_.reserve(shards);
+  for (uint32_t s = 0; s < shards; ++s) {
+    spaces_.emplace_back(alignment_words, shard_base(s));
+  }
+}
+
+VSpace& ShardedVSpace::shard(uint32_t s) {
+  RO_CHECK_MSG(s < spaces_.size(), "shard id out of range");
+  return spaces_[s];
+}
+
+const VSpace& ShardedVSpace::shard(uint32_t s) const {
+  RO_CHECK_MSG(s < spaces_.size(), "shard id out of range");
+  return spaces_[s];
+}
+
+std::string ShardedVSpace::region_of(vaddr_t a) const {
+  const uint32_t s = shard_of(a);
+  if (s >= spaces_.size()) return "?";
+  return spaces_[s].region_of(a);
+}
+
+uint64_t ShardedVSpace::allocated_words() const {
+  uint64_t t = 0;
+  for (const auto& vs : spaces_) t += vs.top() - vs.base();
+  return t;
 }
 
 }  // namespace ro

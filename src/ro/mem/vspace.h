@@ -9,6 +9,26 @@
 // ever simulate), which realizes the paper's system property that "whenever a
 // core requests space it is allocated in block sized units; allocations to
 // different cores are disjoint and entail no block sharing" (§2.2).
+//
+// ## Shards
+//
+// The 64-bit virtual address is split into a shard id and an in-shard
+// offset (docs/sharding.md):
+//
+//   bit 63                40 39                                0
+//      +--------------------+----------------------------------+
+//      |   shard id (24 b)  |   in-shard word offset (40 b)    |
+//      +--------------------+----------------------------------+
+//
+// Shard 0 is the compatibility path: its addresses are plain offsets,
+// bit-for-bit identical to the pre-shard single-space layout, so existing
+// recordings and callers are untouched.  Independent workload instances
+// record into distinct shards; because the shard id lives in the high bits,
+// allocations from different instances can never alias — not even at block
+// granularity — which keeps per-shard block/cache-line accounting exact and
+// makes batch replay embarrassingly parallel (Cole–Ramachandran treat
+// per-task block ownership as the unit of accounting; a shard is the same
+// invariant at workload-instance granularity).
 #pragma once
 
 #include <cstdint>
@@ -23,20 +43,53 @@ namespace ro {
 /// Virtual address, in 8-byte words.
 using vaddr_t = uint64_t;
 
-/// Bump allocator over the virtual space; also keeps a registry of named
-/// regions so probes and error messages can say what a block belongs to.
+/// Width of the in-shard offset field: each shard addresses 2^40 words
+/// (8 TiB) — far above any recorded trace, so the split costs nothing.
+inline constexpr unsigned kShardShiftBits = 40;
+/// Words addressable within one shard.
+inline constexpr vaddr_t kShardSpanWords = vaddr_t{1} << kShardShiftBits;
+/// Maximum number of shards (24 high bits).
+inline constexpr uint32_t kMaxShards = 1u << 24;
+
+/// Shard id encoded in the high bits of `a`.
+constexpr uint32_t shard_of(vaddr_t a) {
+  return static_cast<uint32_t>(a >> kShardShiftBits);
+}
+
+/// First address of shard `s`.
+constexpr vaddr_t shard_base(uint32_t s) {
+  return static_cast<vaddr_t>(s) << kShardShiftBits;
+}
+
+/// Offset of `a` within its shard.
+constexpr vaddr_t shard_offset(vaddr_t a) {
+  return a & (kShardSpanWords - 1);
+}
+
+/// Bump allocator over one contiguous virtual range; also keeps a registry
+/// of named regions so probes and error messages can say what a block
+/// belongs to.  A default-constructed VSpace covers shard 0 (base 0) — the
+/// single-shard compatibility path.
 class VSpace {
  public:
   /// `alignment_words` must be a power of two; every allocation starts at a
   /// multiple of it.  Default 4096 words = 32 KiB, an upper bound on any
-  /// block size used in experiments.
-  explicit VSpace(uint64_t alignment_words = 4096);
+  /// block size used in experiments.  `base` is the first address of the
+  /// range (a shard base when the space backs one shard of a
+  /// ShardedVSpace); it must itself be alignment-aligned.
+  explicit VSpace(uint64_t alignment_words = 4096, vaddr_t base = 0);
 
   /// Reserves `words` words; returns the (aligned) base address.
   vaddr_t allocate(uint64_t words, std::string name = "");
 
-  /// First address beyond any allocation.
+  /// First address beyond any allocation (>= base()).
   vaddr_t top() const { return top_; }
+
+  /// First address of this space's range.
+  vaddr_t base() const { return base_; }
+
+  /// Shard id this space allocates in.
+  uint32_t shard() const { return shard_of(base_); }
 
   uint64_t alignment() const { return alignment_; }
 
@@ -52,8 +105,39 @@ class VSpace {
 
  private:
   uint64_t alignment_;
+  vaddr_t base_ = 0;
   vaddr_t top_ = 0;
   std::vector<Region> regions_;
+};
+
+/// Per-shard address ranges under one roof: shard `s` allocates from
+/// `shard_base(s)` up, so the spaces are pairwise disjoint by construction
+/// and a batch of recordings can share one registry.  Each shard is an
+/// independent VSpace — concurrent recorders may allocate in *different*
+/// shards without synchronization (the vector is sized up front and never
+/// reallocates).
+class ShardedVSpace {
+ public:
+  explicit ShardedVSpace(uint32_t shards, uint64_t alignment_words = 4096);
+
+  /// The allocator of shard `s` (0 <= s < shards()).
+  VSpace& shard(uint32_t s);
+  const VSpace& shard(uint32_t s) const;
+
+  uint32_t shards() const { return static_cast<uint32_t>(spaces_.size()); }
+  uint64_t alignment() const { return alignment_; }
+
+  /// Name of the region containing `a`, searched in the owning shard
+  /// ("?" when the shard is out of range or the address is unallocated).
+  std::string region_of(vaddr_t a) const;
+
+  /// Total words allocated across all shards (sum of per-shard tops minus
+  /// bases; the address *range* is of course sparse).
+  uint64_t allocated_words() const;
+
+ private:
+  uint64_t alignment_;
+  std::vector<VSpace> spaces_;
 };
 
 }  // namespace ro

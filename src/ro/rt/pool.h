@@ -98,4 +98,36 @@ class Pool {
   std::atomic<bool> active_{false};
 };
 
+namespace detail {
+
+template <class F>
+void parallel_index_rec(Pool& pool, size_t lo, size_t hi, uint32_t depth,
+                        F& fn) {
+  if (hi - lo == 1) {
+    fn(lo);
+    return;
+  }
+  const size_t mid = lo + (hi - lo) / 2;
+  pool.fork_join(
+      depth, [&] { parallel_index_rec(pool, lo, mid, depth + 1, fn); },
+      [&] { parallel_index_rec(pool, mid, hi, depth + 1, fn); });
+}
+
+}  // namespace detail
+
+/// Runs fn(i) for every i in [0, n) across the pool's workers as a balanced
+/// fork tree.  Work *assignment to indices* is deterministic; scheduling is
+/// not, so fn must only write per-index state (the shard-parallel record and
+/// replay paths: each index owns one shard).  Must not be called from inside
+/// another pool's run().
+template <class F>
+void parallel_index(Pool& pool, size_t n, F&& fn) {
+  if (n == 0) return;
+  if (n == 1 || pool.threads() <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  pool.run([&] { detail::parallel_index_rec(pool, 0, n, 1, fn); });
+}
+
 }  // namespace ro::rt

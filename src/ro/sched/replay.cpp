@@ -1,9 +1,12 @@
 #include "ro/sched/replay.h"
 
+#include <chrono>
 #include <deque>
+#include <thread>
 #include <unordered_set>
 #include <vector>
 
+#include "ro/rt/pool.h"
 #include "ro/sched/arena.h"
 #include "ro/sim/cache.h"
 #include "ro/sim/directory.h"
@@ -32,13 +35,21 @@ namespace {
 constexpr uint32_t kNoCore = 0xFFFFFFFFu;
 constexpr vaddr_t kUnresolved = ~vaddr_t{0};
 
-class Engine {
+/// Replays one shard unit: the span's priority-round sequence on its own
+/// simulated machine (cores, caches, directory, stack arenas).  Addresses
+/// are rebased to the shard (global vaddr - span.base), so the dense
+/// directory and ever-loaded bitsets stay as small as in the single-shard
+/// days regardless of which shard the data was recorded in.  One instance
+/// never touches state outside its span — the invariant that makes units
+/// safe to run on concurrent host threads.
+class ShardReplayer {
  public:
-  Engine(const TaskGraph& g, SchedKind kind, const SimConfig& cfg)
-      : g_(g), kind_(kind), cfg_(cfg),
+  ShardReplayer(const TaskGraph& g, const ShardSpan& span, SchedKind kind,
+                const SimConfig& cfg)
+      : g_(g), span_(span), kind_(kind), cfg_(cfg),
         sp_(cfg.effective_steal_latency()),
-        arenas_(round_up_pow2(g.data_top + 1, g.align_words ? g.align_words
-                                                            : 4096),
+        arenas_(round_up_pow2(span.data_top - span.base + 1,
+                              g.align_words ? g.align_words : 4096),
                 g.align_words ? g.align_words : 4096, cfg.chunk_words),
         rng_(cfg.seed) {
     RO_CHECK_MSG(cfg_.p >= 1 && cfg_.p <= 64, "p must be in [1, 64]");
@@ -53,12 +64,12 @@ class Engine {
     for (uint32_t i = 0; i < cfg_.p; ++i) {
       cores_.emplace_back(i, lines, l2_lines);
     }
-    astate_.resize(g_.acts.size());
-    sstate_.resize(g_.segments.size());
+    astate_.resize(span_.num_acts);
+    sstate_.resize(span_.num_segs);
   }
 
   Metrics run() {
-    start_act(cores_[0], g_.root, /*stolen=*/false);
+    start_act(cores_[0], span_.root, /*stolen=*/false);
     while (!done_) {
       Core& c = pick_core();
       step(c);
@@ -74,7 +85,7 @@ class Engine {
     auto ts = dir_.transfer_stats();
     m.max_block_transfers = ts.max_transfers;
     m.total_block_transfers = ts.total_transfers;
-    m.stack_words = arenas_.bump() - g_.data_top;
+    m.stack_words = arenas_.bump() - (span_.data_top - span_.base);
     return m;
   }
 
@@ -112,6 +123,14 @@ class Engine {
     uint8_t pending = 0;
     uint32_t fork_core = kNoCore;
   };
+
+  // Span-local state lookup: activation / segment ids are global into the
+  // (possibly merged) graph, state vectors are sized to this shard only.
+  ActState& ast(uint32_t act) { return astate_[act - span_.first_act]; }
+  const ActState& ast(uint32_t act) const {
+    return astate_[act - span_.first_act];
+  }
+  SegState& sst(uint32_t gseg) { return sstate_[gseg - span_.first_seg]; }
 
   // ---- scheduling loop ----
 
@@ -217,7 +236,7 @@ class Engine {
   // ---- activation lifecycle ----
 
   void start_act(Core& c, uint32_t act, bool stolen) {
-    ActState& st = astate_[act];
+    ActState& st = ast(act);
     RO_CHECK(!st.started);
     st.started = true;
     const Activation& a = g_.acts[act];
@@ -231,10 +250,10 @@ class Engine {
     c.fr = Frame{act, 0, g_.segments[a.first_seg].acc_begin};
   }
 
-  void do_fork(Core& c, const Activation& a, const Segment& seg) {
+  void do_fork(Core& c, const Activation& /*parent*/, const Segment& seg) {
     const uint32_t gseg =
         static_cast<uint32_t>(&seg - g_.segments.data());
-    SegState& ss = sstate_[gseg];
+    SegState& ss = sst(gseg);
     ss.pending = 2;
     ss.fork_core = c.id;
     if (cfg_.inject_frame_traffic) {
@@ -248,7 +267,7 @@ class Engine {
 
   void complete_act(Core& c, uint32_t act) {
     const Activation& a = g_.acts[act];
-    ActState& st = astate_[act];
+    ActState& st = ast(act);
     arenas_.complete(st.token);
     if (a.parent == kNoAct) {
       done_ = true;
@@ -262,7 +281,7 @@ class Engine {
           fork_slot_addr(a.parent, a.parent_seg) + a.child_slot;
       touch(c, slot, 1, /*write=*/true, /*stack=*/true);
     }
-    SegState& ss = sstate_[gseg];
+    SegState& ss = sst(gseg);
     RO_CHECK(ss.pending > 0);
     if (--ss.pending > 0) {
       // Sibling still outstanding: this kernel thread blocks here; the core
@@ -287,8 +306,8 @@ class Engine {
 
   vaddr_t fork_slot_addr(uint32_t act, uint32_t local_seg) const {
     const Activation& a = g_.acts[act];
-    RO_CHECK(astate_[act].frame_base != kUnresolved);
-    return astate_[act].frame_base + a.fork_slot_base + 2 * local_seg;
+    RO_CHECK(ast(act).frame_base != kUnresolved);
+    return ast(act).frame_base + a.fork_slot_base + 2 * local_seg;
   }
 
   // ---- memory system ----
@@ -297,13 +316,15 @@ class Engine {
   /// write hold is active on one of its blocks (§5.1): the core's clock is
   /// advanced to the hold expiry instead of performing the access.
   bool replay_access(Core& c, const Access& acc) {
-    vaddr_t addr = acc.addr;
+    vaddr_t addr;
     bool stack = false;
     if (acc.act != kNoAct) {
-      RO_CHECK_MSG(astate_[acc.act].frame_base != kUnresolved,
+      RO_CHECK_MSG(ast(acc.act).frame_base != kUnresolved,
                    "frame access before frame allocation");
-      addr += astate_[acc.act].frame_base;
+      addr = acc.addr + ast(acc.act).frame_base;
       stack = true;
+    } else {
+      addr = acc.addr - span_.base;  // rebase the shard to address 0
     }
     if (cfg_.write_hold != 0) {
       const uint64_t until = hold_barrier(c, addr, acc.len, acc.is_write());
@@ -421,6 +442,7 @@ class Engine {
   }
 
   const TaskGraph& g_;
+  ShardSpan span_;
   SchedKind kind_;
   SimConfig cfg_;
   uint32_t sp_;
@@ -434,13 +456,120 @@ class Engine {
   bool done_ = false;
 };
 
+/// One shard replay unit: (graph, span, scheduler, machine) -> Metrics.
+struct Unit {
+  const TaskGraph* g = nullptr;
+  ShardSpan span;
+  SchedKind kind = SchedKind::kSeq;
+  SimConfig cfg;
+  uint32_t job = 0;  // owning ReplayJob (simulate_all)
+};
+
+SimConfig effective_cfg(SchedKind kind, SimConfig cfg) {
+  if (kind == SchedKind::kSeq) cfg.p = 1;
+  return cfg;
+}
+
+
+/// Runs every unit (results indexed like `units`), on `threads` host
+/// workers when that buys anything.  Each unit is a fully sequential
+/// ShardReplayer walk, so the assignment of units to threads cannot change
+/// any unit's Metrics — only the wall clock.  `wall_ms`, when non-null, is
+/// resized and filled with each unit's host replay time.
+///
+/// The pool is created per call on purpose: Pool::run is not reentrant, so
+/// a cached shared pool would break under concurrent simulate() callers,
+/// and the spawn cost (~tens of µs) is noise next to any replay worth
+/// parallelizing.
+std::vector<Metrics> run_units(const std::vector<Unit>& units,
+                               uint32_t replay_threads,
+                               std::vector<double>* wall_ms) {
+  std::vector<Metrics> out(units.size());
+  if (wall_ms) wall_ms->assign(units.size(), 0.0);
+  auto run_one = [&](size_t i) {
+    const Unit& u = units[i];
+    const auto t0 = std::chrono::steady_clock::now();
+    out[i] = ShardReplayer(*u.g, u.span, u.kind, u.cfg).run();
+    if (wall_ms) {
+      (*wall_ms)[i] = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    }
+  };
+  const uint32_t t = replay_host_threads(replay_threads, units.size());
+  if (t <= 1 || units.size() <= 1) {
+    for (size_t i = 0; i < units.size(); ++i) run_one(i);
+  } else {
+    rt::Pool pool(t, rt::StealPolicy::kRandom);
+    rt::parallel_index(pool, units.size(), run_one);
+  }
+  return out;
+}
+
+std::vector<Unit> units_of(const TaskGraph& g, SchedKind kind,
+                           const SimConfig& cfg, uint32_t job) {
+  std::vector<Unit> units;
+  const SimConfig ecfg = effective_cfg(kind, cfg);
+  for (const ShardSpan& span : g.shard_spans()) {
+    units.push_back(Unit{&g, span, kind, ecfg, job});
+  }
+  return units;
+}
+
 }  // namespace
 
+uint32_t replay_host_threads(uint32_t requested, size_t units) {
+  uint32_t t = requested;
+  if (t == 0) {
+    t = std::thread::hardware_concurrency();
+    if (t == 0) t = 2;
+  }
+  return static_cast<uint32_t>(std::min<size_t>(t, units));
+}
+
+std::vector<Metrics> simulate_shards(const TaskGraph& g, SchedKind kind,
+                                     const SimConfig& cfg) {
+  return run_units(units_of(g, kind, cfg, 0), cfg.replay_threads, nullptr);
+}
+
 Metrics simulate(const TaskGraph& g, SchedKind kind, const SimConfig& cfg) {
-  SimConfig c = cfg;
-  if (kind == SchedKind::kSeq) c.p = 1;
-  Engine e(g, kind, c);
-  return e.run();
+  std::vector<Metrics> parts = simulate_shards(g, kind, cfg);
+  if (parts.size() == 1) return std::move(parts[0]);
+  return merge_shard_metrics(parts);
+}
+
+std::vector<std::vector<Metrics>> simulate_shards_all(
+    const std::vector<ReplayJob>& jobs, uint32_t threads,
+    std::vector<std::vector<double>>* wall_ms) {
+  std::vector<Unit> units;
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    auto ju = units_of(*jobs[j].g, jobs[j].kind, jobs[j].cfg,
+                       static_cast<uint32_t>(j));
+    units.insert(units.end(), ju.begin(), ju.end());
+  }
+  std::vector<double> unit_wall;
+  std::vector<Metrics> per_unit =
+      run_units(units, threads, wall_ms ? &unit_wall : nullptr);
+  std::vector<std::vector<Metrics>> grouped(jobs.size());
+  if (wall_ms) wall_ms->assign(jobs.size(), {});
+  for (size_t i = 0; i < units.size(); ++i) {
+    grouped[units[i].job].push_back(
+        std::move(per_unit[i]));  // unit order == shard order
+    if (wall_ms) (*wall_ms)[units[i].job].push_back(unit_wall[i]);
+  }
+  return grouped;
+}
+
+std::vector<Metrics> simulate_all(const std::vector<ReplayJob>& jobs,
+                                  uint32_t threads) {
+  std::vector<std::vector<Metrics>> grouped =
+      simulate_shards_all(jobs, threads);
+  std::vector<Metrics> out(jobs.size());
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    out[j] = grouped[j].size() == 1 ? std::move(grouped[j][0])
+                                    : merge_shard_metrics(grouped[j]);
+  }
+  return out;
 }
 
 }  // namespace ro

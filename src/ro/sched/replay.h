@@ -22,9 +22,27 @@
 // frame-slot writes at a fork, a result write into the parent frame at child
 // completion, two reads at the join) is injected here because its addresses
 // depend on which arena the activation's frame landed on.
+//
+// ## Parallel replay (sharded)
+//
+// The *unit* of host parallelism is one shard's full priority-round
+// sequence on its own simulated machine (own cores, caches, Directory,
+// arenas).  Within a unit the walk is inherently sequential: every access
+// consults the coherence directory, and any finer-grained interleaving
+// would change miss classification and transfer counts — exactly the
+// false-sharing effects the simulator exists to count.  Shards, however,
+// share no addresses (vspace.h bit split) and no activations, so their
+// round sequences commute: with `SimConfig::replay_threads > 1` the shard
+// units of a merged batch graph — and independent jobs such as the main
+// replay and its p = 1 baseline — run on real rt::Pool threads, and the
+// per-core Cache/Directory observables of each unit are merged into one
+// Metrics at the final round barrier *in shard order*.  That canonical
+// merge order is the determinism guarantee: any replay_threads value
+// (including 1, the plain sequential walk) yields bit-identical Metrics.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "ro/core/graph.h"
 #include "ro/sim/metrics.h"
@@ -58,12 +76,55 @@ struct SimConfig {
   // of ping-ponging per word.  0 = plain invalidation protocol.
   uint32_t write_hold = 0;
 
+  // Host threads replaying shard units (see header comment).  1 = the
+  // sequential walk (default), 0 = hardware concurrency.  A host knob, not
+  // a machine parameter: it never appears in Metrics, and every value
+  // produces bit-identical results.
+  uint32_t replay_threads = 1;
+
   uint32_t effective_steal_latency() const;
 };
 
 /// Replays `g` under the given scheduler; deterministic for kSeq/kPws and
-/// for kRws at fixed seed.
+/// for kRws at fixed seed, for every replay_threads value.  A merged batch
+/// graph replays its shards in parallel and returns the shard-order merge
+/// (merge_shard_metrics).
 Metrics simulate(const TaskGraph& g, SchedKind kind, const SimConfig& cfg);
+
+/// Per-shard metrics of `g`'s components, in shard order (one entry for a
+/// classic single-shard graph).  `merge_shard_metrics` of the result equals
+/// simulate()'s return.
+std::vector<Metrics> simulate_shards(const TaskGraph& g, SchedKind kind,
+                                     const SimConfig& cfg);
+
+/// One independent replay request (used to overlap e.g. a PWS replay with
+/// its p = 1 baseline walk on the same trace).
+struct ReplayJob {
+  const TaskGraph* g = nullptr;
+  SchedKind kind = SchedKind::kSeq;
+  SimConfig cfg;
+};
+
+/// Replays all jobs — each expanded into its shard units — on up to
+/// `threads` pool workers; results in job order, each bit-identical to a
+/// sequential simulate() of that job.  threads semantics match
+/// SimConfig::replay_threads.
+std::vector<Metrics> simulate_all(const std::vector<ReplayJob>& jobs,
+                                  uint32_t threads);
+
+/// Like simulate_all but without the per-job merge: result[j][s] is the
+/// Metrics of job j's s-th shard span.  All units of all jobs share one
+/// pool, so e.g. a batch's main replay and its p=1 baselines overlap.
+/// When `wall_ms` is non-null it receives the host time each unit spent
+/// replaying (same indexing), for per-shard reporting.
+std::vector<std::vector<Metrics>> simulate_shards_all(
+    const std::vector<ReplayJob>& jobs, uint32_t threads,
+    std::vector<std::vector<double>>* wall_ms = nullptr);
+
+/// Resolves a replay_threads request against a unit count: 0 = hardware
+/// concurrency, then clamped to `units` (shared by the parallel record and
+/// replay phases so both scale the same way).
+uint32_t replay_host_threads(uint32_t requested, size_t units);
 
 const char* sched_name(SchedKind k);
 

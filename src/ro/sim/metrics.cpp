@@ -1,9 +1,41 @@
 #include "ro/sim/metrics.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 
 namespace ro {
+
+CoreMetrics& CoreMetrics::operator+=(const CoreMetrics& o) {
+  compute += o.compute;
+  for (int s = 0; s < 2; ++s)
+    for (int k = 0; k < 3; ++k) miss[s][k] += o.miss[s][k];
+  steals += o.steals;
+  steal_attempts += o.steal_attempts;
+  usurpations += o.usurpations;
+  idle += o.idle;
+  steal_cycles += o.steal_cycles;
+  finish = std::max(finish, o.finish);
+  l2_hits += o.l2_hits;
+  hold_waits += o.hold_waits;
+  return *this;
+}
+
+Metrics merge_shard_metrics(const std::vector<Metrics>& parts) {
+  Metrics m;
+  for (const Metrics& p : parts) {
+    if (p.core.size() > m.core.size()) m.core.resize(p.core.size());
+    for (size_t i = 0; i < p.core.size(); ++i) m.core[i] += p.core[i];
+    m.makespan = std::max(m.makespan, p.makespan);
+    for (const auto& [depth, n] : p.steals_per_priority)
+      m.steals_per_priority[depth] += n;
+    m.max_block_transfers =
+        std::max(m.max_block_transfers, p.max_block_transfers);
+    m.total_block_transfers += p.total_block_transfers;
+    m.stack_words += p.stack_words;
+  }
+  return m;
+}
 
 uint64_t Metrics::compute() const {
   uint64_t t = 0;
@@ -51,6 +83,12 @@ uint64_t Metrics::usurpations() const {
 uint64_t Metrics::idle() const {
   uint64_t t = 0;
   for (const auto& c : core) t += c.idle;
+  return t;
+}
+
+uint64_t Metrics::steal_cycles() const {
+  uint64_t t = 0;
+  for (const auto& c : core) t += c.steal_cycles;
   return t;
 }
 

@@ -32,6 +32,13 @@ struct CoreMetrics {
   uint64_t block_misses() const {  // false-sharing / coherence
     return misses(MissClass::kCoherence);
   }
+
+  /// Accumulates another core's counters (shard merge: the same simulated
+  /// core serving several tenants).  `finish` takes the max — the machines
+  /// run concurrently — every other counter sums.
+  CoreMetrics& operator+=(const CoreMetrics& o);
+
+  friend bool operator==(const CoreMetrics&, const CoreMetrics&) = default;
 };
 
 struct Metrics {
@@ -54,12 +61,22 @@ struct Metrics {
   uint64_t steal_attempts() const;
   uint64_t usurpations() const;
   uint64_t idle() const;
+  uint64_t steal_cycles() const;
   uint64_t l2_hits() const;
   uint64_t hold_waits() const;
   uint32_t max_steals_at_one_priority() const;
 
   /// One-line summary for logs.
   std::string summary() const;
+
+  friend bool operator==(const Metrics&, const Metrics&) = default;
 };
+
+/// Deterministic merge of per-shard replay metrics, in the given (shard)
+/// order: per-core counters sum core-wise, makespan / max_block_transfers
+/// take the max, everything else sums.  Merging the parts of a batch in
+/// shard order yields the same Metrics no matter how many host threads
+/// replayed them — the determinism guarantee sched/replay.h advertises.
+Metrics merge_shard_metrics(const std::vector<Metrics>& parts);
 
 }  // namespace ro

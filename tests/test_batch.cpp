@@ -1,0 +1,332 @@
+// Sharded record/replay pipeline tests: shard address disjointness at the
+// context level, concurrent-vs-sequential recording equality, merged-graph
+// structure, parallel-replay metrics determinism (--replay-threads), and
+// the Engine::run_batch BatchReport.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ro/alg/graphgen.h"
+#include "ro/alg/listrank.h"
+#include "ro/alg/route.h"
+#include "ro/alg/scan.h"
+#include "ro/alg/spms.h"
+#include "ro/core/shard_ctx.h"
+#include "ro/engine/engine.h"
+#include "ro/rt/pool.h"
+#include "ro/util/rng.h"
+#include "test_helpers.h"
+
+namespace ro {
+namespace {
+
+using alg::i64;
+
+// ---- the three trace families the acceptance criteria name ----
+
+/// Sort-routed gather ("route"): two sorts + three BP scans per call.
+auto prog_route(size_t n) {
+  return [n](auto& cx) {
+    auto idx = cx.template alloc<i64>(n, "idx");
+    auto val = cx.template alloc<i64>(n, "val");
+    Rng rng(n * 31 + 5);
+    for (size_t i = 0; i < n; ++i) {
+      idx.raw()[i] = static_cast<i64>(rng.next_below(n));
+      val.raw()[i] = static_cast<i64>(rng.next_below(1000));
+    }
+    auto out = cx.template alloc<i64>(n, "out");
+    cx.run(2 * n, [&] {
+      alg::gather(cx, alg::StridedView{idx.slice()},
+                  alg::StridedView{val.slice()},
+                  alg::StridedView{out.slice()}, n);
+    });
+  };
+}
+
+auto prog_listrank(size_t n) {
+  const auto succ = alg::random_list(n, n * 7 + 3);
+  return [n, succ](auto& cx) {
+    auto s = cx.template alloc<i64>(n, "succ");
+    std::copy(succ.begin(), succ.end(), s.raw());
+    auto r = cx.template alloc<i64>(n, "rank");
+    cx.run(2 * n, [&] { alg::list_rank(cx, s.slice(), r.slice()); });
+  };
+}
+
+auto prog_spms(size_t n) {
+  return [n](auto& cx) {
+    auto a = cx.template alloc<i64>(n, "a");
+    Rng rng(n + 17);
+    for (size_t i = 0; i < n; ++i)
+      a.raw()[i] = static_cast<i64>(rng.next() >> 1);
+    auto o = cx.template alloc<i64>(n, "o");
+    cx.run(2 * n, [&] { alg::spms(cx, a.slice(), o.slice()); });
+  };
+}
+
+SimConfig small_machine(uint32_t threads = 1) {
+  SimConfig cfg;
+  cfg.p = 4;
+  cfg.M = 1 << 10;
+  cfg.B = 16;
+  cfg.replay_threads = threads;
+  return cfg;
+}
+
+/// Structural equality of two recordings (addresses included).
+void expect_same_trace(const TaskGraph& a, const TaskGraph& b) {
+  EXPECT_EQ(a.acts, b.acts);
+  EXPECT_EQ(a.segments, b.segments);
+  EXPECT_EQ(a.accesses, b.accesses);
+  EXPECT_EQ(a.root, b.root);
+  EXPECT_EQ(a.data_base, b.data_base);
+  EXPECT_EQ(a.data_top, b.data_top);
+}
+
+TEST(ShardCtx, RecordsIntoItsOwnShard) {
+  ShardedVSpace ssp(3);
+  for (uint32_t s = 0; s < 3; ++s) {
+    ShardCtx cx(ssp, s);
+    EXPECT_EQ(cx.shard(), s);
+    auto a = cx.alloc<i64>(64, "a");
+    EXPECT_EQ(shard_of(a.vbase()), s);
+    EXPECT_EQ(shard_offset(a.vbase()), 0u);  // first allocation of the shard
+    EXPECT_EQ(ssp.region_of(a.vbase()), "a");
+  }
+  // Standalone flavour: same addresses as the shared-space flavour.
+  ShardCtx lone(2u);
+  auto b = lone.alloc<i64>(8, "b");
+  EXPECT_EQ(shard_of(b.vbase()), 2u);
+  EXPECT_EQ(b.vbase(), shard_base(2));
+}
+
+TEST(ShardCtx, ShardChoiceOnlyOffsetsAddresses) {
+  // The same program recorded in shard 0 and shard 5 must differ *only* by
+  // the shard base in global addresses — structure, frame offsets, and
+  // (rebased) replay metrics all identical.
+  const size_t n = 512;
+  auto prog = prog_route(n);
+  Engine& eng = testing::engine();
+  const Recording r0 = eng.record(prog);
+  const Recording r5 = eng.record(prog, false, 4096, /*shard=*/5);
+  ASSERT_EQ(r0.graph.accesses.size(), r5.graph.accesses.size());
+  EXPECT_EQ(r0.graph.acts, r5.graph.acts);
+  const vaddr_t base5 = shard_base(5);
+  EXPECT_EQ(r5.graph.data_base, base5);
+  for (size_t i = 0; i < r0.graph.accesses.size(); ++i) {
+    const Access& a0 = r0.graph.accesses[i];
+    const Access& a5 = r5.graph.accesses[i];
+    if (a0.act == kNoAct) {
+      EXPECT_EQ(a5.addr, a0.addr + base5);
+    } else {
+      EXPECT_EQ(a5.addr, a0.addr);  // frame offsets are shard-agnostic
+    }
+  }
+  const SimConfig cfg = small_machine();
+  EXPECT_EQ(simulate(r0.graph, SchedKind::kPws, cfg),
+            simulate(r5.graph, SchedKind::kPws, cfg));
+}
+
+TEST(Batch, ConcurrentRecordingMatchesSequential) {
+  // Four shards recording concurrently must produce the same traces as
+  // recording them one after another.
+  const size_t n = 256;
+  const uint32_t kShards = 4;
+  auto record_all = [&](bool concurrent) {
+    ShardedVSpace ssp(kShards);
+    std::vector<TaskGraph> graphs(kShards);
+    auto rec_one = [&](size_t i) {
+      ShardCtx cx(ssp, static_cast<uint32_t>(i));
+      auto a = cx.alloc<i64>(n, "a");
+      for (size_t j = 0; j < n; ++j)
+        a.raw()[j] = static_cast<i64>((j * (i + 3)) % 97);
+      auto o = cx.alloc<i64>(n, "o");
+      graphs[i] =
+          cx.run(2 * n, [&] { alg::prefix_sums(cx, a.slice(), o.slice()); });
+    };
+    if (concurrent) {
+      rt::Pool pool(4, rt::StealPolicy::kRandom);
+      rt::parallel_index(pool, kShards, rec_one);
+    } else {
+      for (size_t i = 0; i < kShards; ++i) rec_one(i);
+    }
+    return graphs;
+  };
+  const std::vector<TaskGraph> seq = record_all(false);
+  const std::vector<TaskGraph> par = record_all(true);
+  for (uint32_t i = 0; i < kShards; ++i) {
+    expect_same_trace(par[i], seq[i]);
+    EXPECT_EQ(shard_of(seq[i].data_base), i);
+  }
+}
+
+TEST(Batch, MergeShardsRemapsIndices) {
+  const size_t n = 128;
+  Engine& eng = testing::engine();
+  std::vector<TaskGraph> parts;
+  parts.push_back(eng.record(prog_route(n), false, 4096, 0).graph);
+  parts.push_back(eng.record(prog_listrank(n), false, 4096, 1).graph);
+  const size_t acts0 = parts[0].acts.size();
+  const size_t segs0 = parts[0].segments.size();
+  const size_t accs0 = parts[0].accesses.size();
+  const TaskGraph snd = parts[1];  // copy for comparison after the move
+  TaskGraph m = merge_shards(std::move(parts));
+
+  ASSERT_EQ(m.shards.size(), 2u);
+  EXPECT_EQ(m.shards[0].shard, 0u);
+  EXPECT_EQ(m.shards[1].shard, 1u);
+  EXPECT_EQ(m.shards[1].first_act, acts0);
+  EXPECT_EQ(m.shards[1].first_seg, segs0);
+  EXPECT_EQ(m.root, m.shards[0].root);
+  ASSERT_EQ(m.acts.size(), acts0 + snd.acts.size());
+
+  // The second component must be the second input, shifted.
+  for (size_t i = 0; i < snd.acts.size(); ++i) {
+    const Activation& got = m.acts[acts0 + i];
+    const Activation& want = snd.acts[i];
+    if (want.parent == kNoAct) {
+      EXPECT_EQ(got.parent, kNoAct);
+    } else {
+      EXPECT_EQ(got.parent, want.parent + acts0);
+    }
+    EXPECT_EQ(got.first_seg, want.first_seg + segs0);
+    EXPECT_EQ(got.depth, want.depth);
+    EXPECT_EQ(got.frame_words, want.frame_words);
+  }
+  for (size_t i = 0; i < snd.accesses.size(); ++i) {
+    const Access& got = m.accesses[accs0 + i];
+    const Access& want = snd.accesses[i];
+    EXPECT_EQ(got.addr, want.addr);  // addresses survive the merge verbatim
+    if (want.act == kNoAct) {
+      EXPECT_EQ(got.act, kNoAct);
+    } else {
+      EXPECT_EQ(got.act, static_cast<uint32_t>(want.act + acts0));
+    }
+  }
+}
+
+TEST(Batch, MergedReplayEqualsStandaloneReplays) {
+  // Replaying the merged batch must give, per shard, exactly the metrics of
+  // replaying each recording on its own machine — the sharded accounting
+  // is exact, not approximate.
+  const size_t n = 192;
+  Engine& eng = testing::engine();
+  std::vector<TaskGraph> parts;
+  parts.push_back(eng.record(prog_route(n), false, 4096, 0).graph);
+  parts.push_back(eng.record(prog_listrank(n), false, 4096, 1).graph);
+  parts.push_back(eng.record(prog_spms(4 * n), false, 4096, 2).graph);
+  const SimConfig cfg = small_machine();
+  std::vector<Metrics> lone;
+  for (const TaskGraph& g : parts) {
+    lone.push_back(simulate(g, SchedKind::kPws, cfg));
+  }
+  const TaskGraph merged = merge_shards(std::move(parts));
+  const std::vector<Metrics> per =
+      simulate_shards(merged, SchedKind::kPws, cfg);
+  ASSERT_EQ(per.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ(per[i], lone[i]) << "shard " << i;
+  EXPECT_EQ(simulate(merged, SchedKind::kPws, cfg),
+            merge_shard_metrics(per));
+}
+
+TEST(Batch, ReplayThreadsAreMetricsDeterministic) {
+  // The acceptance criterion: --replay-threads in {1, 2, 8} yields
+  // bit-identical Metrics on route / listrank / SPMS traces, single-shard
+  // and merged-batch, under both PWS and (seeded) RWS.
+  const size_t n = 160;
+  Engine& eng = testing::engine();
+  std::vector<TaskGraph> parts;
+  parts.push_back(eng.record(prog_route(n), false, 4096, 0).graph);
+  parts.push_back(eng.record(prog_listrank(n), false, 4096, 1).graph);
+  parts.push_back(eng.record(prog_spms(4 * n), false, 4096, 2).graph);
+
+  for (const SchedKind kind : {SchedKind::kPws, SchedKind::kRws}) {
+    for (const TaskGraph& g : parts) {  // single-shard traces
+      const Metrics base = simulate(g, kind, small_machine(1));
+      for (const uint32_t t : {2u, 8u}) {
+        EXPECT_EQ(simulate(g, kind, small_machine(t)), base)
+            << sched_name(kind) << " threads=" << t;
+      }
+    }
+  }
+  const TaskGraph merged = merge_shards(std::move(parts));
+  for (const SchedKind kind : {SchedKind::kPws, SchedKind::kRws}) {
+    const Metrics base = simulate(merged, kind, small_machine(1));
+    for (const uint32_t t : {2u, 8u}) {
+      EXPECT_EQ(simulate(merged, kind, small_machine(t)), base)
+          << "merged " << sched_name(kind) << " threads=" << t;
+    }
+  }
+}
+
+TEST(Batch, RunBatchReportShape) {
+  const size_t n = 128;
+  std::vector<std::function<void(detail::EngineCtx<TraceCtx>&)>> progs;
+  progs.emplace_back(prog_route(n));
+  progs.emplace_back(prog_listrank(n));
+  progs.emplace_back(prog_spms(2 * n));
+
+  RunOptions opt;
+  opt.backend = Backend::kSimPws;
+  opt.label = "batch3";
+  opt.sim = small_machine(2);
+  const BatchReport br = testing::engine().run_batch(progs, opt);
+
+  EXPECT_EQ(br.shards, 3u);
+  ASSERT_EQ(br.runs.size(), 3u);
+  EXPECT_EQ(br.runs[0].label, "batch3#0");
+  EXPECT_EQ(br.runs[2].label, "batch3#2");
+  uint64_t work = 0, misses = 0, q = 0;
+  for (const RunReport& r : br.runs) {
+    EXPECT_TRUE(r.has_graph);
+    EXPECT_TRUE(r.has_sim);
+    EXPECT_TRUE(r.has_baseline);
+    EXPECT_GT(r.sim.makespan, 0u);
+    work += r.graph.work;
+    misses += r.sim.cache_misses();
+    q += r.q_seq;
+  }
+  EXPECT_EQ(br.aggregate.graph.work, work);
+  EXPECT_EQ(br.aggregate.sim.cache_misses(), misses);
+  EXPECT_EQ(br.aggregate.q_seq, q);
+  EXPECT_GE(br.wall_ms, 0.0);
+
+  // Determinism across the host-thread knob, end to end through run_batch.
+  RunOptions opt1 = opt;
+  opt1.sim.replay_threads = 1;
+  const BatchReport br1 = testing::engine().run_batch(progs, opt1);
+  ASSERT_EQ(br1.runs.size(), br.runs.size());
+  for (size_t i = 0; i < br.runs.size(); ++i) {
+    EXPECT_EQ(br1.runs[i].sim, br.runs[i].sim) << i;
+    EXPECT_EQ(br1.runs[i].q_seq, br.runs[i].q_seq) << i;
+  }
+  EXPECT_EQ(br1.aggregate.sim, br.aggregate.sim);
+
+  // The nested JSON parses back row by row.
+  const std::string j = br.to_json();
+  EXPECT_NE(j.find("\"shards\":3"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"batch3#1\""), std::string::npos) << j;
+}
+
+TEST(Batch, RunBatchSeqBackend) {
+  const size_t n = 96;
+  std::vector<std::function<void(detail::EngineCtx<TraceCtx>&)>> progs(
+      2, prog_listrank(n));
+  RunOptions opt;
+  opt.backend = Backend::kSeq;
+  opt.sim = small_machine(2);
+  const BatchReport br = testing::engine().run_batch(progs, opt);
+  ASSERT_EQ(br.runs.size(), 2u);
+  // Identical programs -> identical per-shard metrics, and the seq replay
+  // is its own baseline.
+  EXPECT_EQ(br.runs[0].sim, br.runs[1].sim);
+  EXPECT_EQ(br.runs[0].p, 1u);
+  EXPECT_EQ(br.runs[0].cache_excess, 0u);
+  EXPECT_EQ(br.runs[0].q_seq, br.runs[0].sim.cache_misses());
+}
+
+}  // namespace
+}  // namespace ro

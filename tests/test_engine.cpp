@@ -198,6 +198,73 @@ TEST(Engine, ReportJsonCarriesBackendFields) {
   EXPECT_NE(arr.find("par-priority"), std::string::npos);
 }
 
+TEST(Engine, ReportJsonRoundTrips) {
+  // Audit guard: every field to_json emits must survive
+  // report_from_json(to_json(r)).to_json() == to_json(r) — a field dropped
+  // or mangled by the writer/reader pair fails the string comparison.
+  const size_t n = 512;
+  auto prog = [n](auto& cx) {
+    auto a = cx.template alloc<i64>(n, "a");
+    for (size_t i = 0; i < n; ++i) a.raw()[i] = static_cast<i64>(i % 9);
+    auto o = cx.template alloc<i64>(n, "o");
+    cx.run(2 * n, [&] { alg::prefix_sums(cx, a.slice(), o.slice()); });
+  };
+  // A sim report with nontrivial steal/hold/L2 traffic...
+  RunOptions opt;
+  opt.backend = Backend::kSimPws;
+  opt.label = "round \"trip\"";
+  opt.sim.p = 4;
+  opt.sim.M = 1 << 10;
+  opt.sim.B = 16;
+  opt.sim.M2 = 1 << 12;
+  opt.sim.write_hold = 8;
+  const RunReport r = testing::engine().run(prog, opt);
+  ASSERT_GT(r.sim.steals(), 0u);
+  const std::string j = r.to_json();
+  RunReport back;
+  ASSERT_TRUE(report_from_json(j, back)) << j;
+  EXPECT_EQ(back.to_json(), j);
+  EXPECT_EQ(back.label, r.label);
+  EXPECT_EQ(back.sim.cache_misses(), r.sim.cache_misses());
+  EXPECT_EQ(back.sim.stack_misses(), r.sim.stack_misses());
+  EXPECT_EQ(back.q_seq, r.q_seq);
+
+  // ...and a pool report (no sim section at all).
+  RunOptions par;
+  par.backend = Backend::kParRandom;
+  par.threads = 2;
+  const RunReport rp = testing::engine().run(prog, par);
+  const std::string jp = rp.to_json();
+  RunReport backp;
+  ASSERT_TRUE(report_from_json(jp, backp)) << jp;
+  EXPECT_EQ(backp.to_json(), jp);
+  EXPECT_FALSE(backp.has_sim);
+  EXPECT_TRUE(backp.has_pool);
+
+  EXPECT_FALSE(report_from_json("not json", backp));
+}
+
+TEST(Engine, ReportJsonCarriesAuditedSimFields) {
+  // The fields report.cpp once silently dropped from the sim/graph merge.
+  RunOptions opt;
+  opt.backend = Backend::kSimPws;
+  const size_t n = 256;
+  const RunReport r = testing::engine().run(
+      [n](auto& cx) {
+        auto a = cx.template alloc<i64>(n, "a");
+        auto o = cx.template alloc<i64>(1, "o");
+        cx.run(n, [&] { alg::msum(cx, a.slice(), o.slice()); });
+      },
+      opt);
+  const std::string j = r.to_json();
+  for (const char* key :
+       {"\"leaves\":", "\"compute\":", "\"steal_cycles\":", "\"l2_hits\":",
+        "\"hold_waits\":", "\"total_block_transfers\":",
+        "\"max_block_transfers\":", "\"stack_words\":"}) {
+    EXPECT_NE(j.find(key), std::string::npos) << key << " missing in " << j;
+  }
+}
+
 TEST(Engine, ReportJsonEscapesLabelStrings) {
   // Regression: a label containing quotes, backslashes, newlines or raw
   // control bytes must still serialize to valid JSON (the kv helper once

@@ -28,6 +28,57 @@ TEST(VSpace, AlignedDisjointAllocations) {
   EXPECT_EQ(vs.regions().size(), 3u);
 }
 
+TEST(VSpace, ShardLayoutHelpers) {
+  EXPECT_EQ(shard_of(0), 0u);
+  EXPECT_EQ(shard_base(0), 0u);
+  const vaddr_t a = shard_base(7) + 12345;
+  EXPECT_EQ(shard_of(a), 7u);
+  EXPECT_EQ(shard_offset(a), 12345u);
+  // The split covers the whole 64-bit word address.
+  EXPECT_EQ(shard_of(shard_base(kMaxShards - 1)), kMaxShards - 1);
+  EXPECT_EQ(shard_base(1), kShardSpanWords);
+}
+
+TEST(VSpace, DefaultIsShardZeroCompatibilityPath) {
+  // A default VSpace must behave bit-for-bit like the pre-shard layout:
+  // base 0, first allocation at address 0.
+  VSpace vs(64);
+  EXPECT_EQ(vs.base(), 0u);
+  EXPECT_EQ(vs.shard(), 0u);
+  EXPECT_EQ(vs.allocate(10, "a"), 0u);
+}
+
+TEST(ShardedVSpace, ShardsNeverAlias) {
+  ShardedVSpace ssp(4, 64);
+  // Same allocation sequence in every shard: bases differ exactly by the
+  // shard offset, and no two allocations from different shards can share
+  // a block at any simulated block size (block id = addr / B).
+  std::vector<vaddr_t> base(4);
+  for (uint32_t s = 0; s < 4; ++s) {
+    base[s] = ssp.shard(s).allocate(100, "x");
+    EXPECT_EQ(shard_of(base[s]), s);
+    EXPECT_EQ(shard_offset(base[s]), 0u);
+  }
+  for (uint32_t s = 1; s < 4; ++s) {
+    EXPECT_EQ(base[s] - base[s - 1], kShardSpanWords);
+    for (uint64_t B : {16u, 64u, 4096u}) {
+      EXPECT_NE(base[s] / B, base[s - 1] / B);
+    }
+  }
+  EXPECT_EQ(ssp.allocated_words(), 4 * 100u);
+}
+
+TEST(ShardedVSpace, RegionLookupAcrossShards) {
+  ShardedVSpace ssp(3, 64);
+  const vaddr_t a = ssp.shard(0).allocate(10, "alpha");
+  const vaddr_t b = ssp.shard(2).allocate(20, "gamma");
+  EXPECT_EQ(ssp.region_of(a), "alpha");
+  EXPECT_EQ(ssp.region_of(b + 19), "gamma");
+  EXPECT_EQ(ssp.region_of(shard_base(1)), "?");      // empty shard
+  EXPECT_EQ(ssp.region_of(shard_base(100)), "?");    // beyond the space
+  EXPECT_EQ(ssp.shards(), 3u);
+}
+
 TEST(VSpace, TopMonotone) {
   VSpace vs(16);
   vaddr_t prev = vs.top();
