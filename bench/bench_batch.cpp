@@ -12,6 +12,7 @@
 //
 //   $ ./bench_batch [--shards=8] [--n=4096] [--p=8] [--M=4096] [--B=32]
 //                   [--replay-threads=0]   # 0 = hardware concurrency
+//                   [--backends=sim-pws]   # any replay backend
 //                   [--out=BENCH_batch.json]
 #include <cstdio>
 #include <fstream>
@@ -30,7 +31,10 @@ int main(int argc, char** argv) {
       static_cast<uint32_t>(cli.get_int("replay-threads", 0));
 
   RunOptions opt;
-  opt.backend = Backend::kSimPws;
+  const std::vector<Backend> backends = backends_from_cli(cli, "sim-pws");
+  RO_CHECK_MSG(backends.size() == 1 && !backend_is_parallel(backends[0]),
+               "bench_batch replays traces; pick one seq/sim backend");
+  opt.backend = backends[0];
   opt.label = "batch";
   opt.sim.p = static_cast<uint32_t>(cli.get_int("p", 8));
   opt.sim.M = static_cast<uint64_t>(cli.get_int("M", 1 << 12));

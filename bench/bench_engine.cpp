@@ -4,7 +4,9 @@
 // perf trajectory of the engine accumulates across commits.
 //
 //   $ ./bench_engine [--n=16384] [--p=8] [--M=4096] [--B=32]
-//                    [--replay-threads=1] [--out=BENCH_engine.json]
+//                    [--replay-threads=1] [--backends=all]
+//                    [--numa-groups=0] [--numa-escape=0.0625] [--numa-pin]
+//                    [--out=BENCH_engine.json]
 #include <cstdio>
 #include <fstream>
 
@@ -25,6 +27,8 @@ int main(int argc, char** argv) {
   // metrics are bit-identical for every value — see docs/sharding.md.
   opt.sim.replay_threads =
       static_cast<uint32_t>(cli.get_int("replay-threads", 1));
+  numa_from_cli(cli, opt);
+  const std::vector<Backend> backends = backends_from_cli(cli);
 
   std::vector<RunReport> reports;
   Table t("Engine smoke: every backend, one RunOptions change");
@@ -32,7 +36,7 @@ int main(int argc, char** argv) {
             "blk-miss", "sim-steals", "pool-steals", "speedup"});
 
   auto sweep = [&](const std::string& label, auto prog) {
-    for (Backend b : kAllBackends) {
+    for (Backend b : backends) {
       opt.backend = b;  // the single knob
       opt.label = label;
       const RunReport r = engine().run(prog, opt);

@@ -10,6 +10,7 @@
 // drops a CSV next to the binary when --csv is passed.
 #pragma once
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,76 @@ inline SortKind sort_from_cli(const Cli& cli) {
   RO_CHECK_MSG(alg::parse_sort_kind(name, kind),
                "--sort must be 'msort' or 'spms'");
   return kind;
+}
+
+/// Splits a comma-separated flag value into its entries.  Empty entries
+/// ("1,,2", trailing comma) are RO_CHECK failures — a typo must fail
+/// loudly, never silently shrink a sweep.
+inline std::vector<std::string> split_csv(const std::string& spec) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    const size_t comma = spec.find(',', start);
+    const std::string tok =
+        spec.substr(start, comma == std::string::npos ? comma : comma - start);
+    RO_CHECK_MSG(!tok.empty(), "comma-list flag holds an empty entry");
+    out.push_back(tok);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// A comma list of non-negative integers ("1,2,4").  Follows the Cli
+/// numeric policy: trailing garbage ("2x8") is an RO_CHECK failure, not a
+/// silently truncated number.
+inline std::vector<uint32_t> u32_list_from_cli(const Cli& cli,
+                                               const std::string& flag,
+                                               const std::string& def) {
+  std::vector<uint32_t> out;
+  for (const std::string& tok : split_csv(cli.get_str(flag, def))) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(tok.c_str(), &end, 10);
+    RO_CHECK_MSG(end != tok.c_str() && *end == '\0' && v <= UINT32_MAX,
+                 "comma-list flag holds a non-numeric entry");
+    out.push_back(static_cast<uint32_t>(v));
+  }
+  return out;
+}
+
+/// The bench-wide `--backends=` flag: a comma list of backend names (see
+/// parse_backend; short aliases allowed) or one of the sets "all", "sim"
+/// (seq + the two trace replays) and "par" (the four real-thread
+/// backends).  RO_CHECK fails on unknown names so a typo cannot silently
+/// bench the wrong backend.
+inline std::vector<Backend> backends_from_cli(const Cli& cli,
+                                              const std::string& def = "all") {
+  const std::string spec = cli.get_str("backends", def);
+  if (spec == "all")
+    return {std::begin(kAllBackends), std::end(kAllBackends)};
+  if (spec == "sim")
+    return {Backend::kSeq, Backend::kSimPws, Backend::kSimRws};
+  if (spec == "par")
+    return {Backend::kParRandom, Backend::kParPriority,
+            Backend::kParNumaRandom, Backend::kParNumaPriority};
+  std::vector<Backend> out;
+  for (const std::string& name : split_csv(spec)) {
+    Backend b;
+    RO_CHECK_MSG(parse_backend(name, b),
+                 "--backends holds an unknown backend name");
+    out.push_back(b);
+  }
+  return out;
+}
+
+/// The shared NUMA flags of the bench binaries: `--numa-groups` (0 = one
+/// group per detected node — force a count for deterministic behavior on
+/// any machine), `--numa-escape` (random flavor cross-group steal
+/// probability) and `--numa-pin` (pin workers to their node's cpus).
+inline void numa_from_cli(const Cli& cli, RunOptions& opt) {
+  opt.numa_groups = static_cast<uint32_t>(cli.get_int("numa-groups", 0));
+  opt.numa_escape = cli.get_double("numa-escape", opt.numa_escape);
+  opt.numa_pin = cli.get_int("numa-pin", 0) != 0;
 }
 
 /// Process-wide Engine: one record/replay entry point and one cached thread

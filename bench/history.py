@@ -15,6 +15,11 @@ revisions.
     $ python3 bench/history.py show --history BENCH_history.json \
           --metric makespan
 
+    # standalone SVG of the same trajectories (no plotting deps; CI
+    # uploads it as an artifact next to the JSON)
+    $ python3 bench/history.py plot --history BENCH_history.json \
+          --metric makespan --out BENCH_history.svg
+
 `add` is idempotent per commit: re-adding a commit replaces its entry, so
 re-runs never duplicate history.  Entries keep the order in which they
 were first added (the per-branch commit order when driven from CI).
@@ -73,18 +78,91 @@ def cmd_add(args):
 def cmd_show(args):
     history = load_json(args.history)
     commits = [e.get("commit", "?")[:10] for e in history]
+    rows = series_of(history, args.metric)
+    print(f"{args.metric} over {len(history)} commit(s): "
+          f"{' '.join(commits)}")
+    for (label, backend), series in rows.items():
+        vals = " ".join("-" if v is None else str(v) for v in series)
+        print(f"  {label}/{backend}: {vals}")
+    return 0
+
+
+def series_of(history, metric):
+    """(label, backend) -> list of metric values (None where absent)."""
     rows = {}
     for i, e in enumerate(history):
         for r in e.get("reports", []):
             key = (r.get("label", "?"), r.get("backend", "?"))
-            rows.setdefault(key, [None] * len(history))[i] = \
-                r.get(args.metric)
-    print(f"{args.metric} over {len(history)} commit(s): "
-          f"{' '.join(commits)}")
-    for (label, backend) in sorted(rows):
-        vals = " ".join("-" if v is None else str(v)
-                        for v in rows[(label, backend)])
-        print(f"  {label}/{backend}: {vals}")
+            rows.setdefault(key, [None] * len(history))[i] = r.get(metric)
+    # Drop rows that never carry the metric (e.g. par-* rows for makespan).
+    return {k: v for k, v in sorted(rows.items())
+            if any(x is not None for x in v)}
+
+
+PALETTE = ["#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd",
+           "#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf"]
+
+
+def cmd_plot(args):
+    history = load_json(args.history)
+    rows = series_of(history, args.metric)
+    n = len(history)
+    w, h = 860, 420
+    ml, mr, mt, mb = 70, 230, 40, 50          # margins (legend on the right)
+    pw, ph = w - ml - mr, h - mt - mb
+    vals = [v for series in rows.values() for v in series if v is not None]
+    vmax = max(vals) if vals else 1.0
+    vmax = vmax if vmax > 0 else 1.0
+
+    def x_of(i):
+        return ml + (pw * i / max(1, n - 1) if n > 1 else pw / 2)
+
+    def y_of(v):
+        return mt + ph - ph * (v / vmax)
+
+    svg = [f'<svg xmlns="http://www.w3.org/2000/svg" width="{w}" '
+           f'height="{h}" viewBox="0 0 {w} {h}">',
+           f'<rect width="{w}" height="{h}" fill="white"/>',
+           f'<text x="{ml}" y="24" font-family="monospace" font-size="14">'
+           f'{args.metric} over {n} commit(s)</text>',
+           f'<line x1="{ml}" y1="{mt}" x2="{ml}" y2="{mt + ph}" '
+           f'stroke="#444"/>',
+           f'<line x1="{ml}" y1="{mt + ph}" x2="{ml + pw}" y2="{mt + ph}" '
+           f'stroke="#444"/>',
+           f'<text x="8" y="{mt + 10}" font-family="monospace" '
+           f'font-size="11">{vmax:g}</text>',
+           f'<text x="8" y="{mt + ph}" font-family="monospace" '
+           f'font-size="11">0</text>']
+    for i, e in enumerate(history):
+        svg.append(f'<text x="{x_of(i):.1f}" y="{mt + ph + 16}" '
+                   f'font-family="monospace" font-size="10" '
+                   f'text-anchor="middle">{e.get("commit", "?")[:7]}</text>')
+    for s, ((label, backend), series) in enumerate(rows.items()):
+        color = PALETTE[s % len(PALETTE)]
+        pts = [(x_of(i), y_of(v)) for i, v in enumerate(series)
+               if v is not None]
+        if len(pts) > 1:
+            d = " ".join(f"{x:.1f},{y:.1f}" for x, y in pts)
+            svg.append(f'<polyline points="{d}" fill="none" '
+                       f'stroke="{color}" stroke-width="1.5"/>')
+        for x, y in pts:
+            svg.append(f'<circle cx="{x:.1f}" cy="{y:.1f}" r="2.5" '
+                       f'fill="{color}"/>')
+        ly = mt + 14 * s
+        svg.append(f'<rect x="{ml + pw + 12}" y="{ly - 8}" width="10" '
+                   f'height="10" fill="{color}"/>')
+        svg.append(f'<text x="{ml + pw + 26}" y="{ly}" '
+                   f'font-family="monospace" font-size="10">'
+                   f'{label}/{backend}</text>')
+    svg.append("</svg>")
+    try:
+        with open(args.out, "w") as f:
+            f.write("\n".join(svg) + "\n")
+    except OSError as e:
+        print(f"history: cannot write {args.out}: {e}", file=sys.stderr)
+        return 2
+    print(f"history: plotted {len(rows)} series x {n} commit(s) "
+          f"to {args.out}")
     return 0
 
 
@@ -104,6 +182,12 @@ def main():
     show.add_argument("--history", default="BENCH_history.json")
     show.add_argument("--metric", default="makespan")
     show.set_defaults(fn=cmd_show)
+
+    plot = sub.add_parser("plot", help="emit an SVG of the trajectories")
+    plot.add_argument("--history", default="BENCH_history.json")
+    plot.add_argument("--metric", default="makespan")
+    plot.add_argument("--out", default="BENCH_history.svg")
+    plot.set_defaults(fn=cmd_plot)
 
     args = ap.parse_args()
     return args.fn(args)

@@ -152,20 +152,50 @@ BatchReport Engine::finish_batch(std::vector<TaskGraph> graphs,
   return br;
 }
 
+namespace {
+
+unsigned hw_threads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 2 : hw;
+}
+
+}  // namespace
+
 rt::Pool& Engine::pool(rt::StealPolicy policy, unsigned threads) {
   const int idx = policy == rt::StealPolicy::kRandom ? 0 : 1;
   auto& slot = pools_[idx];
   if (threads == 0) {
-    if (!slot) {
-      unsigned hw = std::thread::hardware_concurrency();
-      if (hw == 0) hw = 2;
-      slot = std::make_unique<rt::Pool>(hw, policy);
-    }
+    if (!slot) slot = std::make_unique<rt::Pool>(hw_threads(), policy);
     return *slot;
   }
   if (!slot || slot->threads() != threads) {
     slot.reset();  // join the old pool's workers before spawning anew
     slot = std::make_unique<rt::Pool>(threads, policy);
+  }
+  return *slot;
+}
+
+rt::Pool& Engine::numa_pool(rt::StealPolicy policy, unsigned threads,
+                            uint32_t groups, double escape, bool pin) {
+  const int idx = policy == rt::StealPolicy::kRandom ? 2 : 3;
+  const int cfg = idx - 2;
+  auto& slot = pools_[idx];
+  const unsigned want =
+      threads != 0 ? threads : (slot ? slot->threads() : hw_threads());
+  rt::GroupLayout layout = rt::numa_group_layout(want, groups);
+  const bool match = slot && slot->threads() == want &&
+                     slot->groups() == layout.groups() &&
+                     numa_escape_[cfg] == escape && numa_pin_[cfg] == pin;
+  if (!match) {
+    slot.reset();  // join the old pool's workers before spawning anew
+    rt::PoolOptions popt;
+    popt.policy = policy;
+    popt.layout = std::move(layout);
+    popt.escape_prob = escape;
+    popt.pin = pin;
+    slot = std::make_unique<rt::Pool>(want, popt);
+    numa_escape_[cfg] = escape;
+    numa_pin_[cfg] = pin;
   }
   return *slot;
 }

@@ -60,6 +60,11 @@ struct RunOptions {
   // at hardware concurrency on first use); a nonzero value resizes it.
   unsigned threads = 0;
   uint64_t serial_below = 1 << 12;  // ParCtx serial cutoff, words
+
+  // ---- NUMA backends (par-numa-random / par-numa-priority) ----
+  uint32_t numa_groups = 0;       // worker groups; 0 = one per detected node
+  double numa_escape = 1.0 / 16;  // random flavor cross-group steal prob
+  bool numa_pin = false;          // pin workers to their node's cpus (Linux)
 };
 
 /// A recorded computation plus its derived stats (Engine::record).
@@ -149,11 +154,10 @@ class Engine {
         break;
       }
       case Backend::kParRandom:
-      case Backend::kParPriority: {
-        rt::Pool& pool = this->pool(opt.backend == Backend::kParRandom
-                                        ? rt::StealPolicy::kRandom
-                                        : rt::StealPolicy::kPriority,
-                                    opt.threads);
+      case Backend::kParPriority:
+      case Backend::kParNumaRandom:
+      case Backend::kParNumaPriority: {
+        rt::Pool& pool = pool_for(opt);
         const rt::PoolStats before = pool.stats();
         rt::ParCtx cx(pool, opt.serial_below);
         detail::EngineCtx<rt::ParCtx> ec(cx);
@@ -163,6 +167,9 @@ class Engine {
         r.threads = pool.threads();
         r.pool_steals = after.steals - before.steals;
         r.pool_failed_steals = after.failed_steals - before.failed_steals;
+        r.pool_groups = pool.groups();
+        r.pool_local_steals = after.local_steals - before.local_steals;
+        r.pool_remote_steals = after.remote_steals - before.remote_steals;
         break;
       }
     }
@@ -249,10 +256,31 @@ class Engine {
     return replay(rec.graph, backend, sim, seq_baseline, label, &rec.stats);
   }
 
-  /// The cached real-thread pool for a policy (created on first use;
+  /// The cached flat real-thread pool for a policy (created on first use;
   /// recreated only when `threads` changes).  threads = 0 keeps the current
   /// pool or creates one sized to the hardware.
   rt::Pool& pool(rt::StealPolicy policy, unsigned threads = 0);
+
+  /// The cached NUMA-aware pool for a policy: `groups` worker groups
+  /// (0 = one per detected node) with `escape` as the random flavor's
+  /// cross-group steal probability.  Recreated when threads (nonzero),
+  /// groups, escape or pin differ from the cached pool.
+  rt::Pool& numa_pool(rt::StealPolicy policy, unsigned threads = 0,
+                      uint32_t groups = 0, double escape = 1.0 / 16,
+                      bool pin = false);
+
+  /// The pool `opt` asks for — flat or NUMA-aware, from opt.backend.
+  rt::Pool& pool_for(const RunOptions& opt) {
+    const rt::StealPolicy policy = (opt.backend == Backend::kParRandom ||
+                                    opt.backend == Backend::kParNumaRandom)
+                                       ? rt::StealPolicy::kRandom
+                                       : rt::StealPolicy::kPriority;
+    if (backend_is_numa(opt.backend)) {
+      return numa_pool(policy, opt.threads, opt.numa_groups, opt.numa_escape,
+                       opt.numa_pin);
+    }
+    return pool(policy, opt.threads);
+  }
 
  private:
   void fill_replay(RunReport& r, const TaskGraph& g, Backend backend,
@@ -264,7 +292,10 @@ class Engine {
                            const RunOptions& opt, double record_ms,
                            std::chrono::steady_clock::time_point t0);
 
-  std::unique_ptr<rt::Pool> pools_[2];
+  // Slots 0/1: flat random/priority.  Slots 2/3: NUMA random/priority.
+  std::unique_ptr<rt::Pool> pools_[4];
+  double numa_escape_[2] = {-1, -1};  // escape prob the numa slots carry
+  bool numa_pin_[2] = {false, false};
 };
 
 }  // namespace ro

@@ -13,6 +13,8 @@ const char* backend_name(Backend b) {
     case Backend::kSimRws: return "sim-rws";
     case Backend::kParRandom: return "par-random";
     case Backend::kParPriority: return "par-priority";
+    case Backend::kParNumaRandom: return "par-numa-random";
+    case Backend::kParNumaPriority: return "par-numa-priority";
   }
   return "?";
 }
@@ -22,7 +24,12 @@ bool backend_is_sim(Backend b) {
 }
 
 bool backend_is_parallel(Backend b) {
-  return b == Backend::kParRandom || b == Backend::kParPriority;
+  return b == Backend::kParRandom || b == Backend::kParPriority ||
+         backend_is_numa(b);
+}
+
+bool backend_is_numa(Backend b) {
+  return b == Backend::kParNumaRandom || b == Backend::kParNumaPriority;
 }
 
 bool parse_backend(const std::string& name, Backend& out) {
@@ -32,6 +39,10 @@ bool parse_backend(const std::string& name, Backend& out) {
   else if (name == "par-random" || name == "random") out = Backend::kParRandom;
   else if (name == "par-priority" || name == "priority")
     out = Backend::kParPriority;
+  else if (name == "par-numa-random" || name == "numa-random")
+    out = Backend::kParNumaRandom;
+  else if (name == "par-numa-priority" || name == "numa-priority")
+    out = Backend::kParNumaPriority;
   else return false;
   return true;
 }
@@ -132,6 +143,9 @@ std::string RunReport::to_json() const {
     kv(s, "threads", static_cast<uint64_t>(threads));
     kv(s, "pool_steals", pool_steals);
     kv(s, "pool_failed_steals", pool_failed_steals);
+    kv(s, "pool_groups", static_cast<uint64_t>(pool_groups));
+    kv(s, "pool_local_steals", pool_local_steals);
+    kv(s, "pool_remote_steals", pool_remote_steals);
   }
   s += "}";
   return s;
@@ -265,6 +279,10 @@ bool report_from_json(const std::string& json, RunReport& out) {
       out.threads = static_cast<uint32_t>(as_u64(v));
     } else if (k == "pool_steals") out.pool_steals = as_u64(v);
     else if (k == "pool_failed_steals") out.pool_failed_steals = as_u64(v);
+    else if (k == "pool_groups")
+      out.pool_groups = static_cast<uint32_t>(as_u64(v));
+    else if (k == "pool_local_steals") out.pool_local_steals = as_u64(v);
+    else if (k == "pool_remote_steals") out.pool_remote_steals = as_u64(v);
     // Unknown keys are skipped: newer writers stay readable.
   }
   if (have_sim) {

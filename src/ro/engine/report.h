@@ -25,17 +25,24 @@ enum class Backend : uint8_t {
   kSimRws = 2,      // record once, replay under Randomized Work Stealing
   kParRandom = 3,   // real threads, random-victim stealing
   kParPriority = 4, // real threads, priority (smallest fork depth) stealing
+  kParNumaRandom = 5,   // per-socket worker groups, random victim with a
+                        // cross-group escape probability
+  kParNumaPriority = 6, // per-socket worker groups, priority scan that
+                        // exhausts the local group first
 };
 
 inline constexpr Backend kAllBackends[] = {
-    Backend::kSeq, Backend::kSimPws, Backend::kSimRws, Backend::kParRandom,
-    Backend::kParPriority};
+    Backend::kSeq,       Backend::kSimPws,        Backend::kSimRws,
+    Backend::kParRandom, Backend::kParPriority,   Backend::kParNumaRandom,
+    Backend::kParNumaPriority};
 
 const char* backend_name(Backend b);
 bool backend_is_sim(Backend b);       // replays a recorded trace
 bool backend_is_parallel(Backend b);  // runs on real threads
-/// Parses "seq" / "sim-pws" / "sim-rws" / "par-random" / "par-priority"
-/// (also accepts the short aliases "pws", "rws", "random", "priority").
+bool backend_is_numa(Backend b);      // parallel with worker groups
+/// Parses "seq" / "sim-pws" / "sim-rws" / "par-random" / "par-priority" /
+/// "par-numa-random" / "par-numa-priority" (also accepts the short aliases
+/// "pws", "rws", "random", "priority", "numa-random", "numa-priority").
 /// Returns false and leaves `out` untouched on unknown names.
 bool parse_backend(const std::string& name, Backend& out);
 
@@ -66,6 +73,9 @@ struct RunReport {
   uint32_t threads = 0;
   uint64_t pool_steals = 0;
   uint64_t pool_failed_steals = 0;
+  uint32_t pool_groups = 0;           // worker groups (1 = flat pool)
+  uint64_t pool_local_steals = 0;     // victim in the thief's group
+  uint64_t pool_remote_steals = 0;    // victim in another group
 
   /// Simulated speedup over the p=1 baseline (0 when not applicable).
   double sim_speedup() const;

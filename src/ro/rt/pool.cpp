@@ -2,6 +2,11 @@
 
 #include "ro/util/check.h"
 
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace ro::rt {
 
 namespace {
@@ -14,12 +19,48 @@ uint32_t current_depth() { return t_depth; }
 void set_depth(uint32_t d) { t_depth = d; }
 
 Pool::Pool(unsigned threads, StealPolicy policy, uint64_t seed)
-    : policy_(policy) {
+    : Pool(threads, [&] {
+        PoolOptions o;
+        o.policy = policy;
+        o.seed = seed;
+        return o;
+      }()) {}
+
+Pool::Pool(unsigned threads, const PoolOptions& opt)
+    : policy_(opt.policy), escape_prob_(opt.escape_prob), pin_(opt.pin) {
   RO_CHECK(threads >= 1 && threads <= 256);
+  RO_CHECK_MSG(escape_prob_ >= 0.0 && escape_prob_ <= 1.0,
+               "escape_prob must be a probability");
+  GroupLayout layout = opt.layout;
+  if (layout.group_of.empty()) layout = GroupLayout::contiguous(threads, 1);
+  RO_CHECK_MSG(layout.valid(threads),
+               "pool group layout must cover every worker with dense ids");
+  const uint32_t g = layout.groups();
+  members_.resize(g);
+  remotes_.resize(g);
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i) {
     workers_.push_back(std::make_unique<Worker>());
-    workers_.back()->rng = Rng(splitmix64(seed ^ i));
+    workers_.back()->rng = Rng(splitmix64(opt.seed ^ i));
+    workers_.back()->group = layout.group_of[i];
+    members_[layout.group_of[i]].push_back(i);
+  }
+  for (uint32_t grp = 0; grp < g; ++grp) {
+    for (unsigned i = 0; i < threads; ++i) {
+      if (workers_[i]->group != grp) remotes_[grp].push_back(i);
+    }
+  }
+  if (pin_) {
+    // Pinning only makes sense when groups mirror real sockets: group i ->
+    // the cpus of node i.  A forced group count that disagrees with the
+    // host topology silently disables it (tests force 2/4 groups on
+    // single-node machines).
+    const NumaTopology topo = detect_topology();
+    if (topo.nodes() == g) {
+      pin_cpus_ = topo.node_cpus;
+    } else {
+      pin_ = false;
+    }
   }
   for (unsigned i = 1; i < threads; ++i) {
     threads_.emplace_back([this, i] { worker_loop(i); });
@@ -75,16 +116,40 @@ void Pool::join(Job* j) {
   }
 }
 
-bool Pool::try_execute_stolen() {
+unsigned Pool::pick_random_victim(Worker& me) {
   const unsigned p = threads();
-  Worker& me = *workers_[t_worker_id];
-  if (p <= 1) return false;
-  Job* j = nullptr;
-  if (policy_ == StealPolicy::kPriority) {
-    // Scan all victims; steal the shallowest (highest-priority) top job.
+  if (groups() <= 1) {
+    const unsigned v0 = static_cast<unsigned>(me.rng.next_below(p - 1));
+    return v0 >= t_worker_id ? v0 + 1 : v0;
+  }
+  const std::vector<unsigned>& local = members_[me.group];
+  const std::vector<unsigned>& remote = remotes_[me.group];
+  const size_t ln = local.size() - 1;  // local candidates excluding self
+  const bool escape =
+      ln == 0 ||
+      (!remote.empty() && me.rng.next_double() < escape_prob_);
+  if (escape && !remote.empty()) {
+    return remote[me.rng.next_below(remote.size())];
+  }
+  if (ln == 0) return p;  // alone in a remote-less group: nothing to steal
+  const size_t k = static_cast<size_t>(me.rng.next_below(ln));
+  unsigned v = local[k];
+  if (v == t_worker_id) v = local[ln];  // swap self for the last candidate
+  return v;
+}
+
+unsigned Pool::pick_priority_victim() {
+  const unsigned p = threads();
+  const Worker& me = *workers_[t_worker_id];
+  // Scan the thief's own group first; only a fully drained local group
+  // sends the scan across groups (NUMA priority flavor — with one group
+  // this is exactly the flat full scan).
+  const std::vector<unsigned>* scans[2] = {&members_[me.group],
+                                           &remotes_[me.group]};
+  for (const std::vector<unsigned>* scan : scans) {
     unsigned best = p;
     uint32_t best_depth = UINT32_MAX;
-    for (unsigned v = 0; v < p; ++v) {
+    for (unsigned v : *scan) {
       if (v == t_worker_id) continue;
       Job* top = workers_[v]->dq.peek_top();
       if (top != nullptr && top->depth < best_depth) {
@@ -92,24 +157,51 @@ bool Pool::try_execute_stolen() {
         best = v;
       }
     }
-    if (best < p) j = workers_[best]->dq.steal();
-  } else {
-    const unsigned v0 = static_cast<unsigned>(me.rng.next_below(p - 1));
-    const unsigned v = v0 >= t_worker_id ? v0 + 1 : v0;
-    j = workers_[v]->dq.steal();
+    if (best < p) return best;
   }
+  return p;
+}
+
+bool Pool::try_execute_stolen() {
+  const unsigned p = threads();
+  Worker& me = *workers_[t_worker_id];
+  if (p <= 1) return false;
+  const unsigned victim = policy_ == StealPolicy::kPriority
+                              ? pick_priority_victim()
+                              : pick_random_victim(me);
+  Job* j = victim < p ? workers_[victim]->dq.steal() : nullptr;
   if (j == nullptr) {
     me.failed.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
   me.steals.fetch_add(1, std::memory_order_relaxed);
+  if (workers_[victim]->group == me.group) {
+    me.local.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    me.remote.fetch_add(1, std::memory_order_relaxed);
+  }
   run_job(j);
   return true;
+}
+
+void Pool::pin_current_thread(uint32_t group) const {
+#ifdef __linux__
+  if (group >= pin_cpus_.size() || pin_cpus_[group].empty()) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (int cpu : pin_cpus_[group]) {
+    if (cpu >= 0 && cpu < CPU_SETSIZE) CPU_SET(cpu, &set);
+  }
+  pthread_setaffinity_np(pthread_self(), sizeof(set), &set);  // best effort
+#else
+  (void)group;
+#endif
 }
 
 void Pool::worker_loop(unsigned id) {
   t_worker_id = id;
   t_pool = this;
+  if (pin_) pin_current_thread(workers_[id]->group);
   while (!shutdown_.load(std::memory_order_acquire)) {
     if (!active_.load(std::memory_order_acquire) || !try_execute_stolen()) {
       std::this_thread::yield();
@@ -123,6 +215,8 @@ PoolStats Pool::stats() const {
   for (const auto& w : workers_) {
     s.steals += w->steals.load(std::memory_order_relaxed);
     s.failed_steals += w->failed.load(std::memory_order_relaxed);
+    s.local_steals += w->local.load(std::memory_order_relaxed);
+    s.remote_steals += w->remote.load(std::memory_order_relaxed);
   }
   return s;
 }

@@ -7,6 +7,14 @@
 //               fork depth (the executable rendering of priority rounds; the
 //               distributed round protocol of §4.7 is simulated, not run, on
 //               real threads).
+//
+// Either policy can additionally run NUMA-aware: workers are partitioned
+// into per-socket groups (GroupLayout, numa.h) with their own deque set,
+// and victim selection prefers the thief's own group — the random flavor
+// crosses groups only with a tunable escape probability, the priority
+// flavor exhausts the local group before scanning remote ones.  Steals are
+// counted per locality (local_steals / remote_steals) so benches can
+// verify that the preference actually holds.
 #pragma once
 
 #include <atomic>
@@ -17,6 +25,7 @@
 #include <vector>
 
 #include "ro/rt/deque.h"
+#include "ro/rt/numa.h"
 #include "ro/util/rng.h"
 
 namespace ro::rt {
@@ -37,6 +46,24 @@ struct Job {
 struct PoolStats {
   uint64_t steals = 0;
   uint64_t failed_steals = 0;
+  uint64_t local_steals = 0;   // victim in the thief's group
+  uint64_t remote_steals = 0;  // victim in another group
+};
+
+struct PoolOptions {
+  StealPolicy policy = StealPolicy::kRandom;
+  uint64_t seed = 0xF00D;
+  /// Worker-group partition.  Empty = flat pool (one group, every steal
+  /// local).  Use numa_group_layout() to derive it from the host topology
+  /// or force a group count.
+  GroupLayout layout;
+  /// Random flavor only: probability that a steal attempt targets a remote
+  /// group although local candidates exist.
+  double escape_prob = 1.0 / 16;
+  /// Pin spawned workers to the cpus of their group's NUMA node (Linux
+  /// only; ignored when the group count differs from the detected node
+  /// count).  Worker 0 is the caller's thread and is never pinned.
+  bool pin = false;
 };
 
 class Pool {
@@ -45,6 +72,7 @@ class Pool {
   /// `threads - 1` OS threads are created).
   explicit Pool(unsigned threads, StealPolicy policy = StealPolicy::kRandom,
                 uint64_t seed = 0xF00D);
+  Pool(unsigned threads, const PoolOptions& opt);
   ~Pool();
 
   Pool(const Pool&) = delete;
@@ -52,6 +80,10 @@ class Pool {
 
   unsigned threads() const { return static_cast<unsigned>(workers_.size()); }
   StealPolicy policy() const { return policy_; }
+  uint32_t groups() const { return static_cast<uint32_t>(members_.size()); }
+  uint32_t group_of(unsigned worker) const { return workers_[worker]->group; }
+  double escape_prob() const { return escape_prob_; }
+  bool pinned() const { return pin_; }
 
   /// Runs `root` on worker 0 to completion (other workers help via steals).
   void run(const std::function<void()>& root);
@@ -81,18 +113,29 @@ class Pool {
   struct Worker {
     Deque dq;
     Rng rng{0};
+    uint32_t group = 0;
     std::atomic<uint64_t> steals{0};
     std::atomic<uint64_t> failed{0};
+    std::atomic<uint64_t> local{0};
+    std::atomic<uint64_t> remote{0};
   };
 
   void push_job(Job* j);
   void join(Job* j);
   bool try_execute_stolen();
+  unsigned pick_random_victim(Worker& me);
+  unsigned pick_priority_victim();
+  void pin_current_thread(uint32_t group) const;
   void worker_loop(unsigned id);
   void run_job(Job* j);
 
   StealPolicy policy_;
+  double escape_prob_ = 1.0 / 16;
+  bool pin_ = false;
   std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::vector<unsigned>> members_;  // workers per group
+  std::vector<std::vector<unsigned>> remotes_;  // workers outside each group
+  std::vector<std::vector<int>> pin_cpus_;      // cpus per group when pinning
   std::vector<std::thread> threads_;
   std::atomic<bool> shutdown_{false};
   std::atomic<bool> active_{false};

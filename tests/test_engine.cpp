@@ -10,6 +10,7 @@
 #include "ro/alg/graphgen.h"
 #include "ro/alg/listrank.h"
 #include "ro/alg/mt.h"
+#include "ro/alg/route.h"
 #include "ro/alg/scan.h"
 #include "ro/alg/sort.h"
 #include "ro/alg/spms.h"
@@ -22,9 +23,10 @@ namespace {
 
 using alg::i64;
 
-constexpr Backend kNonSeqBackends[] = {Backend::kSimPws, Backend::kSimRws,
-                                       Backend::kParRandom,
-                                       Backend::kParPriority};
+constexpr Backend kNonSeqBackends[] = {
+    Backend::kSimPws,         Backend::kSimRws,    Backend::kParRandom,
+    Backend::kParPriority,    Backend::kParNumaRandom,
+    Backend::kParNumaPriority};
 
 /// Runs `make(out)`'s program on kSeq for the golden output, then on every
 /// other backend, asserting identical results.
@@ -39,12 +41,14 @@ void expect_parity(const char* label, MakeProg make) {
     std::vector<i64> out;
     RunOptions o;
     o.backend = b;
-    o.threads = 2;
+    o.threads = backend_is_numa(b) ? 4 : 2;
+    o.numa_groups = 2;    // forced topology: deterministic on any machine
     o.serial_below = 64;  // force real forking on the parallel backends
     const RunReport r = testing::engine().run(make(out), o);
     EXPECT_EQ(out, golden) << label << " under " << backend_name(b);
     EXPECT_EQ(r.has_sim, backend_is_sim(b));
     EXPECT_EQ(r.has_pool, backend_is_parallel(b));
+    if (backend_is_numa(b)) EXPECT_EQ(r.pool_groups, 2u);
   }
 }
 
@@ -320,6 +324,125 @@ TEST(Engine, PoolIsCachedPerPolicy) {
   rt::Pool& d = eng.pool(rt::StealPolicy::kPriority, 2);
   EXPECT_NE(&a, &d);
   EXPECT_EQ(d.policy(), rt::StealPolicy::kPriority);
+}
+
+TEST(Engine, NumaPoolIsCachedPerConfig) {
+  Engine eng;
+  rt::Pool& a = eng.numa_pool(rt::StealPolicy::kRandom, 4, 2);
+  EXPECT_EQ(a.threads(), 4u);
+  EXPECT_EQ(a.groups(), 2u);
+  rt::Pool& b = eng.numa_pool(rt::StealPolicy::kRandom, 4, 2);
+  EXPECT_EQ(&a, &b);  // same config: cached
+  rt::Pool& c = eng.numa_pool(rt::StealPolicy::kRandom, 4, 4);
+  EXPECT_EQ(c.groups(), 4u);  // group count change: recreated
+  rt::Pool& d = eng.numa_pool(rt::StealPolicy::kRandom, 4, 4, /*escape=*/0.5);
+  EXPECT_EQ(d.escape_prob(), 0.5);  // escape change: recreated
+  // The numa slots are independent of the flat ones.
+  rt::Pool& flat = eng.pool(rt::StealPolicy::kRandom, 4);
+  EXPECT_NE(&flat, &d);
+  EXPECT_EQ(flat.groups(), 1u);
+}
+
+TEST(Engine, NumaReportCarriesLocalityCounters) {
+  const size_t n = 4096;
+  auto prog = [n](auto& cx) {
+    auto a = cx.template alloc<i64>(n, "a");
+    for (size_t i = 0; i < n; ++i) a.raw()[i] = 1;
+    auto o = cx.template alloc<i64>(1, "o");
+    cx.run(n, [&] { alg::msum(cx, a.slice(), o.slice()); });
+  };
+  RunOptions opt;
+  opt.backend = Backend::kParNumaPriority;
+  opt.threads = 4;
+  opt.numa_groups = 2;
+  opt.serial_below = 64;
+  const RunReport r = testing::engine().run(prog, opt);
+  EXPECT_TRUE(r.has_pool);
+  EXPECT_EQ(r.pool_groups, 2u);
+  EXPECT_EQ(r.pool_local_steals + r.pool_remote_steals, r.pool_steals);
+  const std::string j = r.to_json();
+  EXPECT_NE(j.find("\"backend\":\"par-numa-priority\""), std::string::npos);
+  EXPECT_NE(j.find("\"pool_groups\":2"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"pool_local_steals\":"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"pool_remote_steals\":"), std::string::npos) << j;
+  RunReport back;
+  ASSERT_TRUE(report_from_json(j, back)) << j;
+  EXPECT_EQ(back.to_json(), j);  // numa pool fields survive the round trip
+  EXPECT_EQ(back.pool_groups, r.pool_groups);
+  EXPECT_EQ(back.pool_local_steals, r.pool_local_steals);
+}
+
+/// The satellite workloads of the NUMA backends: sort-routed gather
+/// (route), list ranking, and SPMS, swept over forced group counts 1/2/4.
+/// Outputs must be bit-identical to the seq golden run for every count —
+/// the pool only reschedules race-free work.
+TEST(EngineNuma, GroupCountParityOnRouteListrankSpms) {
+  const size_t n = 512;
+  const auto succ = alg::random_list(n, 1234);
+
+  auto make_route = [n](std::vector<i64>& out) {
+    return [n, &out](auto& cx) {
+      auto idx = cx.template alloc<i64>(n, "idx");
+      auto vals = cx.template alloc<i64>(n, "vals");
+      for (size_t i = 0; i < n; ++i) {
+        idx.raw()[i] = static_cast<i64>((i * 7 + 3) % n);
+        vals.raw()[i] = static_cast<i64>(i * i % 101);
+      }
+      auto o = cx.template alloc<i64>(n, "o");
+      cx.run(2 * n, [&] {
+        alg::gather(cx, alg::StridedView{idx.slice(), 1},
+                    alg::StridedView{vals.slice(), 1},
+                    alg::StridedView{o.slice(), 1}, n);
+      });
+      out.assign(o.raw(), o.raw() + n);
+    };
+  };
+  auto make_lr = [n, &succ](std::vector<i64>& out) {
+    return [n, &succ, &out](auto& cx) {
+      auto s = cx.template alloc<i64>(n, "s");
+      std::copy(succ.begin(), succ.end(), s.raw());
+      auto r = cx.template alloc<i64>(n, "r");
+      cx.run(2 * n, [&] { alg::list_rank(cx, s.slice(), r.slice()); });
+      out.assign(r.raw(), r.raw() + n);
+    };
+  };
+  auto make_spms = [n](std::vector<i64>& out) {
+    return [n, &out](auto& cx) {
+      auto a = cx.template alloc<i64>(n, "a");
+      Rng rng(321);
+      for (size_t i = 0; i < n; ++i)
+        a.raw()[i] = static_cast<i64>(rng.next() >> 1);
+      auto o = cx.template alloc<i64>(n, "o");
+      cx.run(2 * n, [&] { alg::spms(cx, a.slice(), o.slice()); });
+      out.assign(o.raw(), o.raw() + n);
+    };
+  };
+
+  auto sweep = [&](const char* label, auto make) {
+    std::vector<i64> golden;
+    RunOptions seq;
+    seq.backend = Backend::kSeq;
+    testing::engine().run(make(golden), seq);
+    ASSERT_FALSE(golden.empty()) << label;
+    for (Backend b : {Backend::kParNumaRandom, Backend::kParNumaPriority}) {
+      for (uint32_t groups : {1u, 2u, 4u}) {
+        std::vector<i64> out;
+        RunOptions o;
+        o.backend = b;
+        o.threads = 4;
+        o.numa_groups = groups;
+        o.serial_below = 64;
+        const RunReport r = testing::engine().run(make(out), o);
+        EXPECT_EQ(out, golden)
+            << label << " under " << backend_name(b) << " groups=" << groups;
+        EXPECT_EQ(r.pool_groups, groups);
+        EXPECT_EQ(r.pool_local_steals + r.pool_remote_steals, r.pool_steals);
+      }
+    }
+  };
+  sweep("route", make_route);
+  sweep("listrank", make_lr);
+  sweep("spms", make_spms);
 }
 
 }  // namespace
