@@ -12,6 +12,8 @@
 //
 //   $ ./bench_batch [--shards=8] [--n=4096] [--p=8] [--M=4096] [--B=32]
 //                   [--replay-threads=0]   # 0 = hardware concurrency
+//                   [--replay-groups=0]    # partition replay workers into
+//                                          # NUMA-style groups (0 = flat)
 //                   [--backends=sim-pws]   # any replay backend
 //                   [--out=BENCH_batch.json]
 #include <cstdio>
@@ -29,6 +31,8 @@ int main(int argc, char** argv) {
   const uint32_t shards = static_cast<uint32_t>(cli.get_int("shards", 8));
   const uint32_t replay_threads =
       static_cast<uint32_t>(cli.get_int("replay-threads", 0));
+  const uint32_t replay_groups =
+      static_cast<uint32_t>(cli.get_int("replay-groups", 0));
 
   RunOptions opt;
   const std::vector<Backend> backends = backends_from_cli(cli, "sim-pws");
@@ -61,8 +65,14 @@ int main(int argc, char** argv) {
          Table::num(seq.replay_ms), Table::num(seq.wall_ms), "1.00"});
 
   opt.sim.replay_threads = replay_threads;
-  const BatchReport par = engine().run_batch(progs, opt);
   const uint32_t t_eff = replay_host_threads(replay_threads, shards);
+  if (replay_groups > 0) {
+    // Group-partitioned replay host pool (same shape as the par-numa
+    // backends); a host knob — the RO_CHECKs below still require the
+    // metrics to match the flat sequential walk exactly.
+    opt.sim.replay_layout = rt::GroupLayout::contiguous(t_eff, replay_groups);
+  }
+  const BatchReport par = engine().run_batch(progs, opt);
   char spd[32];
   std::snprintf(spd, sizeof spd, "%.2f",
                 par.replay_ms > 0 ? seq.replay_ms / par.replay_ms : 0.0);

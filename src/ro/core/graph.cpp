@@ -7,17 +7,40 @@
 
 namespace ro {
 
+void AccessReader::seek(uint64_t i) {
+  RO_CHECK_MSG(i < g_->acc_count(), "access index out of range");
+  // Parts are contiguous and sorted by acc_base; scans are sequential or
+  // near-sequential, so a binary search on the rare part switch is plenty.
+  size_t lo = 0, hi = g_->streams.size();
+  while (hi - lo > 1) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (g_->streams[mid].acc_base <= i) lo = mid;
+    else hi = mid;
+  }
+  const StreamPart& part = g_->streams[lo];
+  base_ = part.acc_base;
+  count_ = part.acc_count;
+  act_off_ = g_->shards.empty() ? 0 : g_->shards[lo].first_act;
+  cur_ = TraceStore::Cursor(*part.store);
+}
+
 uint64_t TaskGraph::seg_cost(const Segment& s) const {
+  AccessReader rd(*this);
+  return seg_cost(s, rd);
+}
+
+uint64_t TaskGraph::seg_cost(const Segment& s, AccessReader& rd) const {
   uint64_t c = 0;
-  for (uint64_t i = s.acc_begin; i < s.acc_end; ++i) c += accesses[i].len;
+  for (uint64_t i = s.acc_begin; i < s.acc_end; ++i) c += rd.at(i).len;
   return c;
 }
 
 GraphStats TaskGraph::analyze() const {
   GraphStats st;
   st.activations = acts.size();
-  st.accesses = accesses.size();
-  for (const auto& acc : accesses) st.work += acc.len;
+  st.accesses = acc_count();
+  AccessReader rd(*this);
+  for (uint64_t i = 0; i < st.accesses; ++i) st.work += rd.at(i).len;
 
   // Span: activations are created parent-before-child, so children have
   // larger ids; a reverse sweep sees every child's span before its parent.
@@ -28,7 +51,7 @@ GraphStats TaskGraph::analyze() const {
     bool leaf = true;
     for (uint32_t k = 0; k < a.num_segs; ++k) {
       const Segment& seg = segments[a.first_seg + k];
-      s += seg_cost(seg);
+      s += seg_cost(seg, rd);  // shared reader: one pinned trace segment
       if (seg.has_fork()) {
         leaf = false;
         s += kForkCost + kJoinCost +
@@ -55,6 +78,7 @@ TaskGraph merge_shards(std::vector<TaskGraph> parts) {
   RO_CHECK_MSG(!parts.empty(), "merge_shards needs at least one recording");
   TaskGraph out;
   out.align_words = parts[0].align_words;
+  const bool streaming = parts[0].streaming();
   std::unordered_set<uint32_t> seen_shards;
   for (size_t k = 0; k < parts.size(); ++k) {
     TaskGraph& g = parts[k];
@@ -64,9 +88,11 @@ TaskGraph merge_shards(std::vector<TaskGraph> parts) {
                  "merge_shards inputs must share an allocation alignment");
     const uint32_t act_off = static_cast<uint32_t>(out.acts.size());
     const uint32_t seg_off = static_cast<uint32_t>(out.segments.size());
-    const uint64_t acc_off = out.accesses.size();
+    const uint64_t acc_off = out.acc_count();
     RO_CHECK_MSG(out.acts.size() + g.acts.size() < (uint64_t{1} << 31),
                  "merged graph exceeds activation id range");
+    RO_CHECK_MSG(g.streaming() == streaming,
+                 "merge_shards inputs must agree on streamed vs resident");
 
     const uint32_t sid = shard_of(g.data_base);
     RO_CHECK_MSG(seen_shards.insert(sid).second,
@@ -91,6 +117,15 @@ TaskGraph merge_shards(std::vector<TaskGraph> parts) {
     for (Access a : g.accesses) {
       if (a.act != kNoAct) a.act += act_off;
       out.accesses.push_back(a);
+    }
+    if (g.streaming()) {
+      // Streamed records are immutable (the store is shared), so their
+      // part-local activation ids are NOT rewritten here; readers add the
+      // owning span's first_act (== act_off recorded above) instead.
+      RO_CHECK_MSG(g.streams.size() == 1,
+                   "merge_shards inputs must be single-shard recordings");
+      out.streams.push_back(
+          StreamPart{g.streams[0].store, acc_off, g.streams[0].acc_count});
     }
     out.data_base = k == 0 ? g.data_base : std::min(out.data_base, g.data_base);
     out.data_top = std::max(out.data_top, g.data_top);

@@ -17,23 +17,15 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "ro/core/access.h"
+#include "ro/core/trace_store.h"
 #include "ro/mem/varray.h"
 #include "ro/mem/vspace.h"
 
 namespace ro {
-
-/// One recorded memory access (element granularity; `len` words).
-struct Access {
-  vaddr_t addr;    // global vaddr, or frame offset when act != kNoAct
-  uint32_t act;    // kNoAct for global memory, else frame-owning activation
-  uint16_t len;    // words touched
-  uint16_t flags;  // bit0 = write
-  bool is_write() const { return flags & 1; }
-  friend bool operator==(const Access&, const Access&) = default;
-};
-static_assert(sizeof(Access) == 16);
 
 /// A run of accesses optionally terminated by a binary fork.
 struct Segment {
@@ -90,12 +82,31 @@ struct GraphStats {
   uint64_t leaves = 0;
 };
 
+/// One shard's slice of a *streamed* access stream: the chunked TraceStore
+/// holding the shard's records, placed at [acc_base, acc_base + acc_count)
+/// of the graph's global access index space.  Record `i - acc_base` of the
+/// store is global access `i`; activation ids inside streamed records stay
+/// part-local (the store is immutable and shared), so readers add the
+/// owning span's `first_act` when translating them (see AccessReader and
+/// sched/replay.cpp's stream source).
+struct StreamPart {
+  std::shared_ptr<TraceStore> store;
+  uint64_t acc_base = 0;
+  uint64_t acc_count = 0;
+};
+
+class AccessReader;  // declared below (needs TaskGraph)
+
 /// The full recorded computation.
 class TaskGraph {
  public:
   std::vector<Activation> acts;
   std::vector<Segment> segments;
   std::vector<Access> accesses;
+  // Streamed access storage (trace_store.h): when non-empty, `accesses`
+  // is empty and the stream lives in bounded-memory chunked stores, one
+  // part per shard component (same order as `shards`).
+  std::vector<StreamPart> streams;
   uint32_t root = 0;
   vaddr_t data_base = 0;     // first vaddr of recorded global data (shard base)
   vaddr_t data_top = 0;      // first vaddr beyond recorded global data
@@ -111,6 +122,16 @@ class TaskGraph {
 
   GraphStats analyze() const;
 
+  /// True when the access stream lives in chunked TraceStores instead of
+  /// the resident `accesses` vector.
+  bool streaming() const { return !streams.empty(); }
+
+  /// Total access records, resident or streamed.
+  uint64_t acc_count() const {
+    if (streams.empty()) return accesses.size();
+    return streams.back().acc_base + streams.back().acc_count;
+  }
+
   /// The shard components of this graph, in shard order (always >= 1).
   std::vector<ShardSpan> shard_spans() const;
 
@@ -120,7 +141,40 @@ class TaskGraph {
   }
 
   /// Sum of access words in segment (compute cost of the segment body).
+  /// The one-argument form spins up a throwaway reader; per-segment
+  /// callers should hoist one AccessReader and use the two-argument
+  /// overload so streamed graphs pay one store fault per trace segment,
+  /// not one per task segment.
   uint64_t seg_cost(const Segment& s) const;
+  uint64_t seg_cost(const Segment& s, AccessReader& rd) const;
+};
+
+/// Uniform reader over a graph's access stream — the resident vector or
+/// the chunked stores — with one pinned trace segment of cache.  Returns
+/// records by value, with part-local activation ids of streamed records
+/// translated into the graph's global id space, so resident and streamed
+/// reads are indistinguishable to callers.  Not thread-safe; create one
+/// per thread.
+class AccessReader {
+ public:
+  explicit AccessReader(const TaskGraph& g) : g_(&g) {}
+
+  Access at(uint64_t i) {
+    if (!g_->streaming()) return g_->accesses[i];
+    if (i - base_ >= count_) seek(i);  // wraps when i < base_ -> seek
+    Access a = cur_.at(i - base_);
+    if (a.act != kNoAct) a.act += act_off_;
+    return a;
+  }
+
+ private:
+  void seek(uint64_t i);
+
+  const TaskGraph* g_;
+  uint64_t base_ = 0;
+  uint64_t count_ = 0;
+  uint32_t act_off_ = 0;
+  TraceStore::Cursor cur_;
 };
 
 /// Fuses independent single-shard recordings into one batch TaskGraph.

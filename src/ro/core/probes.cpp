@@ -119,15 +119,17 @@ std::vector<TaskProbe> probe_tasks(const TaskGraph& g, uint32_t block_words,
     }
   };
   std::unordered_map<uint64_t, BlockInfo> blocks;
+  AccessReader rd(g);  // stream-aware: works for resident and chunked traces
   for (uint32_t ai = 0; ai < g.acts.size(); ++ai) {
     const Activation& a = g.acts[ai];
     for (uint32_t k = 0; k < a.num_segs; ++k) {
       const Segment& s = g.segments[a.first_seg + k];
       for (uint64_t x = s.acc_begin; x < s.acc_end; ++x) {
-        const uint64_t addr = probe_addr(g.accesses[x], g.data_top);
-        const uint64_t last = addr + g.accesses[x].len - 1;
+        const Access acc = rd.at(x);
+        const uint64_t addr = probe_addr(acc, g.data_top);
+        const uint64_t last = addr + acc.len - 1;
         for (uint64_t b = addr / block_words; b <= last / block_words; ++b) {
-          blocks[b].add(ai, iv[ai].in, g.accesses[x].is_write());
+          blocks[b].add(ai, iv[ai].in, acc.is_write());
         }
       }
     }
@@ -168,10 +170,11 @@ std::vector<TaskProbe> probe_tasks(const TaskGraph& g, uint32_t block_words,
     // mine: blocks touched by v's subtree, with a did-we-write flag.
     std::unordered_map<uint64_t, bool> mine;
     for (uint64_t x = lo; x < hi; ++x) {
-      const uint64_t addr = probe_addr(g.accesses[x], g.data_top);
-      const uint64_t last = addr + g.accesses[x].len - 1;
+      const Access acc = rd.at(x);
+      const uint64_t addr = probe_addr(acc, g.data_top);
+      const uint64_t last = addr + acc.len - 1;
       for (uint64_t b = addr / block_words; b <= last / block_words; ++b) {
-        mine[b] = mine[b] || g.accesses[x].is_write();
+        mine[b] = mine[b] || acc.is_write();
       }
     }
     TaskProbe p;

@@ -30,14 +30,14 @@ uint32_t TraceCtx::new_act(uint32_t parent, uint32_t parent_seg, uint8_t slot,
 void TraceCtx::begin_act(uint32_t id) {
   Builder b;
   b.act = id;
-  b.acc_begin = g_.accesses.size();
+  b.acc_begin = acc_count();
   stack_.push_back(std::move(b));
 }
 
 void TraceCtx::end_act() {
   Builder b = std::move(stack_.back());
   stack_.pop_back();
-  b.segs.push_back(Segment{b.acc_begin, g_.accesses.size(), -1, -1});
+  b.segs.push_back(Segment{b.acc_begin, acc_count(), -1, -1});
 
   Activation& a = g_.acts[b.act];
   a.first_seg = static_cast<uint32_t>(g_.segments.size());

@@ -33,6 +33,12 @@ class TraceCtx : public CtxBase<TraceCtx> {
     uint64_t align_words = 4096; // VSpace allocation alignment
     uint32_t shard = 0;          // address shard to record into (vspace.h);
                                  // 0 = the single-shard compatibility path
+    // Streaming record: when set, access records are appended to this
+    // chunked store (bounded memory, sealed segments spilled to disk per
+    // the store's options) instead of the resident TaskGraph::accesses
+    // vector; run() seals the store and hands it to the graph as its
+    // single StreamPart.  Null = the classic in-memory recording.
+    std::shared_ptr<TraceStore> store;
   };
 
   TraceCtx() : TraceCtx(Options{}) {}
@@ -75,7 +81,7 @@ class TraceCtx : public CtxBase<TraceCtx> {
     const uint32_t right = new_act(parent, local_seg, 1, depth, size_right);
     {
       Builder& b = stack_.back();
-      b.segs.push_back(Segment{b.acc_begin, g_.accesses.size(),
+      b.segs.push_back(Segment{b.acc_begin, acc_count(),
                                static_cast<int32_t>(left),
                                static_cast<int32_t>(right)});
     }
@@ -85,7 +91,7 @@ class TraceCtx : public CtxBase<TraceCtx> {
     begin_act(right);
     g();
     end_act();
-    stack_.back().acc_begin = g_.accesses.size();
+    stack_.back().acc_begin = acc_count();
   }
 
   /// Records the whole computation; returns the graph (ctx is then spent).
@@ -101,6 +107,10 @@ class TraceCtx : public CtxBase<TraceCtx> {
     g_.data_base = vs_->base();
     g_.data_top = vs_->top();
     g_.align_words = vs_->alignment();
+    if (opt_.store) {
+      opt_.store->seal();
+      g_.streams = {StreamPart{opt_.store, 0, opt_.store->size()}};
+    }
     return std::move(g_);
   }
 
@@ -117,10 +127,20 @@ class TraceCtx : public CtxBase<TraceCtx> {
     std::vector<Segment> segs;
   };
 
+  /// Access records appended so far, wherever they live.
+  uint64_t acc_count() const {
+    return opt_.store ? opt_.store->size() : g_.accesses.size();
+  }
+
   void record(vaddr_t addr, uint32_t act, uint32_t len, bool write) {
     RO_CHECK_MSG(!stack_.empty(), "access outside run()");
-    g_.accesses.push_back(Access{addr, act, static_cast<uint16_t>(len),
-                                 static_cast<uint16_t>(write ? 1 : 0)});
+    const Access a{addr, act, static_cast<uint16_t>(len),
+                   static_cast<uint16_t>(write ? 1 : 0)};
+    if (opt_.store) {
+      opt_.store->append(a);
+    } else {
+      g_.accesses.push_back(a);
+    }
   }
 
   uint32_t new_act(uint32_t parent, uint32_t parent_seg, uint8_t slot,

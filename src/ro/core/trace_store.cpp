@@ -1,0 +1,182 @@
+#include "ro/core/trace_store.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace ro {
+
+TraceStore::TraceStore(Options opt) : opt_(opt) {
+  RO_CHECK_MSG(opt_.segment_tasks >= 1, "segment capacity must be >= 1");
+}
+
+TraceStore::~TraceStore() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+TraceStore::SlabPtr TraceStore::make_slab(std::vector<Access> recs) const {
+  const uint64_t bytes = recs.size() * sizeof(Access);
+  auto acct = acct_;
+  const uint64_t now = acct->resident_bytes.fetch_add(bytes) + bytes;
+  uint64_t peak = acct->peak_resident_bytes.load();
+  while (now > peak &&
+         !acct->peak_resident_bytes.compare_exchange_weak(peak, now)) {
+  }
+  auto* v = new std::vector<Access>(std::move(recs));
+  return SlabPtr(v, [acct, bytes](const std::vector<Access>* p) {
+    acct->resident_bytes.fetch_sub(bytes);
+    delete p;
+  });
+}
+
+void TraceStore::append(const Access& a) {
+  RO_CHECK_MSG(!sealed_, "TraceStore::append after seal()");
+  if (open_.empty()) open_.reserve(opt_.segment_tasks);
+  open_.push_back(a);
+  ++records_;
+  if (open_.size() == opt_.segment_tasks) {
+    std::lock_guard<std::mutex> lk(mu_);
+    seal_open_locked();
+  }
+}
+
+void TraceStore::seal() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (sealed_) return;
+  seal_open_locked();
+  sealed_ = true;
+}
+
+void TraceStore::seal_open_locked() {
+  if (open_.empty()) return;
+  const uint64_t seg = entries_.size();
+  entries_.emplace_back();
+  insert_resident_locked(seg, make_slab(std::move(open_)));
+  open_.clear();
+}
+
+void TraceStore::insert_resident_locked(uint64_t seg, SlabPtr p) {
+  Entry& e = entries_[seg];
+  e.pinned = p;
+  e.resident = std::move(p);
+  window_.push_back(seg);
+  spill_excess_locked();
+}
+
+void TraceStore::spill_excess_locked() {
+  if (opt_.max_resident_segments == 0) return;
+  while (window_.size() > opt_.max_resident_segments) {
+    const uint64_t seg = window_.front();
+    window_.erase(window_.begin());
+    Entry& e = entries_[seg];
+    if (!e.spilled) spill_locked(seg);
+    // The strong ref is dropped, but a cursor pin may keep the buffer
+    // alive; `pinned` lets segment() revive it without touching disk.
+    e.resident.reset();
+  }
+}
+
+void TraceStore::ensure_file_locked() {
+  if (fd_ >= 0) return;
+  std::string dir = opt_.spill_dir;
+  if (dir.empty()) {
+    const char* t = std::getenv("TMPDIR");
+    dir = (t != nullptr && *t != '\0') ? t : "/tmp";
+  }
+  std::string path = dir + "/ro_trace_XXXXXX";
+  fd_ = ::mkstemp(path.data());
+  RO_CHECK_MSG(fd_ >= 0, "cannot create trace spill file");
+  ::unlink(path.c_str());  // anonymous: the bytes vanish with the fd
+}
+
+void TraceStore::spill_locked(uint64_t seg) {
+  Entry& e = entries_[seg];
+  RO_CHECK(e.resident != nullptr && !e.spilled);
+  ensure_file_locked();
+  const std::vector<Access>& recs = *e.resident;
+  const uint64_t bytes = recs.size() * sizeof(Access);
+  const uint64_t off = seg * opt_.segment_tasks * sizeof(Access);
+  uint64_t done = 0;
+  while (done < bytes) {
+    const ssize_t w =
+        ::pwrite(fd_, reinterpret_cast<const char*>(recs.data()) + done,
+                 bytes - done, static_cast<off_t>(off + done));
+    RO_CHECK_MSG(w > 0, "trace spill write failed");
+    done += static_cast<uint64_t>(w);
+  }
+  spilled_bytes_ += bytes;
+  e.spilled = true;
+}
+
+uint64_t TraceStore::segment_records(uint64_t seg) const {
+  const uint64_t base = seg * opt_.segment_tasks;
+  return std::min<uint64_t>(opt_.segment_tasks, records_ - base);
+}
+
+TraceStore::SlabPtr TraceStore::segment(uint64_t seg) {
+  std::lock_guard<std::mutex> lk(mu_);
+  RO_CHECK_MSG(sealed_, "TraceStore read before seal()");
+  RO_CHECK_MSG(seg < entries_.size(), "trace segment out of range");
+  Entry& e = entries_[seg];
+  if (e.resident != nullptr) {
+    // Window hit: refresh LRU position.
+    auto it = std::find(window_.begin(), window_.end(), seg);
+    window_.erase(it);
+    window_.push_back(seg);
+    return e.resident;
+  }
+  if (SlabPtr p = e.pinned.lock()) {
+    // Evicted but still pinned by some cursor: revive without disk IO.
+    insert_resident_locked(seg, p);
+    return p;
+  }
+  RO_CHECK_MSG(e.spilled && fd_ >= 0, "evicted trace segment was not spilled");
+  std::vector<Access> recs(segment_records(seg));
+  const uint64_t bytes = recs.size() * sizeof(Access);
+  const uint64_t off = seg * opt_.segment_tasks * sizeof(Access);
+  uint64_t done = 0;
+  while (done < bytes) {
+    const ssize_t r = ::pread(fd_, reinterpret_cast<char*>(recs.data()) + done,
+                              bytes - done, static_cast<off_t>(off + done));
+    RO_CHECK_MSG(r > 0, "trace spill read failed");
+    done += static_cast<uint64_t>(r);
+  }
+  ++segment_loads_;
+  SlabPtr p = make_slab(std::move(recs));
+  insert_resident_locked(seg, p);
+  return p;
+}
+
+const Access& TraceStore::Cursor::fault(uint64_t i) {
+  RO_CHECK_MSG(store_ != nullptr, "read through an empty trace cursor");
+  RO_CHECK_MSG(i < store_->size(), "trace cursor out of range");
+  const uint64_t cap = store_->opt_.segment_tasks;
+  const uint64_t seg = i / cap;
+  pin_ = store_->segment(seg);
+  recs_ = pin_->data();
+  first_ = seg * cap;
+  count_ = pin_->size();
+  return recs_[i - first_];
+}
+
+uint64_t TraceStore::segment_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return entries_.size() + (open_.empty() ? 0 : 1);
+}
+
+TraceStore::Stats TraceStore::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Stats s;
+  s.segments = entries_.size() + (open_.empty() ? 0 : 1);
+  s.records = records_;
+  s.spilled_bytes = spilled_bytes_;
+  s.segment_loads = segment_loads_;
+  s.resident_bytes =
+      acct_->resident_bytes.load() + open_.size() * sizeof(Access);
+  s.peak_resident_bytes =
+      std::max(acct_->peak_resident_bytes.load(), s.resident_bytes);
+  return s;
+}
+
+}  // namespace ro

@@ -1,0 +1,157 @@
+// Chunked segment store for the recorded access stream.
+//
+// The paper's PWS/RWS analyses are defined over *access streams*, not
+// resident graphs, and a production-scale trace does not fit in memory.
+// TraceStore therefore holds the access records of one recording (one
+// shard) as a chain of fixed-capacity *trace segments*: the recorder
+// appends records to the open segment, a full segment is sealed, and
+// sealed segments beyond a bounded resident window are spilled to an
+// anonymous file in `spill_dir`.  Replay reads the stream back through
+// Cursor objects that pin one segment at a time, reloading spilled
+// segments on demand (LRU window, same bound).
+//
+// Segment k covers record indices [k*C, (k+1)*C) for capacity C
+// (`Options::segment_tasks`, counted in task access records), so index
+// lookup and the spill-file offset are both O(1).  A task segment whose
+// access run straddles a seal simply spans two trace segments — cursors
+// cross the boundary transparently, which is what keeps the streaming
+// replay bit-identical to the in-memory walk (docs/streaming.md).
+//
+// Lifecycle: a single recorder thread append()s and seal()s; after seal()
+// the store is immutable and any number of replay threads may read it
+// concurrently (one mutex serializes window bookkeeping and segment IO;
+// cursors touch it only when crossing a segment boundary).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ro/core/access.h"
+#include "ro/util/check.h"
+
+namespace ro {
+
+class TraceStore {
+ public:
+  struct Options {
+    /// Capacity of one trace segment, in task access records.
+    uint64_t segment_tasks = 1u << 15;
+    /// Sealed segments the store keeps resident (the bounded window).
+    /// 0 = unbounded: the chunked structure without any spilling.  The
+    /// open segment (while recording) and at most one pinned segment per
+    /// live Cursor ride on top of the window; peak_resident_bytes counts
+    /// them all.
+    uint32_t max_resident_segments = 0;
+    /// Directory for the spill file ("" = the system temp directory).
+    /// The file is unlinked immediately after creation, so spilled bytes
+    /// vanish with the store (or the process) and never leak on disk.
+    std::string spill_dir;
+  };
+
+  struct Stats {
+    uint64_t segments = 0;             // sealed + open
+    uint64_t records = 0;              // accesses appended
+    uint64_t spilled_bytes = 0;        // bytes ever written to the spill file
+    uint64_t segment_loads = 0;        // spilled-segment reloads at replay
+    uint64_t resident_bytes = 0;       // live segment bytes right now
+    uint64_t peak_resident_bytes = 0;  // high-water of resident_bytes
+  };
+
+  TraceStore() : TraceStore(Options()) {}
+  explicit TraceStore(Options opt);
+  ~TraceStore();
+  TraceStore(const TraceStore&) = delete;
+  TraceStore& operator=(const TraceStore&) = delete;
+
+  // ---- record side (one writer; before seal()) ----
+
+  void append(const Access& a);
+
+  /// Seals the open segment and freezes the store; idempotent.  Must be
+  /// called before any Cursor reads.
+  void seal();
+
+  // ---- read side (any thread; after seal()) ----
+
+  /// Records appended so far (the recorder's running access count).
+  uint64_t size() const { return records_; }
+
+  bool sealed() const { return sealed_; }
+  const Options& options() const { return opt_; }
+  uint64_t segment_count() const;
+  Stats stats() const;
+
+  /// Streaming reader with one pinned segment of cache: `at(i)` is a raw
+  /// array read while `i` stays inside the pinned segment and a store
+  /// fault (possibly a disk reload) when it crosses a boundary.  Each
+  /// simulated core of a replayer owns one Cursor, so concurrent cursors
+  /// never invalidate each other — eviction only drops the *store's*
+  /// reference, the pin keeps the segment alive until the cursor moves.
+  class Cursor {
+   public:
+    Cursor() = default;
+    explicit Cursor(TraceStore& s) : store_(&s) {}
+
+    const Access& at(uint64_t i) {
+      const uint64_t off = i - first_;  // wraps when i < first_ -> fault
+      if (off < count_) return recs_[off];
+      return fault(i);
+    }
+
+   private:
+    const Access& fault(uint64_t i);
+
+    TraceStore* store_ = nullptr;
+    std::shared_ptr<const std::vector<Access>> pin_;
+    const Access* recs_ = nullptr;
+    uint64_t first_ = 0;
+    uint64_t count_ = 0;
+  };
+
+ private:
+  /// Accounting shared by the store and every live segment buffer, so
+  /// buffers released by cursors after eviction still decrement the
+  /// resident count (their deleter holds a reference).
+  struct Accounting {
+    std::atomic<uint64_t> resident_bytes{0};
+    std::atomic<uint64_t> peak_resident_bytes{0};
+  };
+
+  using SlabPtr = std::shared_ptr<const std::vector<Access>>;
+
+  struct Entry {
+    SlabPtr resident;                          // strong ref while in window
+    std::weak_ptr<const std::vector<Access>> pinned;  // may outlive eviction
+    bool spilled = false;                      // contents are on disk
+  };
+
+  SlabPtr make_slab(std::vector<Access> recs) const;
+  void seal_open_locked();
+  void spill_excess_locked();
+  void spill_locked(uint64_t seg);
+  void insert_resident_locked(uint64_t seg, SlabPtr slab);
+  SlabPtr segment(uint64_t seg);  // pin segment `seg`, loading if spilled
+  uint64_t segment_records(uint64_t seg) const;
+  void ensure_file_locked();
+
+  Options opt_;
+  std::shared_ptr<Accounting> acct_ = std::make_shared<Accounting>();
+
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;      // sealed segments
+  std::vector<uint64_t> window_;    // resident sealed segments, LRU order
+  std::vector<Access> open_;        // the segment being recorded
+  uint64_t records_ = 0;
+  bool sealed_ = false;
+  uint64_t spilled_bytes_ = 0;
+  uint64_t segment_loads_ = 0;
+  int fd_ = -1;                     // anonymous spill file (lazy)
+
+  friend class Cursor;
+};
+
+}  // namespace ro

@@ -11,7 +11,10 @@ LimitedAccessReport check_limited_access(const TaskGraph& g) {
   std::unordered_map<uint64_t, uint32_t> global_writes;
   // Frame locations are keyed (act, offset); pack into one u64.
   std::unordered_map<uint64_t, uint32_t> frame_writes;
-  for (const auto& a : g.accesses) {
+  AccessReader rd(g);  // stream-aware: works for resident and chunked traces
+  const uint64_t n = g.acc_count();
+  for (uint64_t i = 0; i < n; ++i) {
+    const Access a = rd.at(i);
     if (!a.is_write()) continue;
     ++r.total_writes;
     if (a.act == kNoAct) {
@@ -70,10 +73,11 @@ BalanceReport check_balance(const TaskGraph& g) {
 
 HeadWorkReport check_head_work(const TaskGraph& g) {
   HeadWorkReport r;
+  AccessReader rd(g);  // hoisted: one store fault per trace segment
   for (const auto& a : g.acts) {
     for (uint32_t k = 0; k < a.num_segs; ++k) {
       const Segment& s = g.segments[a.first_seg + k];
-      const uint64_t c = g.seg_cost(s);
+      const uint64_t c = g.seg_cost(s, rd);
       if (s.has_fork()) {
         r.max_fork_segment_cost = std::max(r.max_fork_segment_cost, c);
       } else {

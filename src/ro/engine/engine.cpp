@@ -22,6 +22,20 @@ RunReport Engine::replay(const TaskGraph& g, Backend backend,
   return r;
 }
 
+void Engine::fill_stream_stats(RunReport& r, const TaskGraph& g) {
+  if (!g.streaming()) return;
+  r.has_stream = true;
+  for (const StreamPart& part : g.streams) {
+    const TraceStore::Stats st = part.store->stats();
+    r.trace_segments += st.segments;
+    r.trace_spilled_bytes += st.spilled_bytes;
+    // Parts replay concurrently, so their peaks sum: the batch's resident
+    // bound is (window + open + pins) x live stores, and the report says
+    // so instead of hiding it behind a max.
+    r.trace_peak_resident_bytes += st.peak_resident_bytes;
+  }
+}
+
 void Engine::fill_replay(RunReport& r, const TaskGraph& g, Backend backend,
                          const SimConfig& sim, bool seq_baseline) {
   RO_CHECK_MSG(!backend_is_parallel(backend),
@@ -113,6 +127,13 @@ BatchReport Engine::finish_batch(std::vector<TaskGraph> graphs,
       r.seq_makespan = seq.makespan;
       r.cache_excess = excess(r.sim.cache_misses(), r.q_seq);
     }
+    if (merged.streaming()) {
+      const TraceStore::Stats st = merged.streams[i].store->stats();
+      r.has_stream = true;
+      r.trace_segments = st.segments;
+      r.trace_spilled_bytes = st.spilled_bytes;
+      r.trace_peak_resident_bytes = st.peak_resident_bytes;
+    }
     // Host time spent replaying this shard (main walk + its baseline walk),
     // so per-shard rows feed wall-clock tooling like any other RunReport.
     r.wall_ms = unit_wall[0][i] + (with_baseline ? unit_wall[1][i] : 0.0);
@@ -137,6 +158,7 @@ BatchReport Engine::finish_batch(std::vector<TaskGraph> graphs,
   agg.M = opt.sim.M;
   agg.B = opt.sim.B;
   agg.sim = merge_shard_metrics(per);
+  fill_stream_stats(agg, merged);
   if (opt.seq_baseline) {
     const Metrics seq =
         kind == SchedKind::kSeq ? agg.sim : merge_shard_metrics(base);

@@ -42,6 +42,27 @@
 
 namespace ro {
 
+/// Streaming trace pipeline knobs (RunOptions::trace): when segment_tasks
+/// is nonzero, sim-backend recordings go through a chunked ro::TraceStore
+/// (fixed-capacity trace segments, bounded resident window, sealed
+/// segments spilled to disk) instead of the monolithic in-memory access
+/// vector, and replay streams them back through cursors — bit-identical
+/// Metrics, bounded memory (docs/streaming.md).
+struct StreamOptions {
+  uint64_t segment_tasks = 0;          // records per trace segment;
+                                       // 0 = classic in-memory recording
+  uint32_t max_resident_segments = 4;  // resident window (0 = unbounded)
+  std::string spill_dir;               // "" = the system temp directory
+
+  TraceStore::Options store_options() const {
+    TraceStore::Options o;
+    o.segment_tasks = segment_tasks;
+    o.max_resident_segments = max_resident_segments;
+    o.spill_dir = spill_dir;
+    return o;
+  }
+};
+
 struct RunOptions {
   Backend backend = Backend::kSeq;
   std::string label;            // carried verbatim into the report
@@ -54,6 +75,7 @@ struct RunOptions {
   uint64_t align_words = 4096;  // VSpace allocation alignment
   uint32_t shard = 0;           // address shard to record into (vspace.h)
   bool seq_baseline = true;     // also replay at p=1 for Q(n,M,B) + excess
+  StreamOptions trace;          // streaming trace pipeline (off by default)
 
   // ---- parallel backends ----
   // Pool size.  0 = keep the engine's current pool for the policy (created
@@ -146,11 +168,16 @@ class Engine {
       }
       case Backend::kSimPws:
       case Backend::kSimRws: {
-        Recording rec = record(std::forward<Prog>(prog), opt.padded,
-                               opt.align_words, opt.shard);
+        Recording rec =
+            opt.trace.segment_tasks > 0
+                ? record_stream(std::forward<Prog>(prog), opt.trace,
+                                opt.padded, opt.align_words, opt.shard)
+                : record(std::forward<Prog>(prog), opt.padded,
+                         opt.align_words, opt.shard);
         fill_replay(r, rec.graph, opt.backend, opt.sim, opt.seq_baseline);
         r.has_graph = true;
         r.graph = rec.stats;
+        fill_stream_stats(r, rec.graph);  // post-replay: loads included
         break;
       }
       case Backend::kParRandom:
@@ -170,6 +197,14 @@ class Engine {
         r.pool_groups = pool.groups();
         r.pool_local_steals = after.local_steals - before.local_steals;
         r.pool_remote_steals = after.remote_steals - before.remote_steals;
+        r.pool_group_local_steals.resize(after.group_local.size());
+        r.pool_group_remote_steals.resize(after.group_remote.size());
+        for (size_t g = 0; g < after.group_local.size(); ++g) {
+          r.pool_group_local_steals[g] =
+              after.group_local[g] - before.group_local[g];
+          r.pool_group_remote_steals[g] =
+              after.group_remote[g] - before.group_remote[g];
+        }
         break;
       }
     }
@@ -200,6 +235,32 @@ class Engine {
     return rec;
   }
 
+  /// Streaming flavour of record(): access records go through a chunked
+  /// ro::TraceStore with a bounded resident window (`stream`), sealed
+  /// segments spilling to disk, so the trace never has to fit in memory.
+  /// The returned Recording replays through the exact same entry points
+  /// (replay / simulate) with bit-identical Metrics; the graph keeps the
+  /// store alive via its StreamPart.
+  template <class Prog>
+  Recording record_stream(Prog&& prog, const StreamOptions& stream,
+                          bool padded = false, uint64_t align_words = 4096,
+                          uint32_t shard = 0) {
+    RO_CHECK_MSG(stream.segment_tasks > 0,
+                 "record_stream needs a trace segment capacity");
+    TraceCtx::Options topt;
+    topt.padded = padded;
+    topt.align_words = align_words;
+    topt.shard = shard;
+    topt.store = std::make_shared<TraceStore>(stream.store_options());
+    TraceCtx cx(topt);
+    detail::EngineCtx<TraceCtx> ec(cx);
+    prog(ec);
+    Recording rec;
+    rec.graph = std::move(ec.graph());
+    rec.stats = rec.graph.analyze();
+    return rec;
+  }
+
   /// Batch pipeline: records `progs[i]` into shard i of one ShardedVSpace —
   /// on concurrent host threads when opt.sim.replay_threads allows — fuses
   /// the per-shard graphs with merge_shards, and replays every shard (plus
@@ -221,6 +282,12 @@ class Engine {
     auto record_one = [&](size_t i) {
       TraceCtx::Options topt;
       topt.padded = opt.padded;
+      if (opt.trace.segment_tasks > 0) {
+        // One chunked store per shard: shards spill and stream
+        // independently, so the batch's resident bound scales with the
+        // window x live recorders, not with the trace.
+        topt.store = std::make_shared<TraceStore>(opt.trace.store_options());
+      }
       ShardCtx cx(ssp, static_cast<uint32_t>(i), topt);
       detail::EngineCtx<TraceCtx> ec(cx);
       progs[i](ec);
@@ -285,6 +352,10 @@ class Engine {
  private:
   void fill_replay(RunReport& r, const TaskGraph& g, Backend backend,
                    const SimConfig& sim, bool seq_baseline);
+
+  /// Copies the graph's TraceStore statistics (segments, spilled bytes,
+  /// resident high-water) into the report; no-op for resident graphs.
+  static void fill_stream_stats(RunReport& r, const TaskGraph& g);
 
   /// Merge + parallel replay + report assembly of the batch pipeline
   /// (non-template tail of run_batch).

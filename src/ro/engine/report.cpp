@@ -76,6 +76,16 @@ void kv(std::string& s, const char* key, double v) {
   append_kv(s, key, buf, false);
 }
 
+void kv(std::string& s, const char* key, const std::vector<uint64_t>& v) {
+  std::string arr = "[";
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i) arr += ",";
+    arr += std::to_string(v[i]);
+  }
+  arr += "]";
+  append_kv(s, key, arr, false);
+}
+
 std::string escape(const std::string& in) {
   std::string out;
   for (char c : in) {
@@ -146,6 +156,15 @@ std::string RunReport::to_json() const {
     kv(s, "pool_groups", static_cast<uint64_t>(pool_groups));
     kv(s, "pool_local_steals", pool_local_steals);
     kv(s, "pool_remote_steals", pool_remote_steals);
+    if (!pool_group_local_steals.empty()) {
+      kv(s, "pool_group_local_steals", pool_group_local_steals);
+      kv(s, "pool_group_remote_steals", pool_group_remote_steals);
+    }
+  }
+  if (has_stream) {
+    kv(s, "trace_segments", trace_segments);
+    kv(s, "trace_spilled_bytes", trace_spilled_bytes);
+    kv(s, "trace_peak_resident_bytes", trace_peak_resident_bytes);
   }
   s += "}";
   return s;
@@ -217,6 +236,14 @@ bool scan_flat_object(const std::string& j,
     std::string val;
     if (i < j.size() && j[i] == '"') {
       if (!parse_string(val)) return false;
+    } else if (i < j.size() && j[i] == '[') {
+      // Flat array of numbers (the histogram fields): captured raw,
+      // brackets included.
+      const size_t v0 = i;
+      while (i < j.size() && j[i] != ']') ++i;
+      if (i >= j.size()) return false;
+      ++i;  // closing bracket
+      val = j.substr(v0, i - v0);
     } else {
       const size_t v0 = i;
       while (i < j.size() && j[i] != ',' && j[i] != '}') ++i;
@@ -228,6 +255,21 @@ bool scan_flat_object(const std::string& j,
 }
 
 uint64_t as_u64(const std::string& v) { return std::strtoull(v.c_str(), nullptr, 10); }
+
+/// Parses a raw "[1,2,3]" capture into numbers ("[]" -> empty).
+std::vector<uint64_t> as_u64_list(const std::string& v) {
+  std::vector<uint64_t> out;
+  size_t i = 1;  // skip '['
+  while (i < v.size() && v[i] != ']') {
+    char* end = nullptr;
+    const uint64_t x = std::strtoull(v.c_str() + i, &end, 10);
+    if (end == v.c_str() + i) break;  // malformed element: stop, don't spin
+    out.push_back(x);
+    i = static_cast<size_t>(end - v.c_str());
+    if (i < v.size() && v[i] == ',') ++i;
+  }
+  return out;
+}
 
 }  // namespace
 
@@ -283,6 +325,16 @@ bool report_from_json(const std::string& json, RunReport& out) {
       out.pool_groups = static_cast<uint32_t>(as_u64(v));
     else if (k == "pool_local_steals") out.pool_local_steals = as_u64(v);
     else if (k == "pool_remote_steals") out.pool_remote_steals = as_u64(v);
+    else if (k == "pool_group_local_steals")
+      out.pool_group_local_steals = as_u64_list(v);
+    else if (k == "pool_group_remote_steals")
+      out.pool_group_remote_steals = as_u64_list(v);
+    else if (k == "trace_segments") {
+      out.has_stream = true;
+      out.trace_segments = as_u64(v);
+    } else if (k == "trace_spilled_bytes") out.trace_spilled_bytes = as_u64(v);
+    else if (k == "trace_peak_resident_bytes")
+      out.trace_peak_resident_bytes = as_u64(v);
     // Unknown keys are skipped: newer writers stay readable.
   }
   if (have_sim) {

@@ -76,6 +76,16 @@ struct RunReport {
   uint32_t pool_groups = 0;           // worker groups (1 = flat pool)
   uint64_t pool_local_steals = 0;     // victim in the thief's group
   uint64_t pool_remote_steals = 0;    // victim in another group
+  // Per-group steal histogram (thief's group; size = pool_groups).  The
+  // element sums equal pool_local_steals / pool_remote_steals.
+  std::vector<uint64_t> pool_group_local_steals;
+  std::vector<uint64_t> pool_group_remote_steals;
+
+  // ---- streaming trace store (RunOptions::trace, sim backends) ----
+  bool has_stream = false;
+  uint64_t trace_segments = 0;             // trace segments recorded
+  uint64_t trace_spilled_bytes = 0;        // bytes written to spill files
+  uint64_t trace_peak_resident_bytes = 0;  // resident-window high-water
 
   /// Simulated speedup over the p=1 baseline (0 when not applicable).
   double sim_speedup() const;

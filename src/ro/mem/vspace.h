@@ -66,6 +66,13 @@ constexpr vaddr_t shard_offset(vaddr_t a) {
   return a & (kShardSpanWords - 1);
 }
 
+/// Rebases a global address onto a span that starts at `base` (a shard
+/// base, or any segment-relative origin): replay rebases every shard's
+/// addresses to 0 so per-shard directories and ever-loaded bitsets are
+/// sized by the span, not by where in the 64-bit space it was recorded.
+/// `a` must lie at or above `base`.
+constexpr vaddr_t span_rebase(vaddr_t a, vaddr_t base) { return a - base; }
+
 /// Bump allocator over one contiguous virtual range; also keeps a registry
 /// of named regions so probes and error messages can say what a block
 /// belongs to.  A default-constructed VSpace covers shard 0 (base 0) — the

@@ -212,11 +212,17 @@ void Pool::worker_loop(unsigned id) {
 
 PoolStats Pool::stats() const {
   PoolStats s;
+  s.group_local.assign(groups(), 0);
+  s.group_remote.assign(groups(), 0);
   for (const auto& w : workers_) {
     s.steals += w->steals.load(std::memory_order_relaxed);
     s.failed_steals += w->failed.load(std::memory_order_relaxed);
-    s.local_steals += w->local.load(std::memory_order_relaxed);
-    s.remote_steals += w->remote.load(std::memory_order_relaxed);
+    const uint64_t local = w->local.load(std::memory_order_relaxed);
+    const uint64_t remote = w->remote.load(std::memory_order_relaxed);
+    s.local_steals += local;
+    s.remote_steals += remote;
+    s.group_local[w->group] += local;
+    s.group_remote[w->group] += remote;
   }
   return s;
 }

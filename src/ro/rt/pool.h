@@ -48,6 +48,12 @@ struct PoolStats {
   uint64_t failed_steals = 0;
   uint64_t local_steals = 0;   // victim in the thief's group
   uint64_t remote_steals = 0;  // victim in another group
+  // Per-group steal histogram, attributed to the *thief's* group: group g's
+  // workers performed group_local[g] steals inside their group and
+  // group_remote[g] across groups.  Sized to groups(); sums equal
+  // local_steals / remote_steals.
+  std::vector<uint64_t> group_local;
+  std::vector<uint64_t> group_remote;
 };
 
 struct PoolOptions {

@@ -35,6 +35,45 @@ namespace {
 constexpr uint32_t kNoCore = 0xFFFFFFFFu;
 constexpr vaddr_t kUnresolved = ~vaddr_t{0};
 
+/// Access source over the resident TaskGraph::accesses vector — the
+/// degenerate store whose one "segment" is the whole array.
+struct VecSource {
+  const Access* base = nullptr;
+  struct Cursor {
+    const Access* base = nullptr;
+    Access at(uint64_t i) const { return base[i]; }
+  };
+  Cursor cursor() const { return Cursor{base}; }
+};
+
+/// Access source over one shard's chunked TraceStore (trace_store.h):
+/// global access index -> store record (minus the part's acc_base), and
+/// part-local activation ids -> graph-global ids (plus the span's
+/// first_act — streamed records are immutable, so merge_shards never
+/// rewrote them).  Each simulated core owns one Cursor, pinning one trace
+/// segment; crossing a seal boundary faults the next segment in (a disk
+/// reload when it was spilled), which is the entire difference between
+/// the streaming walk and the resident one — the scheduling decisions
+/// consume identical records, hence bit-identical Metrics.
+struct StreamSource {
+  TraceStore* store = nullptr;
+  uint64_t acc_base = 0;
+  uint32_t act_off = 0;
+  struct Cursor {
+    TraceStore::Cursor cur;
+    uint64_t acc_base = 0;
+    uint32_t act_off = 0;
+    Access at(uint64_t i) {
+      Access a = cur.at(i - acc_base);
+      if (a.act != kNoAct) a.act += act_off;
+      return a;
+    }
+  };
+  Cursor cursor() const {
+    return Cursor{TraceStore::Cursor(*store), acc_base, act_off};
+  }
+};
+
 /// Replays one shard unit: the span's priority-round sequence on its own
 /// simulated machine (cores, caches, directory, stack arenas).  Addresses
 /// are rebased to the shard (global vaddr - span.base), so the dense
@@ -42,11 +81,17 @@ constexpr vaddr_t kUnresolved = ~vaddr_t{0};
 /// days regardless of which shard the data was recorded in.  One instance
 /// never touches state outside its span — the invariant that makes units
 /// safe to run on concurrent host threads.
+///
+/// The access stream is consumed through per-core cursors of `Source`
+/// (VecSource / StreamSource above), never by walking a resident array
+/// directly, so the same scheduling loop serves both the in-memory and
+/// the bounded-memory streaming representations.
+template <class Source>
 class ShardReplayer {
  public:
   ShardReplayer(const TaskGraph& g, const ShardSpan& span, SchedKind kind,
-                const SimConfig& cfg)
-      : g_(g), span_(span), kind_(kind), cfg_(cfg),
+                const SimConfig& cfg, const Source& src)
+      : g_(g), span_(span), kind_(kind), cfg_(cfg), src_(src),
         sp_(cfg.effective_steal_latency()),
         arenas_(round_up_pow2(span.data_top - span.base + 1,
                               g.align_words ? g.align_words : 4096),
@@ -63,9 +108,11 @@ class ShardReplayer {
     cores_.reserve(cfg_.p);
     for (uint32_t i = 0; i < cfg_.p; ++i) {
       cores_.emplace_back(i, lines, l2_lines);
+      cores_.back().cur = src_.cursor();
     }
     astate_.resize(span_.num_acts);
     sstate_.resize(span_.num_segs);
+    update_dir_limit();
   }
 
   Metrics run() {
@@ -105,6 +152,7 @@ class ShardReplayer {
     bool busy = false;
     Frame fr;
     uint32_t cur_arena = kNoCore;  // stack the core pushes frames on
+    typename Source::Cursor cur;   // this core's window into the trace
     std::deque<uint32_t> dq;  // stealable right children; back = bottom
     LruCache cache;                            // private L1
     LruCache l2;                               // L2 partition (§5.2)
@@ -150,7 +198,7 @@ class ShardReplayer {
     const Activation& a = g_.acts[c.fr.act];
     const Segment& seg = g_.segments[a.first_seg + c.fr.seg];
     if (c.fr.acc < seg.acc_end) {
-      const Access& acc = g_.accesses[c.fr.acc];
+      const Access acc = c.cur.at(c.fr.acc);
       if (replay_access(c, acc)) ++c.fr.acc;  // else: waiting on a hold
       c.last_productive = c.time;
       return;
@@ -245,6 +293,7 @@ class ShardReplayer {
     }
     RO_CHECK(c.cur_arena != kNoCore);
     st.token = arenas_.push(c.cur_arena, a.frame_words);
+    update_dir_limit();  // the frame may have raised the high-water mark
     st.frame_base = st.token.base;
     c.busy = true;
     c.fr = Frame{act, 0, g_.segments[a.first_seg].acc_begin};
@@ -324,7 +373,7 @@ class ShardReplayer {
       addr = acc.addr + ast(acc.act).frame_base;
       stack = true;
     } else {
-      addr = acc.addr - span_.base;  // rebase the shard to address 0
+      addr = span_rebase(acc.addr, span_.base);  // shard back to address 0
     }
     if (cfg_.write_hold != 0) {
       const uint64_t until = hold_barrier(c, addr, acc.len, acc.is_write());
@@ -430,6 +479,14 @@ class ShardReplayer {
     }
   }
 
+  /// Every address this unit can ever touch (rebased data + stack frames)
+  /// lies below the arena bump pointer, so the directory may cap its
+  /// geometric growth at that high-water mark: a sparse far access then
+  /// sizes the table to the space that actually exists, not 1.5x beyond.
+  void update_dir_limit() {
+    dir_.set_limit((arenas_.bump() + cfg_.B - 1) / cfg_.B);
+  }
+
   bool ever_loaded(const Core& c, uint64_t block) const {
     const uint64_t w = block / 64;
     return w < c.ever.size() && (c.ever[w] >> (block % 64)) & 1;
@@ -445,6 +502,7 @@ class ShardReplayer {
   ShardSpan span_;
   SchedKind kind_;
   SimConfig cfg_;
+  Source src_;
   uint32_t sp_;
   ArenaSet arenas_;
   Rng rng_;
@@ -462,7 +520,8 @@ struct Unit {
   ShardSpan span;
   SchedKind kind = SchedKind::kSeq;
   SimConfig cfg;
-  uint32_t job = 0;  // owning ReplayJob (simulate_all)
+  uint32_t job = 0;   // owning ReplayJob (simulate_all)
+  int32_t part = -1;  // StreamPart index when the graph is streamed
 };
 
 SimConfig effective_cfg(SchedKind kind, SimConfig cfg) {
@@ -470,6 +529,35 @@ SimConfig effective_cfg(SchedKind kind, SimConfig cfg) {
   return cfg;
 }
 
+Metrics run_unit(const Unit& u) {
+  if (u.part >= 0) {
+    const StreamPart& part = u.g->streams[static_cast<size_t>(u.part)];
+    StreamSource src{part.store.get(), part.acc_base, u.span.first_act};
+    return ShardReplayer<StreamSource>(*u.g, u.span, u.kind, u.cfg, src)
+        .run();
+  }
+  VecSource src{u.g->accesses.data()};
+  return ShardReplayer<VecSource>(*u.g, u.span, u.kind, u.cfg, src).run();
+}
+
+/// Host pool for the parallel replay phase.  A flat random-stealing pool
+/// by default; when the caller's SimConfig carries a replay_layout the
+/// workers are group-partitioned like the par-numa backends (a layout
+/// sized for a different thread count falls back to a contiguous split
+/// with the same group count — the clamp to the unit count must not
+/// invalidate it).  A host knob only: unit metrics never depend on it.
+rt::Pool make_replay_pool(uint32_t threads, const SimConfig& cfg) {
+  rt::PoolOptions popt;
+  popt.policy = rt::StealPolicy::kRandom;
+  if (cfg.replay_layout.groups() > 0) {
+    popt.layout = cfg.replay_layout.valid(threads)
+                      ? cfg.replay_layout
+                      : rt::GroupLayout::contiguous(threads,
+                                                    cfg.replay_layout.groups());
+    popt.pin = cfg.replay_pin;
+  }
+  return rt::Pool(threads, popt);
+}
 
 /// Runs every unit (results indexed like `units`), on `threads` host
 /// workers when that buys anything.  Each unit is a fully sequential
@@ -487,9 +575,8 @@ std::vector<Metrics> run_units(const std::vector<Unit>& units,
   std::vector<Metrics> out(units.size());
   if (wall_ms) wall_ms->assign(units.size(), 0.0);
   auto run_one = [&](size_t i) {
-    const Unit& u = units[i];
     const auto t0 = std::chrono::steady_clock::now();
-    out[i] = ShardReplayer(*u.g, u.span, u.kind, u.cfg).run();
+    out[i] = run_unit(units[i]);
     if (wall_ms) {
       (*wall_ms)[i] = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - t0)
@@ -500,7 +587,7 @@ std::vector<Metrics> run_units(const std::vector<Unit>& units,
   if (t <= 1 || units.size() <= 1) {
     for (size_t i = 0; i < units.size(); ++i) run_one(i);
   } else {
-    rt::Pool pool(t, rt::StealPolicy::kRandom);
+    rt::Pool pool = make_replay_pool(t, units[0].cfg);
     rt::parallel_index(pool, units.size(), run_one);
   }
   return out;
@@ -510,8 +597,14 @@ std::vector<Unit> units_of(const TaskGraph& g, SchedKind kind,
                            const SimConfig& cfg, uint32_t job) {
   std::vector<Unit> units;
   const SimConfig ecfg = effective_cfg(kind, cfg);
-  for (const ShardSpan& span : g.shard_spans()) {
-    units.push_back(Unit{&g, span, kind, ecfg, job});
+  const std::vector<ShardSpan> spans = g.shard_spans();
+  if (g.streaming()) {
+    RO_CHECK_MSG(g.streams.size() == spans.size(),
+                 "streamed graph must carry one part per shard span");
+  }
+  for (size_t k = 0; k < spans.size(); ++k) {
+    units.push_back(Unit{&g, spans[k], kind, ecfg, job,
+                         g.streaming() ? static_cast<int32_t>(k) : -1});
   }
   return units;
 }

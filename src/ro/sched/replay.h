@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "ro/core/graph.h"
+#include "ro/rt/numa.h"
 #include "ro/sim/metrics.h"
 
 namespace ro {
@@ -82,6 +83,17 @@ struct SimConfig {
   // produces bit-identical results.
   uint32_t replay_threads = 1;
 
+  // NUMA-aware host replay pool: when the layout is non-empty, the
+  // replay_threads workers are partitioned into its groups exactly like
+  // the par-numa backends (rt::numa_group_layout derives one from the
+  // host topology, GroupLayout::contiguous forces a count).  A layout
+  // sized for a different worker count than the effective (unit-clamped)
+  // one falls back to a contiguous split with the same group count.
+  // `replay_pin` additionally pins replay workers to their group's node
+  // cpus.  Host knobs like replay_threads: never visible in Metrics.
+  rt::GroupLayout replay_layout;
+  bool replay_pin = false;
+
   uint32_t effective_steal_latency() const;
 };
 
@@ -114,7 +126,8 @@ std::vector<Metrics> simulate_all(const std::vector<ReplayJob>& jobs,
 
 /// Like simulate_all but without the per-job merge: result[j][s] is the
 /// Metrics of job j's s-th shard span.  All units of all jobs share one
-/// pool, so e.g. a batch's main replay and its p=1 baselines overlap.
+/// pool (configured from the first job's replay_layout/replay_pin), so
+/// e.g. a batch's main replay and its p=1 baselines overlap.
 /// When `wall_ms` is non-null it receives the host time each unit spent
 /// replaying (same indexing), for per-shard reporting.
 std::vector<std::vector<Metrics>> simulate_shards_all(

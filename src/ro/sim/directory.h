@@ -24,8 +24,25 @@ class Directory {
     uint8_t hold_owner = 0xFF;
   };
 
+  /// Declares the address-space high-water mark (in blocks): no block id
+  /// at or beyond `blocks` will ever be touched until the limit is raised
+  /// again.  at() caps its geometric growth here, so one sparse access
+  /// near the top of the space sizes the table to the space that exists
+  /// instead of 1.5x beyond it.  Monotonic; 0 (the default) = no cap.
+  void set_limit(uint64_t blocks) { limit_ = std::max(limit_, blocks); }
+
+  uint64_t limit() const { return limit_; }
+
   Entry& at(uint64_t block) {
-    if (block >= entries_.size()) entries_.resize(block + 1 + block / 2);
+    if (block >= entries_.size()) {
+      uint64_t want = block + 1 + block / 2;  // 1.5x amortized growth
+      if (limit_ != 0) {
+        // Cap at the high-water mark; a block beyond the declared limit
+        // (a caller that never set one, or raised it late) grows exactly.
+        want = std::min(want, std::max(limit_, block + 1));
+      }
+      entries_.resize(want);
+    }
     return entries_[block];
   }
 
@@ -46,6 +63,7 @@ class Directory {
   }
 
  private:
+  uint64_t limit_ = 0;  // declared block high-water (0 = uncapped growth)
   std::vector<Entry> entries_;
 };
 

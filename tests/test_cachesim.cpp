@@ -57,6 +57,36 @@ TEST(Directory, GrowsAndTracksTransfers) {
   EXPECT_EQ(ts.total_transfers, 7u);
 }
 
+TEST(Directory, GrowthCappedAtHighWaterMark) {
+  // Regression: a sparse access near the top of the declared space used to
+  // trigger the raw 1.5x geometric resize — 50% of the table allocated
+  // beyond addresses that can even exist.  With the limit set to the
+  // vspace high-water mark the resize stops exactly there.
+  Directory d;
+  d.set_limit(1'000'000);
+  d.at(999'999).transfers = 1;  // sparse access just below the mark
+  EXPECT_EQ(d.size(), 1'000'000u);  // not 1.5M
+
+  // Under the cap, growth stays geometric (amortized appends).
+  Directory g;
+  g.set_limit(1'000'000);
+  g.at(1000);
+  EXPECT_GE(g.size(), 1501u);
+  EXPECT_LE(g.size(), 1'000'000u);
+
+  // Beyond a stale limit (the high-water mark rose later), exact growth —
+  // correct, never over-allocating.
+  Directory s;
+  s.set_limit(100);
+  s.at(5000).transfers = 3;
+  EXPECT_EQ(s.size(), 5001u);
+  EXPECT_EQ(s.at(5000).transfers, 3u);
+
+  // set_limit is monotonic: a lower later value never shrinks the cap.
+  s.set_limit(10);
+  EXPECT_EQ(s.limit(), 100u);
+}
+
 // ---- engine-level classification on crafted traces ----
 
 // Two forked tasks write interleaved halves of ONE block: classic false

@@ -360,16 +360,42 @@ TEST(Engine, NumaReportCarriesLocalityCounters) {
   EXPECT_TRUE(r.has_pool);
   EXPECT_EQ(r.pool_groups, 2u);
   EXPECT_EQ(r.pool_local_steals + r.pool_remote_steals, r.pool_steals);
+  // Per-group histogram: one bucket per group, sums matching the totals.
+  ASSERT_EQ(r.pool_group_local_steals.size(), 2u);
+  ASSERT_EQ(r.pool_group_remote_steals.size(), 2u);
+  uint64_t loc = 0, rem = 0;
+  for (uint32_t g = 0; g < 2; ++g) {
+    loc += r.pool_group_local_steals[g];
+    rem += r.pool_group_remote_steals[g];
+  }
+  EXPECT_EQ(loc, r.pool_local_steals);
+  EXPECT_EQ(rem, r.pool_remote_steals);
   const std::string j = r.to_json();
   EXPECT_NE(j.find("\"backend\":\"par-numa-priority\""), std::string::npos);
   EXPECT_NE(j.find("\"pool_groups\":2"), std::string::npos) << j;
   EXPECT_NE(j.find("\"pool_local_steals\":"), std::string::npos) << j;
   EXPECT_NE(j.find("\"pool_remote_steals\":"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"pool_group_local_steals\":["), std::string::npos) << j;
+  EXPECT_NE(j.find("\"pool_group_remote_steals\":["), std::string::npos) << j;
   RunReport back;
   ASSERT_TRUE(report_from_json(j, back)) << j;
   EXPECT_EQ(back.to_json(), j);  // numa pool fields survive the round trip
   EXPECT_EQ(back.pool_groups, r.pool_groups);
   EXPECT_EQ(back.pool_local_steals, r.pool_local_steals);
+  EXPECT_EQ(back.pool_group_local_steals, r.pool_group_local_steals);
+  EXPECT_EQ(back.pool_group_remote_steals, r.pool_group_remote_steals);
+}
+
+TEST(Engine, MalformedHistogramArrayParsesWithoutSpinning) {
+  // Regression: a non-numeric array element must terminate the list scan,
+  // not loop forever pushing zeros.
+  RunReport out;
+  const std::string j =
+      "{\"label\":\"x\",\"backend\":\"par-random\",\"threads\":2,"
+      "\"pool_group_local_steals\":[x],\"pool_steals\":7}";
+  ASSERT_TRUE(report_from_json(j, out));
+  EXPECT_TRUE(out.pool_group_local_steals.empty());
+  EXPECT_EQ(out.pool_steals, 7u);  // fields after the array still parse
 }
 
 /// The satellite workloads of the NUMA backends: sort-routed gather

@@ -1,0 +1,330 @@
+// Streaming trace pipeline tests: TraceStore segment encode/decode with
+// adversarial seal boundaries, spill -> reload integrity, and the tentpole
+// acceptance matrix — streaming replay bit-identical to the in-memory walk
+// for route / listrank / SPMS x PWS / RWS x replay threads {1,2,8} x
+// resident windows {1,2,unbounded}.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "ro/alg/graphgen.h"
+#include "ro/alg/listrank.h"
+#include "ro/alg/route.h"
+#include "ro/alg/scan.h"
+#include "ro/alg/spms.h"
+#include "ro/core/trace_store.h"
+#include "ro/engine/engine.h"
+#include "ro/util/rng.h"
+#include "test_helpers.h"
+
+namespace ro {
+namespace {
+
+using alg::i64;
+
+Access rec(uint64_t i) {
+  return Access{i * 3, i % 7 == 0 ? kNoAct : static_cast<uint32_t>(i % 5),
+                static_cast<uint16_t>(1 + i % 4),
+                static_cast<uint16_t>(i % 2)};
+}
+
+// ---- TraceStore segment encode/decode ----
+
+TEST(TraceStore, SegmentBoundariesRoundTrip) {
+  // Capacity 8 with a bounded window of 1: most segments live on disk by
+  // the time they are read back.  257 records = 32 full segments + a
+  // single-record trailing segment (the partial-seal adversarial case).
+  TraceStore::Options opt;
+  opt.segment_tasks = 8;
+  opt.max_resident_segments = 1;
+  TraceStore st(opt);
+  const uint64_t n = 257;
+  for (uint64_t i = 0; i < n; ++i) st.append(rec(i));
+  st.seal();
+  EXPECT_EQ(st.size(), n);
+  EXPECT_EQ(st.segment_count(), (n + 7) / 8);
+
+  // Sequential read-back sees every record bit-identically.
+  TraceStore::Cursor cur(st);
+  for (uint64_t i = 0; i < n; ++i) EXPECT_EQ(cur.at(i), rec(i)) << i;
+  // Backwards scan re-loads spilled segments; contents still identical.
+  TraceStore::Cursor back(st);
+  for (uint64_t i = n; i-- > 0;) EXPECT_EQ(back.at(i), rec(i)) << i;
+
+  const TraceStore::Stats s = st.stats();
+  EXPECT_EQ(s.records, n);
+  EXPECT_GT(s.spilled_bytes, 0u);
+  EXPECT_GT(s.segment_loads, 0u);
+  // Window (1) + one pinned segment per live cursor (2) + the open
+  // segment: the resident high-water must stay a few segments, never the
+  // whole trace.
+  EXPECT_LE(s.peak_resident_bytes, 4 * opt.segment_tasks * sizeof(Access));
+  EXPECT_LT(s.peak_resident_bytes, n * sizeof(Access));
+}
+
+TEST(TraceStore, SingleRecordSegments) {
+  // Capacity 1: every record is its own trace segment — the degenerate
+  // seal-per-append case.
+  TraceStore::Options opt;
+  opt.segment_tasks = 1;
+  opt.max_resident_segments = 2;
+  TraceStore st(opt);
+  for (uint64_t i = 0; i < 9; ++i) st.append(rec(i));
+  st.seal();
+  EXPECT_EQ(st.segment_count(), 9u);
+  TraceStore::Cursor cur(st);
+  for (uint64_t i = 0; i < 9; ++i) EXPECT_EQ(cur.at(i), rec(i));
+}
+
+TEST(TraceStore, EmptyStoreSealsCleanly) {
+  TraceStore st;
+  st.seal();
+  EXPECT_EQ(st.size(), 0u);
+  EXPECT_EQ(st.segment_count(), 0u);
+  EXPECT_EQ(st.stats().spilled_bytes, 0u);
+}
+
+TEST(TraceStore, UnboundedWindowNeverSpills) {
+  TraceStore::Options opt;
+  opt.segment_tasks = 4;
+  opt.max_resident_segments = 0;  // unbounded
+  TraceStore st(opt);
+  for (uint64_t i = 0; i < 100; ++i) st.append(rec(i));
+  st.seal();
+  const TraceStore::Stats s = st.stats();
+  EXPECT_EQ(s.spilled_bytes, 0u);
+  EXPECT_EQ(s.segment_loads, 0u);
+  TraceStore::Cursor cur(st);
+  for (uint64_t i = 0; i < 100; ++i) EXPECT_EQ(cur.at(i), rec(i));
+}
+
+// ---- streamed recording vs the in-memory recording ----
+
+/// The three trace families of the acceptance criteria.
+auto prog_route(size_t n) {
+  return [n](auto& cx) {
+    auto idx = cx.template alloc<i64>(n, "idx");
+    auto val = cx.template alloc<i64>(n, "val");
+    Rng rng(n * 31 + 5);
+    for (size_t i = 0; i < n; ++i) {
+      idx.raw()[i] = static_cast<i64>(rng.next_below(n));
+      val.raw()[i] = static_cast<i64>(rng.next_below(1000));
+    }
+    auto out = cx.template alloc<i64>(n, "out");
+    cx.run(2 * n, [&] {
+      alg::gather(cx, alg::StridedView{idx.slice()},
+                  alg::StridedView{val.slice()},
+                  alg::StridedView{out.slice()}, n);
+    });
+  };
+}
+
+auto prog_listrank(size_t n) {
+  const auto succ = alg::random_list(n, n * 7 + 3);
+  return [n, succ](auto& cx) {
+    auto s = cx.template alloc<i64>(n, "succ");
+    std::copy(succ.begin(), succ.end(), s.raw());
+    auto r = cx.template alloc<i64>(n, "rank");
+    cx.run(2 * n, [&] { alg::list_rank(cx, s.slice(), r.slice()); });
+  };
+}
+
+auto prog_spms(size_t n) {
+  return [n](auto& cx) {
+    auto a = cx.template alloc<i64>(n, "a");
+    Rng rng(n + 17);
+    for (size_t i = 0; i < n; ++i)
+      a.raw()[i] = static_cast<i64>(rng.next() >> 1);
+    auto o = cx.template alloc<i64>(n, "o");
+    cx.run(2 * n, [&] { alg::spms(cx, a.slice(), o.slice()); });
+  };
+}
+
+StreamOptions tiny_stream(uint32_t window) {
+  StreamOptions s;
+  s.segment_tasks = 64;  // many seals: task segments straddle constantly
+  s.max_resident_segments = window;
+  return s;
+}
+
+TEST(StreamRecord, MatchesInMemoryRecording) {
+  const size_t n = 256;
+  Engine& eng = testing::engine();
+  const Recording mem = eng.record(prog_route(n));
+  const Recording str = eng.record_stream(prog_route(n), tiny_stream(1));
+
+  ASSERT_TRUE(str.graph.streaming());
+  ASSERT_FALSE(mem.graph.streaming());
+  // Identical skeleton...
+  EXPECT_EQ(str.graph.acts, mem.graph.acts);
+  EXPECT_EQ(str.graph.segments, mem.graph.segments);
+  EXPECT_EQ(str.graph.root, mem.graph.root);
+  EXPECT_EQ(str.graph.data_base, mem.graph.data_base);
+  EXPECT_EQ(str.graph.data_top, mem.graph.data_top);
+  // ...identical stream (spilled and reloaded, record by record)...
+  ASSERT_EQ(str.graph.acc_count(), mem.graph.acc_count());
+  AccessReader rd(str.graph);
+  for (uint64_t i = 0; i < mem.graph.acc_count(); ++i) {
+    ASSERT_EQ(rd.at(i), mem.graph.accesses[i]) << "access " << i;
+  }
+  // ...identical analysis.
+  EXPECT_EQ(str.stats.work, mem.stats.work);
+  EXPECT_EQ(str.stats.span, mem.stats.span);
+  EXPECT_EQ(str.stats.accesses, mem.stats.accesses);
+  EXPECT_EQ(str.stats.leaves, mem.stats.leaves);
+}
+
+TEST(StreamRecord, EmptyAndForkOnlySegmentsSurviveSeals) {
+  // A deep fork tree with one access per leaf and capacity 1 exercises
+  // fork segments with empty access runs landing exactly on seal
+  // boundaries.
+  Engine& eng = testing::engine();
+  auto prog = [](auto& cx) {
+    auto a = cx.template alloc<i64>(16, "a");
+    cx.run(16, [&] { alg::prefix_sums(cx, a.slice().first(8),
+                                      a.slice().drop(8)); });
+  };
+  StreamOptions s;
+  s.segment_tasks = 1;
+  s.max_resident_segments = 1;
+  const Recording mem = eng.record(prog);
+  const Recording str = eng.record_stream(prog, s);
+  EXPECT_EQ(str.graph.acts, mem.graph.acts);
+  EXPECT_EQ(str.graph.segments, mem.graph.segments);
+  AccessReader rd(str.graph);
+  for (uint64_t i = 0; i < mem.graph.acc_count(); ++i) {
+    ASSERT_EQ(rd.at(i), mem.graph.accesses[i]);
+  }
+}
+
+// ---- the acceptance matrix: bit-identical streaming replay ----
+
+SimConfig stream_machine(uint32_t threads) {
+  SimConfig cfg;
+  cfg.p = 4;
+  cfg.M = 1 << 10;
+  cfg.B = 16;
+  cfg.replay_threads = threads;
+  return cfg;
+}
+
+TEST(StreamReplay, BitIdenticalAcrossWindowsAndThreads) {
+  const size_t n = 160;
+  Engine& eng = testing::engine();
+  struct Family {
+    const char* name;
+    std::function<void(detail::EngineCtx<TraceCtx>&)> prog;
+  };
+  std::vector<Family> fams;
+  fams.push_back({"route", prog_route(n)});
+  fams.push_back({"listrank", prog_listrank(n)});
+  fams.push_back({"spms", prog_spms(4 * n)});
+
+  for (const Family& f : fams) {
+    const Recording mem = eng.record(f.prog);
+    for (const SchedKind kind : {SchedKind::kPws, SchedKind::kRws}) {
+      const Metrics base = simulate(mem.graph, kind, stream_machine(1));
+      for (const uint32_t window : {1u, 2u, 0u}) {  // 0 = unbounded
+        const Recording str =
+            eng.record_stream(f.prog, tiny_stream(window));
+        for (const uint32_t threads : {1u, 2u, 8u}) {
+          EXPECT_EQ(simulate(str.graph, kind, stream_machine(threads)), base)
+              << f.name << " " << sched_name(kind) << " window=" << window
+              << " threads=" << threads;
+        }
+      }
+    }
+  }
+}
+
+TEST(StreamReplay, MergedBatchMatchesInMemoryBatch) {
+  const size_t n = 128;
+  std::vector<std::function<void(detail::EngineCtx<TraceCtx>&)>> progs;
+  progs.emplace_back(prog_route(n));
+  progs.emplace_back(prog_listrank(n));
+  progs.emplace_back(prog_spms(2 * n));
+
+  RunOptions opt;
+  opt.backend = Backend::kSimPws;
+  opt.label = "stream-batch";
+  opt.sim = stream_machine(2);
+  const BatchReport mem = testing::engine().run_batch(progs, opt);
+
+  RunOptions sopt = opt;
+  sopt.trace = tiny_stream(2);
+  const BatchReport str = testing::engine().run_batch(progs, sopt);
+
+  ASSERT_EQ(str.runs.size(), mem.runs.size());
+  for (size_t i = 0; i < mem.runs.size(); ++i) {
+    EXPECT_EQ(str.runs[i].sim, mem.runs[i].sim) << "shard " << i;
+    EXPECT_EQ(str.runs[i].q_seq, mem.runs[i].q_seq) << "shard " << i;
+    EXPECT_TRUE(str.runs[i].has_stream);
+    EXPECT_GT(str.runs[i].trace_segments, 0u);
+  }
+  EXPECT_EQ(str.aggregate.sim, mem.aggregate.sim);
+  EXPECT_TRUE(str.aggregate.has_stream);
+  EXPECT_GT(str.aggregate.trace_spilled_bytes, 0u);
+  EXPECT_FALSE(mem.aggregate.has_stream);
+}
+
+// ---- report plumbing ----
+
+TEST(StreamReport, EngineRunReportsStoreStats) {
+  const size_t n = 512;
+  RunOptions opt;
+  opt.backend = Backend::kSimPws;
+  opt.label = "stream";
+  opt.sim = stream_machine(1);
+  opt.trace = tiny_stream(1);
+  const RunReport r = testing::engine().run(prog_route(n), opt);
+  ASSERT_TRUE(r.has_stream);
+  EXPECT_GT(r.trace_segments, 1u);
+  EXPECT_GT(r.trace_spilled_bytes, 0u);
+  EXPECT_GT(r.trace_peak_resident_bytes, 0u);
+  // Bounded: window + open + a pin per simulated core and analysis pass,
+  // in segments of segment_tasks records — far below the full trace.
+  const uint64_t seg_bytes = opt.trace.segment_tasks * sizeof(Access);
+  EXPECT_LE(r.trace_peak_resident_bytes,
+            (uint64_t{opt.trace.max_resident_segments} + 8) * seg_bytes);
+  EXPECT_LT(r.trace_peak_resident_bytes, r.graph.accesses * sizeof(Access));
+
+  // The trace_* scalars survive the JSON round trip.
+  const std::string j = r.to_json();
+  EXPECT_NE(j.find("\"trace_segments\""), std::string::npos);
+  RunReport back;
+  ASSERT_TRUE(report_from_json(j, back));
+  EXPECT_EQ(back.to_json(), j);
+  EXPECT_EQ(back.trace_segments, r.trace_segments);
+  EXPECT_EQ(back.trace_spilled_bytes, r.trace_spilled_bytes);
+  EXPECT_EQ(back.trace_peak_resident_bytes, r.trace_peak_resident_bytes);
+}
+
+// ---- NUMA-aware replay host pool (SimConfig::replay_layout) ----
+
+TEST(StreamReplay, GroupedReplayPoolIsMetricsDeterministic) {
+  const size_t n = 192;
+  Engine& eng = testing::engine();
+  std::vector<TaskGraph> parts;
+  parts.push_back(eng.record(prog_route(n), false, 4096, 0).graph);
+  parts.push_back(eng.record(prog_listrank(n), false, 4096, 1).graph);
+  parts.push_back(eng.record(prog_spms(2 * n), false, 4096, 2).graph);
+  const TaskGraph merged = merge_shards(std::move(parts));
+
+  const Metrics base = simulate(merged, SchedKind::kPws, stream_machine(1));
+  for (const uint32_t groups : {1u, 2u, 4u}) {
+    SimConfig cfg = stream_machine(4);
+    cfg.replay_layout = rt::GroupLayout::contiguous(4, groups);
+    EXPECT_EQ(simulate(merged, SchedKind::kPws, cfg), base)
+        << "groups=" << groups;
+  }
+  // A layout sized for a different thread count than the effective one
+  // falls back to a contiguous split with the same group count.
+  SimConfig cfg = stream_machine(8);
+  cfg.replay_layout = rt::GroupLayout::contiguous(16, 2);
+  EXPECT_EQ(simulate(merged, SchedKind::kPws, cfg), base);
+}
+
+}  // namespace
+}  // namespace ro
