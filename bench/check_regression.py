@@ -24,6 +24,16 @@ par-* backends have no simulator section) are skipped for that row.
 
     $ python3 bench/check_regression.py build/BENCH_engine.json \
           --exact-metrics makespan,cache_misses,block_misses,steals
+
+A single noisy commit passes the pairwise wall-clock gate, and a slow
+creep of +10% per commit passes it forever.  The --trend mode closes
+that hole: it reads the accumulated BENCH_history.json (history.py) and
+fails when the last K entries of any (label, backend) series are
+monotonically non-decreasing AND the total increase over those K
+entries exceeds --threshold — a sustained drift, not a blip.
+
+    $ python3 bench/check_regression.py --trend \
+          --history BENCH_history.json --last 5
 """
 
 import argparse
@@ -79,9 +89,73 @@ def check_exact(base, fresh, metrics):
     return 0
 
 
+def check_trend(history_path, metric, last, threshold, min_ms):
+    """Trajectory gate: fail on a monotonic K-commit regression of `metric`.
+
+    A series only fails when every step of its last `last` values is
+    non-decreasing and the cumulative increase exceeds `threshold`; any
+    dip along the way resets the verdict to noise.  Series shorter than
+    `last` (young history), rows missing the metric in any of the last K
+    entries, and rows starting below `min_ms` are skipped.
+    """
+    try:
+        with open(history_path) as f:
+            history = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_regression: cannot read {history_path}: {e}",
+              file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(history, list):
+        print(f"check_regression: {history_path} is not a history array",
+              file=sys.stderr)
+        sys.exit(2)
+    if len(history) < last:
+        print(f"check_regression: history has {len(history)} entries, "
+              f"trend gate needs {last}; passing")
+        return 0
+
+    tail = history[-last:]
+    keys = sorted({(r.get("label", "?"), r.get("backend", "?"))
+                   for e in tail for r in e.get("reports", [])})
+    regressions = []
+    compared = 0
+    for key in keys:
+        series = []
+        for e in tail:
+            v = None
+            for r in e.get("reports", []):
+                if (r.get("label", "?"), r.get("backend", "?")) == key:
+                    v = r.get(metric)
+                    break
+            series.append(v)
+        if any(v is None for v in series):
+            continue  # row absent or metric missing in some commit
+        if series[0] < min_ms:
+            continue  # noise guard, same as the pairwise gate
+        compared += 1
+        monotonic = all(b >= a for a, b in zip(series, series[1:]))
+        rel = (series[-1] - series[0]) / series[0]
+        bad = monotonic and rel > threshold
+        marker = "TREND" if bad else "ok"
+        vals = " ".join(f"{v:.2f}" for v in series)
+        print(f"  [{marker}] {key[0]}/{key[1]}: {metric} {vals} ({rel:+.1%})")
+        if bad:
+            regressions.append((key, rel))
+    if regressions:
+        print(f"check_regression: {len(regressions)} series rose "
+              f"monotonically by more than {threshold:.0%} over the last "
+              f"{last} commits", file=sys.stderr)
+        return 1
+    print(f"check_regression: {compared} series trend-checked over "
+          f"{last} commits")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("fresh", help="freshly emitted BENCH_engine.json")
+    ap.add_argument("fresh", nargs="?",
+                    help="freshly emitted BENCH_engine.json "
+                         "(unused with --trend)")
     ap.add_argument("--baseline", default="bench/baselines/BENCH_engine.json")
     ap.add_argument("--metric", default="wall_ms",
                     help="RunReport field to compare (default: wall_ms)")
@@ -94,7 +168,21 @@ def main():
                     help="comma-separated deterministic fields that must "
                          "match the baseline exactly (no threshold, no "
                          "--min-ms guard); any drift fails")
+    ap.add_argument("--trend", action="store_true",
+                    help="trajectory gate over BENCH_history.json instead "
+                         "of a pairwise baseline comparison")
+    ap.add_argument("--history", default="BENCH_history.json",
+                    help="history file for --trend (history.py format)")
+    ap.add_argument("--last", type=int, default=5,
+                    help="trailing commits the trend gate inspects "
+                         "(default: 5)")
     args = ap.parse_args()
+
+    if args.trend:
+        return check_trend(args.history, args.metric, args.last,
+                           args.threshold, args.min_ms)
+    if args.fresh is None:
+        ap.error("fresh report file is required without --trend")
 
     fresh = load_reports(args.fresh)
     base = load_reports(args.baseline)

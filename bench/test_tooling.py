@@ -135,6 +135,74 @@ class CheckRegressionWallClock(ToolingCase):
         self.assertEqual(code, 0, out)
 
 
+class CheckRegressionTrend(ToolingCase):
+    def history(self, name, walls, label="sort", backend="seq",
+                metric="wall_ms"):
+        entries = [{"commit": f"c{i}",
+                    "reports": [report(label, backend, **{metric: w})]}
+                   for i, w in enumerate(walls)]
+        return self.write_json(name, entries)
+
+    def test_monotonic_regression_fails(self):
+        hist = self.history("h.json", [100.0, 110.0, 125.0, 140.0, 160.0])
+        code, out = run(CHECK, "--trend", "--history", hist, "--last", "5",
+                        "--threshold", "0.25")
+        self.assertEqual(code, 1, out)
+        self.assertIn("TREND", out)
+
+    def test_dip_resets_the_verdict(self):
+        # Same endpoints, but one dip: noise, not a sustained drift.
+        hist = self.history("h.json", [100.0, 140.0, 95.0, 150.0, 160.0])
+        code, out = run(CHECK, "--trend", "--history", hist, "--last", "5",
+                        "--threshold", "0.25")
+        self.assertEqual(code, 0, out)
+
+    def test_monotonic_below_threshold_passes(self):
+        hist = self.history("h.json", [100.0, 101.0, 102.0, 103.0, 104.0])
+        code, out = run(CHECK, "--trend", "--history", hist, "--last", "5",
+                        "--threshold", "0.25")
+        self.assertEqual(code, 0, out)
+        self.assertIn("[ok]", out)
+
+    def test_young_history_passes(self):
+        hist = self.history("h.json", [100.0, 200.0])
+        code, out = run(CHECK, "--trend", "--history", hist, "--last", "5")
+        self.assertEqual(code, 0, out)
+        self.assertIn("passing", out)
+
+    def test_only_trailing_window_is_judged(self):
+        # Old regression, flat recent history: the last K entries rule.
+        hist = self.history(
+            "h.json", [10.0, 100.0, 100.0, 100.0, 100.0, 100.0, 100.0])
+        code, out = run(CHECK, "--trend", "--history", hist, "--last", "5")
+        self.assertEqual(code, 0, out)
+
+    def test_noise_floor_skips_tiny_series(self):
+        hist = self.history("h.json", [1.0, 2.0, 3.0, 4.0, 5.0])
+        code, out = run(CHECK, "--trend", "--history", hist, "--last", "5",
+                        "--min-ms", "5.0")
+        self.assertEqual(code, 0, out)
+
+    def test_rows_missing_metric_are_skipped(self):
+        # A row that only appears in some commits must not crash or fail.
+        entries = [{"commit": f"c{i}",
+                    "reports": [report("sort", "seq", wall_ms=100.0 + i)]}
+                   for i in range(5)]
+        entries[2]["reports"].append(report("new", "seq", wall_ms=1000.0))
+        hist = self.write_json("h.json", entries)
+        code, out = run(CHECK, "--trend", "--history", hist, "--last", "5",
+                        "--threshold", "0.25")
+        self.assertEqual(code, 0, out)
+
+    def test_missing_history_is_usage_error(self):
+        code, _ = run(CHECK, "--trend", "--history", self.path("none.json"))
+        self.assertEqual(code, 2)
+
+    def test_fresh_required_without_trend(self):
+        code, _ = run(CHECK)
+        self.assertEqual(code, 2)
+
+
 class HistoryAdd(ToolingCase):
     def test_append_then_replace_is_idempotent(self):
         fresh = self.write_json(

@@ -2,10 +2,11 @@
 //
 // Lives in its own header so both the resident TaskGraph tables (graph.h)
 // and the chunked TraceStore (trace_store.h) can speak the same record
-// type without a dependency cycle.  The 16-byte fixed layout doubles as
-// the on-disk spill format of a trace segment (see trace_store.h), which
-// is why the struct is static_asserted to stay trivially copyable and
-// exactly 16 bytes.
+// type without a dependency cycle.  The 16-byte fixed layout is the
+// *resident* form only: spilled trace segments are delta/varint encoded
+// (trace_codec.h) unless compression is disabled, in which case this
+// struct doubles as the raw on-disk layout — which is why it is
+// static_asserted to stay trivially copyable and exactly 16 bytes.
 #pragma once
 
 #include <cstdint>

@@ -88,7 +88,10 @@ struct GraphStats {
 /// store is global access `i`; activation ids inside streamed records stay
 /// part-local (the store is immutable and shared), so readers add the
 /// owning span's `first_act` when translating them (see AccessReader and
-/// sched/replay.cpp's stream source).
+/// sched/replay.cpp's stream source).  Whether the store compresses its
+/// spilled segments (trace_codec.h) is invisible here: cursors always
+/// yield the decoded 16-byte records, so every reader — including the
+/// replay walk — is representation-oblivious.
 struct StreamPart {
   std::shared_ptr<TraceStore> store;
   uint64_t acc_base = 0;

@@ -1,0 +1,124 @@
+#include "ro/core/trace_codec.h"
+
+#include "ro/mem/varray.h"  // kNoAct
+#include "ro/util/check.h"
+
+namespace ro {
+namespace {
+
+constexpr uint8_t kFlagsDiffer = 1u << 0;
+constexpr uint8_t kActDelta = 1u << 1;
+constexpr uint8_t kLenDiffer = 1u << 2;
+constexpr uint8_t kAddrShift = 3;
+constexpr uint64_t kAddrEscape = 31;  // 5-bit inline field exhausted
+
+inline uint64_t zigzag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t unzigzag(uint64_t u) {
+  return static_cast<int64_t>(u >> 1) ^ -static_cast<int64_t>(u & 1);
+}
+
+inline void put_varint(std::vector<uint8_t>& out, uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(v));
+}
+
+/// kNoAct <-> 0 so the global/frame alternation deltas stay small.
+inline uint64_t map_act(uint32_t act) {
+  return act == kNoAct ? 0 : static_cast<uint64_t>(act) + 1;
+}
+
+struct ByteReader {
+  const uint8_t* p;
+  const uint8_t* end;
+
+  uint8_t byte() {
+    RO_CHECK_MSG(p < end, "trace codec: truncated segment");
+    return *p++;
+  }
+
+  uint64_t varint() {
+    uint64_t v = 0;
+    for (uint32_t shift = 0; shift < 64; shift += 7) {
+      const uint8_t b = byte();
+      v |= static_cast<uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) return v;
+    }
+    RO_CHECK_MSG(false, "trace codec: varint overruns 64 bits");
+    return 0;
+  }
+};
+
+}  // namespace
+
+size_t encode_accesses(const Access* recs, size_t n,
+                       std::vector<uint8_t>& out) {
+  const size_t start = out.size();
+  out.reserve(start + n * 2);  // typical traces: ~1-2 bytes per record
+  uint64_t prev_addr = 0;
+  uint64_t prev_act = 0;  // mapped
+  uint16_t prev_len = 0;
+  uint16_t prev_flags = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const Access& a = recs[i];
+    const uint64_t act = map_act(a.act);
+    const uint64_t zaddr =
+        zigzag(static_cast<int64_t>(a.addr - prev_addr));  // wrapping delta
+    uint8_t h = 0;
+    if (a.flags != prev_flags) h |= kFlagsDiffer;
+    if (act != prev_act) h |= kActDelta;
+    if (a.len != prev_len) h |= kLenDiffer;
+    h |= static_cast<uint8_t>((zaddr < kAddrEscape ? zaddr : kAddrEscape)
+                              << kAddrShift);
+    out.push_back(h);
+    if (zaddr >= kAddrEscape) put_varint(out, zaddr);
+    if (h & kActDelta) {
+      put_varint(out, zigzag(static_cast<int64_t>(act - prev_act)));
+    }
+    if (h & kLenDiffer) put_varint(out, a.len);
+    if (h & kFlagsDiffer) put_varint(out, a.flags);
+    prev_addr = a.addr;
+    prev_act = act;
+    prev_len = a.len;
+    prev_flags = a.flags;
+  }
+  return out.size() - start;
+}
+
+void decode_accesses(const uint8_t* buf, size_t bytes, Access* out, size_t n) {
+  ByteReader r{buf, buf + bytes};
+  uint64_t prev_addr = 0;
+  uint64_t prev_act = 0;  // mapped
+  uint16_t prev_len = 0;
+  uint16_t prev_flags = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t h = r.byte();
+    uint64_t zaddr = static_cast<uint64_t>(h) >> kAddrShift;
+    if (zaddr == kAddrEscape) zaddr = r.varint();
+    const uint64_t addr =
+        prev_addr + static_cast<uint64_t>(unzigzag(zaddr));  // wrapping
+    uint64_t act = prev_act;
+    if (h & kActDelta) {
+      act = prev_act + static_cast<uint64_t>(unzigzag(r.varint()));
+    }
+    const uint16_t len =
+        (h & kLenDiffer) ? static_cast<uint16_t>(r.varint()) : prev_len;
+    const uint16_t flags =
+        (h & kFlagsDiffer) ? static_cast<uint16_t>(r.varint()) : prev_flags;
+    out[i] = Access{addr,
+                    act == 0 ? kNoAct : static_cast<uint32_t>(act - 1), len,
+                    flags};
+    prev_addr = addr;
+    prev_act = act;
+    prev_len = len;
+    prev_flags = flags;
+  }
+  RO_CHECK_MSG(r.p == r.end, "trace codec: segment has trailing bytes");
+}
+
+}  // namespace ro

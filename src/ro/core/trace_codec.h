@@ -1,0 +1,46 @@
+// Delta/varint codec for sealed trace segments.
+//
+// The access stream the paper's schedulers replay is highly regular:
+// within a task the addresses walk blocks sequentially (the paper's
+// block-transfer model is only meaningful because they do), the owning
+// activation changes rarely relative to the access rate, and len/flags
+// are near-constant.  The codec exploits exactly that shape: each record
+// is one header byte carrying a 5-bit inline zigzag address delta plus
+// three "field changed" bits, followed only by the varints that actually
+// changed.  A sequential run (addr += len, same act/len/flags) costs one
+// byte per 16-byte record; fully random records degrade to ~12 bytes,
+// never more than 1 + 3*10 + 5 bytes.
+//
+// Wire format, per record (prev_* start at zero for each buffer so
+// segments decode independently):
+//
+//   header byte h:
+//     bit 0: flags != prev_flags      -> varint(flags) follows
+//     bit 1: act delta != 0           -> zigzag varint(mapped act delta)
+//     bit 2: len != prev_len          -> varint(len) follows
+//     bits 3..7: zigzag(addr - prev_addr) when < 31, else 31 = escape
+//                -> zigzag varint(addr delta) follows first
+//   field payloads in the order: addr, act, len, flags.
+//
+// Activation ids are mapped before deltaing (kNoAct -> 0, act -> act+1)
+// so the frequent global/frame alternation stays a small signed delta
+// instead of jumping to 2^32-1 and back.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ro/core/access.h"
+
+namespace ro {
+
+/// Appends the encoding of recs[0..n) to `out`; returns bytes appended.
+size_t encode_accesses(const Access* recs, size_t n, std::vector<uint8_t>& out);
+
+/// Decodes exactly `n` records from buf[0..bytes) into `out`.  RO_CHECKs
+/// that the buffer is consumed exactly (a corrupt spill never yields
+/// silently wrong records).
+void decode_accesses(const uint8_t* buf, size_t bytes, Access* out, size_t n);
+
+}  // namespace ro

@@ -3,38 +3,114 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
+#include <cstring>
+
+#include "ro/core/trace_codec.h"
 
 namespace ro {
+namespace {
+
+constexpr size_t kSlabPoolCap = 8;  // pooled decode buffers per store
+
+[[noreturn]] void io_fail(const char* what) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%s: %s (errno %d)", what,
+                std::strerror(errno), errno);
+  check_fail("io", __FILE__, __LINE__, buf);
+}
+
+/// pwrite the whole range, looping on short writes and EINTR.
+void pwrite_full(int fd, const void* buf, uint64_t n, uint64_t off) {
+  const char* p = static_cast<const char*>(buf);
+  uint64_t done = 0;
+  while (done < n) {
+    const ssize_t w =
+        ::pwrite(fd, p + done, n - done, static_cast<off_t>(off + done));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      io_fail("trace spill write failed");
+    }
+    if (w == 0) io_fail("trace spill write made no progress");
+    done += static_cast<uint64_t>(w);
+  }
+}
+
+/// pread the whole range, looping on short reads and EINTR.
+void pread_full(int fd, void* buf, uint64_t n, uint64_t off) {
+  char* p = static_cast<char*>(buf);
+  uint64_t done = 0;
+  while (done < n) {
+    const ssize_t r =
+        ::pread(fd, p + done, n - done, static_cast<off_t>(off + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      io_fail("trace spill read failed");
+    }
+    if (r == 0) io_fail("trace spill read hit EOF");
+    done += static_cast<uint64_t>(r);
+  }
+}
+
+}  // namespace
 
 TraceStore::TraceStore(Options opt) : opt_(opt) {
   RO_CHECK_MSG(opt_.segment_tasks >= 1, "segment capacity must be >= 1");
 }
 
 TraceStore::~TraceStore() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    sealed_.store(true, std::memory_order_release);
+    cv_.notify_all();
+  }
+  if (spill_worker_.joinable()) spill_worker_.join();
   if (fd_ >= 0) ::close(fd_);
 }
 
 TraceStore::SlabPtr TraceStore::make_slab(std::vector<Access> recs) const {
   const uint64_t bytes = recs.size() * sizeof(Access);
-  auto acct = acct_;
-  const uint64_t now = acct->resident_bytes.fetch_add(bytes) + bytes;
-  uint64_t peak = acct->peak_resident_bytes.load();
+  auto sh = shared_;
+  const uint64_t now = sh->resident_bytes.fetch_add(bytes) + bytes;
+  uint64_t peak = sh->peak_resident_bytes.load();
   while (now > peak &&
-         !acct->peak_resident_bytes.compare_exchange_weak(peak, now)) {
+         !sh->peak_resident_bytes.compare_exchange_weak(peak, now)) {
   }
   auto* v = new std::vector<Access>(std::move(recs));
-  return SlabPtr(v, [acct, bytes](const std::vector<Access>* p) {
-    acct->resident_bytes.fetch_sub(bytes);
-    delete p;
+  return SlabPtr(v, [sh, bytes](const std::vector<Access>* p) {
+    sh->resident_bytes.fetch_sub(bytes);
+    auto* buf = const_cast<std::vector<Access>*>(p);
+    {
+      std::lock_guard<std::mutex> lk(sh->pool_mu);
+      if (sh->pool.size() < kSlabPoolCap) {
+        buf->clear();  // keeps capacity for the next reload
+        sh->pool.push_back(std::move(*buf));
+      }
+    }
+    delete buf;
   });
 }
 
+std::vector<Access> TraceStore::take_buffer(uint64_t n) const {
+  std::vector<Access> buf;
+  {
+    std::lock_guard<std::mutex> lk(shared_->pool_mu);
+    if (!shared_->pool.empty()) {
+      buf = std::move(shared_->pool.back());
+      shared_->pool.pop_back();
+    }
+  }
+  buf.resize(n);
+  return buf;
+}
+
 void TraceStore::append(const Access& a) {
-  RO_CHECK_MSG(!sealed_, "TraceStore::append after seal()");
+  RO_CHECK_MSG(!sealed_.load(std::memory_order_relaxed),
+               "TraceStore::append after seal()");
   if (open_.empty()) open_.reserve(opt_.segment_tasks);
   open_.push_back(a);
-  ++records_;
+  records_.fetch_add(1, std::memory_order_release);
   if (open_.size() == opt_.segment_tasks) {
     std::lock_guard<std::mutex> lk(mu_);
     seal_open_locked();
@@ -42,18 +118,35 @@ void TraceStore::append(const Access& a) {
 }
 
 void TraceStore::seal() {
-  std::lock_guard<std::mutex> lk(mu_);
-  if (sealed_) return;
-  seal_open_locked();
-  sealed_ = true;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (sealed_.load(std::memory_order_relaxed)) return;
+    seal_open_locked();
+    sealed_.store(true, std::memory_order_release);
+    cv_.notify_all();
+  }
+  // The async worker drains every remaining sealed segment, then exits.
+  if (spill_worker_.joinable()) spill_worker_.join();
+  if (opt_.async_spill) {
+    // The last seals may have landed after the worker's final eviction.
+    std::lock_guard<std::mutex> lk(mu_);
+    evict_excess_locked();
+  }
 }
 
 void TraceStore::seal_open_locked() {
   if (open_.empty()) return;
   const uint64_t seg = entries_.size();
   entries_.emplace_back();
+  entries_[seg].count = open_.size();
   insert_resident_locked(seg, make_slab(std::move(open_)));
   open_.clear();
+  if (opt_.async_spill && !spill_worker_.joinable()) {
+    spill_worker_ = std::thread([this] { spill_worker_main(); });
+  }
+  // The watermark moved: wake readers blocked on this segment and the
+  // spill worker.
+  cv_.notify_all();
 }
 
 void TraceStore::insert_resident_locked(uint64_t seg, SlabPtr p) {
@@ -61,19 +154,26 @@ void TraceStore::insert_resident_locked(uint64_t seg, SlabPtr p) {
   e.pinned = p;
   e.resident = std::move(p);
   window_.push_back(seg);
-  spill_excess_locked();
+  evict_excess_locked();
 }
 
-void TraceStore::spill_excess_locked() {
+void TraceStore::evict_excess_locked() {
   if (opt_.max_resident_segments == 0) return;
   while (window_.size() > opt_.max_resident_segments) {
     const uint64_t seg = window_.front();
+    if (!entries_[seg].spilled) {
+      if (opt_.async_spill && !worker_done_) {
+        // Write-behind: the worker spills in seal order and evicts as it
+        // goes; the window may transiently overshoot until it catches up.
+        // Spilling here would race the worker's own pass over this seg.
+        break;
+      }
+      spill_locked(seg);
+    }
     window_.erase(window_.begin());
-    Entry& e = entries_[seg];
-    if (!e.spilled) spill_locked(seg);
     // The strong ref is dropped, but a cursor pin may keep the buffer
     // alive; `pinned` lets segment() revive it without touching disk.
-    e.resident.reset();
+    entries_[seg].resident.reset();
   }
 }
 
@@ -86,7 +186,7 @@ void TraceStore::ensure_file_locked() {
   }
   std::string path = dir + "/ro_trace_XXXXXX";
   fd_ = ::mkstemp(path.data());
-  RO_CHECK_MSG(fd_ >= 0, "cannot create trace spill file");
+  if (fd_ < 0) io_fail("cannot create trace spill file");
   ::unlink(path.c_str());  // anonymous: the bytes vanish with the fd
 }
 
@@ -95,28 +195,94 @@ void TraceStore::spill_locked(uint64_t seg) {
   RO_CHECK(e.resident != nullptr && !e.spilled);
   ensure_file_locked();
   const std::vector<Access>& recs = *e.resident;
-  const uint64_t bytes = recs.size() * sizeof(Access);
-  const uint64_t off = seg * opt_.segment_tasks * sizeof(Access);
-  uint64_t done = 0;
-  while (done < bytes) {
-    const ssize_t w =
-        ::pwrite(fd_, reinterpret_cast<const char*>(recs.data()) + done,
-                 bytes - done, static_cast<off_t>(off + done));
-    RO_CHECK_MSG(w > 0, "trace spill write failed");
-    done += static_cast<uint64_t>(w);
+  const uint64_t raw = recs.size() * sizeof(Access);
+  std::vector<uint8_t> enc;
+  const uint8_t* src = reinterpret_cast<const uint8_t*>(recs.data());
+  uint64_t nbytes = raw;
+  if (opt_.compress) {
+    encode_accesses(recs.data(), recs.size(), enc);
+    src = enc.data();
+    nbytes = enc.size();
   }
-  spilled_bytes_ += bytes;
+  e.file_off = file_end_;
+  e.file_bytes = nbytes;
+  file_end_ += nbytes;
+  pwrite_full(fd_, src, nbytes, e.file_off);
+  spilled_bytes_ += raw;
+  compressed_bytes_ += nbytes;
   e.spilled = true;
 }
 
-uint64_t TraceStore::segment_records(uint64_t seg) const {
-  const uint64_t base = seg * opt_.segment_tasks;
-  return std::min<uint64_t>(opt_.segment_tasks, records_ - base);
+void TraceStore::spill_worker_main() {
+  std::unique_lock<std::mutex> lk(mu_);
+  uint64_t next = 0;
+  while (true) {
+    cv_.wait(lk, [&] {
+      return next < entries_.size() ||
+             sealed_.load(std::memory_order_acquire);
+    });
+    if (next >= entries_.size()) {
+      worker_done_ = true;  // sealed and fully drained
+      break;
+    }
+    const uint64_t seg = next++;
+    SlabPtr slab = entries_[seg].resident;
+    RO_CHECK_MSG(slab != nullptr && !entries_[seg].spilled,
+                 "async spill raced segment eviction");
+    const uint64_t raw = slab->size() * sizeof(Access);
+    ensure_file_locked();
+    lk.unlock();
+    // Codec work runs outside the lock so the recorder's next seal (and
+    // pipelined readers) never wait on compression.
+    std::vector<uint8_t> enc;
+    const uint8_t* src = reinterpret_cast<const uint8_t*>(slab->data());
+    uint64_t nbytes = raw;
+    if (opt_.compress) {
+      encode_accesses(slab->data(), slab->size(), enc);
+      src = enc.data();
+      nbytes = enc.size();
+    }
+    lk.lock();
+    const uint64_t off = file_end_;
+    file_end_ += nbytes;
+    lk.unlock();
+    pwrite_full(fd_, src, nbytes, off);
+    lk.lock();
+    // entries_ may have grown (and reallocated) while unlocked.
+    Entry& e = entries_[seg];
+    e.file_off = off;
+    e.file_bytes = nbytes;
+    e.spilled = true;
+    spilled_bytes_ += raw;
+    compressed_bytes_ += nbytes;
+    evict_excess_locked();
+  }
+}
+
+TraceStore::SlabPtr TraceStore::load_segment_locked(uint64_t seg) {
+  Entry& e = entries_[seg];
+  RO_CHECK_MSG(e.spilled && fd_ >= 0, "evicted trace segment was not spilled");
+  std::vector<Access> recs = take_buffer(e.count);
+  if (opt_.compress) {
+    std::vector<uint8_t> enc(e.file_bytes);
+    pread_full(fd_, enc.data(), e.file_bytes, e.file_off);
+    decode_accesses(enc.data(), enc.size(), recs.data(), recs.size());
+  } else {
+    pread_full(fd_, recs.data(), e.file_bytes, e.file_off);
+  }
+  ++segment_loads_;
+  SlabPtr p = make_slab(std::move(recs));
+  insert_resident_locked(seg, p);
+  return p;
 }
 
 TraceStore::SlabPtr TraceStore::segment(uint64_t seg) {
-  std::lock_guard<std::mutex> lk(mu_);
-  RO_CHECK_MSG(sealed_, "TraceStore read before seal()");
+  std::unique_lock<std::mutex> lk(mu_);
+  // The pipelining handoff: block until the recorder seals this segment
+  // (sealed segments are immutable) or seals the store.
+  cv_.wait(lk, [&] {
+    return seg < entries_.size() || sealed_.load(std::memory_order_acquire);
+  });
   RO_CHECK_MSG(seg < entries_.size(), "trace segment out of range");
   Entry& e = entries_[seg];
   if (e.resident != nullptr) {
@@ -131,32 +297,18 @@ TraceStore::SlabPtr TraceStore::segment(uint64_t seg) {
     insert_resident_locked(seg, p);
     return p;
   }
-  RO_CHECK_MSG(e.spilled && fd_ >= 0, "evicted trace segment was not spilled");
-  std::vector<Access> recs(segment_records(seg));
-  const uint64_t bytes = recs.size() * sizeof(Access);
-  const uint64_t off = seg * opt_.segment_tasks * sizeof(Access);
-  uint64_t done = 0;
-  while (done < bytes) {
-    const ssize_t r = ::pread(fd_, reinterpret_cast<char*>(recs.data()) + done,
-                              bytes - done, static_cast<off_t>(off + done));
-    RO_CHECK_MSG(r > 0, "trace spill read failed");
-    done += static_cast<uint64_t>(r);
-  }
-  ++segment_loads_;
-  SlabPtr p = make_slab(std::move(recs));
-  insert_resident_locked(seg, p);
-  return p;
+  return load_segment_locked(seg);
 }
 
 const Access& TraceStore::Cursor::fault(uint64_t i) {
   RO_CHECK_MSG(store_ != nullptr, "read through an empty trace cursor");
-  RO_CHECK_MSG(i < store_->size(), "trace cursor out of range");
   const uint64_t cap = store_->opt_.segment_tasks;
   const uint64_t seg = i / cap;
-  pin_ = store_->segment(seg);
+  pin_ = store_->segment(seg);  // may block on the seal watermark
   recs_ = pin_->data();
   first_ = seg * cap;
   count_ = pin_->size();
+  RO_CHECK_MSG(i - first_ < count_, "trace cursor out of range");
   return recs_[i - first_];
 }
 
@@ -165,17 +317,26 @@ uint64_t TraceStore::segment_count() const {
   return entries_.size() + (open_.empty() ? 0 : 1);
 }
 
+uint64_t TraceStore::sealed_segment_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return entries_.size();
+}
+
 TraceStore::Stats TraceStore::stats() const {
+  // Byte counters are exact once sealed; mid-record they lag the
+  // recorder by at most the open segment (which only its thread sees).
   std::lock_guard<std::mutex> lk(mu_);
   Stats s;
   s.segments = entries_.size() + (open_.empty() ? 0 : 1);
-  s.records = records_;
+  s.sealed_segments = entries_.size();
+  s.records = records_.load(std::memory_order_acquire);
   s.spilled_bytes = spilled_bytes_;
+  s.compressed_bytes = compressed_bytes_;
   s.segment_loads = segment_loads_;
   s.resident_bytes =
-      acct_->resident_bytes.load() + open_.size() * sizeof(Access);
+      shared_->resident_bytes.load() + open_.size() * sizeof(Access);
   s.peak_resident_bytes =
-      std::max(acct_->peak_resident_bytes.load(), s.resident_bytes);
+      std::max(shared_->peak_resident_bytes.load(), s.resident_bytes);
   return s;
 }
 

@@ -12,22 +12,39 @@
 //
 // Segment k covers record indices [k*C, (k+1)*C) for capacity C
 // (`Options::segment_tasks`, counted in task access records), so index
-// lookup and the spill-file offset are both O(1).  A task segment whose
-// access run straddles a seal simply spans two trace segments — cursors
-// cross the boundary transparently, which is what keeps the streaming
-// replay bit-identical to the in-memory walk (docs/streaming.md).
+// lookup is O(1).  Spilled segments are delta/varint compressed
+// (trace_codec.h) unless `Options::compress` is off, so their on-disk
+// extent is variable: each sealed segment carries its own file offset
+// and byte length, allocated append-only.  A task segment whose access
+// run straddles a seal simply spans two trace segments — cursors cross
+// the boundary transparently, which is what keeps the streaming replay
+// bit-identical to the in-memory walk (docs/streaming.md).
 //
-// Lifecycle: a single recorder thread append()s and seal()s; after seal()
-// the store is immutable and any number of replay threads may read it
-// concurrently (one mutex serializes window bookkeeping and segment IO;
-// cursors touch it only when crossing a segment boundary).
+// Lifecycle and the pipelining seam: a single recorder thread append()s
+// and seal()s.  *Sealed* segments are immutable the moment the seal
+// happens, so readers do not have to wait for seal(): segment() blocks
+// on a condition variable until the requested segment seals (or the
+// store seals, whichever is first) — the sealed-segment watermark is the
+// producer/consumer handoff that record-while-replay pipelining
+// (RunOptions::pipeline) builds on.  After seal() the store is immutable
+// and any number of replay threads may read it concurrently (one mutex
+// serializes window bookkeeping and segment IO; cursors touch it only
+// when crossing a segment boundary).
+//
+// With `Options::async_spill`, a background worker consumes the same
+// watermark: it compresses and writes *every* sealed segment behind the
+// recorder (write-behind, so spilled/compressed byte counts are
+// deterministic) and performs window eviction, overlapping spill IO and
+// compression with recording.  The worker drains and joins at seal().
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ro/core/access.h"
@@ -50,14 +67,27 @@ class TraceStore {
     /// The file is unlinked immediately after creation, so spilled bytes
     /// vanish with the store (or the process) and never leak on disk.
     std::string spill_dir;
+    /// Delta/varint-compress segments on spill (trace_codec.h).  Raw
+    /// records are kept only while resident; reload decompresses into a
+    /// pooled slab.  Off = the raw 16-byte on-disk layout.
+    bool compress = true;
+    /// Background spill: a worker thread compresses and writes every
+    /// sealed segment behind the recorder (write-behind) and evicts the
+    /// window, overlapping spill IO with recording.  Implies that *all*
+    /// sealed segments reach disk even with an unbounded window, so
+    /// spilled/compressed byte counts stay deterministic under
+    /// pipelining.  The worker joins at seal().
+    bool async_spill = false;
   };
 
   struct Stats {
-    uint64_t segments = 0;             // sealed + open
-    uint64_t records = 0;              // accesses appended
-    uint64_t spilled_bytes = 0;        // bytes ever written to the spill file
-    uint64_t segment_loads = 0;        // spilled-segment reloads at replay
-    uint64_t resident_bytes = 0;       // live segment bytes right now
+    uint64_t segments = 0;           // sealed + open
+    uint64_t sealed_segments = 0;    // the reader-visible watermark
+    uint64_t records = 0;            // accesses appended
+    uint64_t spilled_bytes = 0;      // record bytes ever spilled (raw size)
+    uint64_t compressed_bytes = 0;   // physical bytes written to the file
+    uint64_t segment_loads = 0;      // spilled-segment reloads at replay
+    uint64_t resident_bytes = 0;     // live segment bytes right now
     uint64_t peak_resident_bytes = 0;  // high-water of resident_bytes
   };
 
@@ -67,22 +97,25 @@ class TraceStore {
   TraceStore(const TraceStore&) = delete;
   TraceStore& operator=(const TraceStore&) = delete;
 
-  // ---- record side (one writer; before seal()) ----
+  // ---- record side (one writer) ----
 
   void append(const Access& a);
 
-  /// Seals the open segment and freezes the store; idempotent.  Must be
-  /// called before any Cursor reads.
+  /// Seals the open segment and freezes the store; idempotent.  Joins the
+  /// async spill worker (which drains every remaining sealed segment).
   void seal();
 
-  // ---- read side (any thread; after seal()) ----
+  // ---- read side (any thread; sealed segments readable mid-record) ----
 
   /// Records appended so far (the recorder's running access count).
-  uint64_t size() const { return records_; }
+  uint64_t size() const { return records_.load(std::memory_order_acquire); }
 
-  bool sealed() const { return sealed_; }
+  bool sealed() const { return sealed_.load(std::memory_order_acquire); }
   const Options& options() const { return opt_; }
   uint64_t segment_count() const;
+  /// Sealed segments so far — the watermark concurrent readers can
+  /// consume while recording continues.
+  uint64_t sealed_segment_count() const;
   Stats stats() const;
 
   /// Streaming reader with one pinned segment of cache: `at(i)` is a raw
@@ -91,6 +124,9 @@ class TraceStore {
   /// simulated core of a replayer owns one Cursor, so concurrent cursors
   /// never invalidate each other — eviction only drops the *store's*
   /// reference, the pin keeps the segment alive until the cursor moves.
+  /// A fault into a not-yet-sealed segment blocks until the recorder
+  /// seals it (the pipelining handoff); reading past the end of a sealed
+  /// store fails.
   class Cursor {
    public:
     Cursor() = default;
@@ -113,12 +149,16 @@ class TraceStore {
   };
 
  private:
-  /// Accounting shared by the store and every live segment buffer, so
-  /// buffers released by cursors after eviction still decrement the
-  /// resident count (their deleter holds a reference).
-  struct Accounting {
+  /// State shared by the store and every live segment buffer: resident
+  /// accounting (buffers released by cursors after eviction still
+  /// decrement the count — their deleter holds a reference) plus a small
+  /// free list of record buffers so reload decompression reuses slabs
+  /// instead of reallocating per fault.
+  struct Shared {
     std::atomic<uint64_t> resident_bytes{0};
     std::atomic<uint64_t> peak_resident_bytes{0};
+    std::mutex pool_mu;
+    std::vector<std::vector<Access>> pool;
   };
 
   using SlabPtr = std::shared_ptr<const std::vector<Access>>;
@@ -126,30 +166,40 @@ class TraceStore {
   struct Entry {
     SlabPtr resident;                          // strong ref while in window
     std::weak_ptr<const std::vector<Access>> pinned;  // may outlive eviction
-    bool spilled = false;                      // contents are on disk
+    uint64_t count = 0;       // records in this segment
+    uint64_t file_off = 0;    // spill-file extent (valid when spilled)
+    uint64_t file_bytes = 0;  // physical bytes on disk
+    bool spilled = false;     // contents are on disk
   };
 
   SlabPtr make_slab(std::vector<Access> recs) const;
+  std::vector<Access> take_buffer(uint64_t n) const;  // pooled, sized to n
   void seal_open_locked();
-  void spill_excess_locked();
+  void evict_excess_locked();
   void spill_locked(uint64_t seg);
   void insert_resident_locked(uint64_t seg, SlabPtr slab);
   SlabPtr segment(uint64_t seg);  // pin segment `seg`, loading if spilled
-  uint64_t segment_records(uint64_t seg) const;
+  SlabPtr load_segment_locked(uint64_t seg);
   void ensure_file_locked();
+  void spill_worker_main();
 
   Options opt_;
-  std::shared_ptr<Accounting> acct_ = std::make_shared<Accounting>();
+  std::shared_ptr<Shared> shared_ = std::make_shared<Shared>();
 
   mutable std::mutex mu_;
+  std::condition_variable cv_;      // sealed-segment watermark + seal()
   std::vector<Entry> entries_;      // sealed segments
   std::vector<uint64_t> window_;    // resident sealed segments, LRU order
   std::vector<Access> open_;        // the segment being recorded
-  uint64_t records_ = 0;
-  bool sealed_ = false;
-  uint64_t spilled_bytes_ = 0;
+  std::atomic<uint64_t> records_{0};
+  std::atomic<bool> sealed_{false};
+  uint64_t spilled_bytes_ = 0;      // raw record bytes spilled
+  uint64_t compressed_bytes_ = 0;   // physical bytes written
   uint64_t segment_loads_ = 0;
+  uint64_t file_end_ = 0;           // append-only spill-file allocator
   int fd_ = -1;                     // anonymous spill file (lazy)
+  std::thread spill_worker_;        // async_spill consumer (lazy)
+  bool worker_done_ = false;        // worker drained and exited
 
   friend class Cursor;
 };

@@ -29,6 +29,7 @@ void Engine::fill_stream_stats(RunReport& r, const TaskGraph& g) {
     const TraceStore::Stats st = part.store->stats();
     r.trace_segments += st.segments;
     r.trace_spilled_bytes += st.spilled_bytes;
+    r.trace_compressed_bytes += st.compressed_bytes;
     // Parts replay concurrently, so their peaks sum: the batch's resident
     // bound is (window + open + pins) x live stores, and the report says
     // so instead of hiding it behind a max.
@@ -132,6 +133,7 @@ BatchReport Engine::finish_batch(std::vector<TaskGraph> graphs,
       r.has_stream = true;
       r.trace_segments = st.segments;
       r.trace_spilled_bytes = st.spilled_bytes;
+      r.trace_compressed_bytes = st.compressed_bytes;
       r.trace_peak_resident_bytes = st.peak_resident_bytes;
     }
     // Host time spent replaying this shard (main walk + its baseline walk),
@@ -162,6 +164,84 @@ BatchReport Engine::finish_batch(std::vector<TaskGraph> graphs,
   if (opt.seq_baseline) {
     const Metrics seq =
         kind == SchedKind::kSeq ? agg.sim : merge_shard_metrics(base);
+    agg.has_baseline = true;
+    agg.q_seq = seq.cache_misses();
+    agg.seq_makespan = seq.makespan;
+    agg.cache_excess = excess(agg.sim.cache_misses(), agg.q_seq);
+  }
+  br.wall_ms = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+  agg.wall_ms = br.wall_ms;
+  return br;
+}
+
+BatchReport Engine::finish_batch_pipelined(
+    std::vector<detail::BatchShard> sh, const RunOptions& opt,
+    std::chrono::steady_clock::time_point t0) {
+  BatchReport br;
+  br.label = opt.label;
+  br.backend = opt.backend;
+  br.shards = static_cast<uint32_t>(sh.size());
+  br.replay_threads = opt.sim.replay_threads;
+  br.pipelined = true;
+  const SchedKind kind = sched_kind_of(opt.backend);
+  const bool with_baseline = opt.seq_baseline && kind != SchedKind::kSeq;
+
+  std::vector<Metrics> per, base;
+  per.reserve(sh.size());
+  base.reserve(sh.size());
+  br.runs.reserve(sh.size());
+  for (size_t i = 0; i < sh.size(); ++i) {
+    detail::BatchShard& s = sh[i];
+    br.record_ms += s.record_ms;  // cumulative busy times: see report.h
+    br.replay_ms += s.replay_ms;
+    RunReport r;
+    r.label = opt.label + "#" + std::to_string(i);
+    r.backend = opt.backend;
+    r.has_graph = true;
+    r.graph = s.stats;
+    r.has_sim = true;
+    r.p = kind == SchedKind::kSeq ? 1 : opt.sim.p;
+    r.M = opt.sim.M;
+    r.B = opt.sim.B;
+    r.sim = s.main;
+    if (opt.seq_baseline) {
+      const Metrics& seq = with_baseline ? s.base : s.main;
+      r.has_baseline = true;
+      r.q_seq = seq.cache_misses();
+      r.seq_makespan = seq.makespan;
+      r.cache_excess = excess(r.sim.cache_misses(), r.q_seq);
+    }
+    fill_stream_stats(r, s.g);
+    r.wall_ms = s.replay_ms;  // host time replaying this shard, as serial
+    per.push_back(s.main);
+    if (with_baseline) base.push_back(s.base);
+    br.runs.push_back(std::move(r));
+  }
+
+  // Shard-order aggregate — field for field what finish_batch emits, so
+  // serial and pipelined batches are comparable row by row.
+  RunReport& agg = br.aggregate;
+  agg.label = opt.label;
+  agg.backend = opt.backend;
+  agg.has_graph = true;
+  for (const detail::BatchShard& s : sh) {
+    agg.graph.work += s.stats.work;
+    agg.graph.span = std::max(agg.graph.span, s.stats.span);
+    agg.graph.max_depth = std::max(agg.graph.max_depth, s.stats.max_depth);
+    agg.graph.activations += s.stats.activations;
+    agg.graph.accesses += s.stats.accesses;
+    agg.graph.leaves += s.stats.leaves;
+  }
+  agg.has_sim = true;
+  agg.p = kind == SchedKind::kSeq ? 1 : opt.sim.p;
+  agg.M = opt.sim.M;
+  agg.B = opt.sim.B;
+  agg.sim = merge_shard_metrics(per);
+  for (const detail::BatchShard& s : sh) fill_stream_stats(agg, s.g);
+  if (opt.seq_baseline) {
+    const Metrics seq = with_baseline ? merge_shard_metrics(base) : agg.sim;
     agg.has_baseline = true;
     agg.q_seq = seq.cache_misses();
     agg.seq_makespan = seq.makespan;

@@ -53,12 +53,19 @@ struct StreamOptions {
                                        // 0 = classic in-memory recording
   uint32_t max_resident_segments = 4;  // resident window (0 = unbounded)
   std::string spill_dir;               // "" = the system temp directory
+  bool compress = true;                // delta/varint-encode spilled
+                                       // segments (trace_codec.h)
+  bool async_spill = false;            // background seal->compress->spill
+                                       // worker (RunOptions::pipeline
+                                       // turns this on automatically)
 
   TraceStore::Options store_options() const {
     TraceStore::Options o;
     o.segment_tasks = segment_tasks;
     o.max_resident_segments = max_resident_segments;
     o.spill_dir = spill_dir;
+    o.compress = compress;
+    o.async_spill = async_spill;
     return o;
   }
 };
@@ -76,6 +83,17 @@ struct RunOptions {
   uint32_t shard = 0;           // address shard to record into (vspace.h)
   bool seq_baseline = true;     // also replay at p=1 for Q(n,M,B) + excess
   StreamOptions trace;          // streaming trace pipeline (off by default)
+  // Record-while-replay pipelining.  Engine::run overlaps the stream
+  // analysis pass with the replay walks and spills/compresses trace
+  // segments behind the recorder (TraceStore async_spill), so the wall
+  // clock approaches record + max(analyze, replay) instead of their sum.
+  // Engine::run_batch turns each shard into an independent
+  // record -> analyze -> replay chain with no phase barriers: shard 0
+  // replays while shard 1 is still recording.  Metrics stay bit-identical
+  // to the serial pipeline (asserted in tests/test_stream.cpp); only
+  // trace_peak_resident_bytes becomes timing-dependent, since spilling
+  // and replay reloads now overlap.
+  bool pipeline = false;
 
   // ---- parallel backends ----
   // Pool size.  0 = keep the engine's current pool for the policy (created
@@ -94,6 +112,13 @@ struct Recording {
   TaskGraph graph;
   GraphStats stats;
 };
+
+/// The replay scheduler a (non-parallel) backend selects.
+inline SchedKind sched_kind_of(Backend b) {
+  return b == Backend::kSeq      ? SchedKind::kSeq
+         : b == Backend::kSimPws ? SchedKind::kPws
+                                 : SchedKind::kRws;
+}
 
 namespace detail {
 
@@ -143,6 +168,19 @@ class EngineCtx : public CtxBase<EngineCtx<Inner>> {
   TaskGraph graph_;
 };
 
+/// One shard's results from a pipelined batch chain (record -> analyze ->
+/// replay with no cross-shard barriers); the non-template report-assembly
+/// tail consumes a vector of these.
+struct BatchShard {
+  TaskGraph g;
+  GraphStats stats;
+  Metrics main;
+  Metrics base;           // p=1 baseline (valid when the batch asks for it)
+  double record_ms = 0;   // host time this chain spent recording
+  double replay_ms = 0;   // host time replaying (main + baseline)
+  double wall_ms = 0;     // the chain end to end (incl. analyze)
+};
+
 }  // namespace detail
 
 class Engine {
@@ -168,16 +206,26 @@ class Engine {
       }
       case Backend::kSimPws:
       case Backend::kSimRws: {
-        Recording rec =
-            opt.trace.segment_tasks > 0
-                ? record_stream(std::forward<Prog>(prog), opt.trace,
-                                opt.padded, opt.align_words, opt.shard)
-                : record(std::forward<Prog>(prog), opt.padded,
-                         opt.align_words, opt.shard);
-        fill_replay(r, rec.graph, opt.backend, opt.sim, opt.seq_baseline);
+        StreamOptions st = opt.trace;
+        if (opt.pipeline) st.async_spill = true;  // spill behind recording
+        const TaskGraph g = record_graph(
+            std::forward<Prog>(prog), st.segment_tasks > 0 ? &st : nullptr,
+            opt.padded, opt.align_words, opt.shard);
+        GraphStats gs;
+        if (opt.pipeline) {
+          // The analysis pass is a full walk of the stream; overlap it
+          // with the replay walks (all read-only on the sealed store):
+          // wall = record + max(analyze, replay) instead of their sum.
+          std::thread analyzer([&] { gs = g.analyze(); });
+          fill_replay(r, g, opt.backend, opt.sim, opt.seq_baseline);
+          analyzer.join();
+        } else {
+          gs = g.analyze();
+          fill_replay(r, g, opt.backend, opt.sim, opt.seq_baseline);
+        }
         r.has_graph = true;
-        r.graph = rec.stats;
-        fill_stream_stats(r, rec.graph);  // post-replay: loads included
+        r.graph = gs;
+        fill_stream_stats(r, g);  // post-replay: loads included
         break;
       }
       case Backend::kParRandom:
@@ -222,15 +270,9 @@ class Engine {
   template <class Prog>
   Recording record(Prog&& prog, bool padded = false,
                    uint64_t align_words = 4096, uint32_t shard = 0) {
-    TraceCtx::Options topt;
-    topt.padded = padded;
-    topt.align_words = align_words;
-    topt.shard = shard;
-    TraceCtx cx(topt);
-    detail::EngineCtx<TraceCtx> ec(cx);
-    prog(ec);
     Recording rec;
-    rec.graph = std::move(ec.graph());
+    rec.graph = record_graph(std::forward<Prog>(prog), nullptr, padded,
+                             align_words, shard);
     rec.stats = rec.graph.analyze();
     return rec;
   }
@@ -247,16 +289,9 @@ class Engine {
                           uint32_t shard = 0) {
     RO_CHECK_MSG(stream.segment_tasks > 0,
                  "record_stream needs a trace segment capacity");
-    TraceCtx::Options topt;
-    topt.padded = padded;
-    topt.align_words = align_words;
-    topt.shard = shard;
-    topt.store = std::make_shared<TraceStore>(stream.store_options());
-    TraceCtx cx(topt);
-    detail::EngineCtx<TraceCtx> ec(cx);
-    prog(ec);
     Recording rec;
-    rec.graph = std::move(ec.graph());
+    rec.graph = record_graph(std::forward<Prog>(prog), &stream, padded,
+                             align_words, shard);
     rec.stats = rec.graph.analyze();
     return rec;
   }
@@ -275,6 +310,7 @@ class Engine {
     RO_CHECK_MSG(!progs.empty(), "run_batch needs at least one program");
     RO_CHECK_MSG(!backend_is_parallel(opt.backend),
                  "run_batch replays traces; use a seq/sim backend");
+    if (opt.pipeline) return run_batch_pipelined(progs, opt);
     const auto t0 = std::chrono::steady_clock::now();
     const uint32_t n = static_cast<uint32_t>(progs.size());
     ShardedVSpace ssp(n, opt.align_words);
@@ -350,6 +386,82 @@ class Engine {
   }
 
  private:
+  /// Shared recording core of record / record_stream / run: executes
+  /// `prog` through a fresh TraceCtx and returns the raw graph *without*
+  /// analyzing it, so pipelined callers can overlap the analysis pass
+  /// with replay.  `stream` non-null selects the chunked TraceStore.
+  template <class Prog>
+  TaskGraph record_graph(Prog&& prog, const StreamOptions* stream,
+                         bool padded, uint64_t align_words, uint32_t shard) {
+    TraceCtx::Options topt;
+    topt.padded = padded;
+    topt.align_words = align_words;
+    topt.shard = shard;
+    if (stream != nullptr) {
+      topt.store = std::make_shared<TraceStore>(stream->store_options());
+    }
+    TraceCtx cx(topt);
+    detail::EngineCtx<TraceCtx> ec(cx);
+    prog(ec);
+    return std::move(ec.graph());
+  }
+
+  /// Pipelined batch: one independent record -> analyze -> replay chain
+  /// per shard on the host pool, no phase barriers — shard i replays
+  /// while shard j still records, and each shard's store compresses and
+  /// spills behind its recorder (async_spill).  Replaying each shard's
+  /// own single-shard graph is bit-identical to replaying its span of
+  /// the merged graph (the PR3 per-shard determinism guarantee), which
+  /// is what makes skipping merge_shards sound.
+  template <class Prog>
+  BatchReport run_batch_pipelined(const std::vector<Prog>& progs,
+                                  const RunOptions& opt) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const uint32_t n = static_cast<uint32_t>(progs.size());
+    ShardedVSpace ssp(n, opt.align_words);
+    const SchedKind kind = sched_kind_of(opt.backend);
+    const bool with_baseline = opt.seq_baseline && kind != SchedKind::kSeq;
+    std::vector<detail::BatchShard> sh(n);
+    auto chain = [&](size_t i) {
+      const auto c0 = std::chrono::steady_clock::now();
+      TraceCtx::Options topt;
+      topt.padded = opt.padded;
+      if (opt.trace.segment_tasks > 0) {
+        TraceStore::Options so = opt.trace.store_options();
+        so.async_spill = true;  // spill/compress behind this recorder
+        topt.store = std::make_shared<TraceStore>(so);
+      }
+      ShardCtx cx(ssp, static_cast<uint32_t>(i), topt);
+      detail::EngineCtx<TraceCtx> ec(cx);
+      progs[i](ec);
+      sh[i].g = std::move(ec.graph());
+      const auto c1 = std::chrono::steady_clock::now();
+      sh[i].stats = sh[i].g.analyze();
+      const auto c2 = std::chrono::steady_clock::now();
+      SimConfig scfg = opt.sim;
+      scfg.replay_threads = 1;  // the chain is the unit of parallelism
+      sh[i].main = simulate(sh[i].g, kind, scfg);
+      if (with_baseline) {
+        sh[i].base = simulate(sh[i].g, SchedKind::kSeq, scfg);
+      }
+      const auto c3 = std::chrono::steady_clock::now();
+      sh[i].record_ms =
+          std::chrono::duration<double, std::milli>(c1 - c0).count();
+      sh[i].replay_ms =
+          std::chrono::duration<double, std::milli>(c3 - c2).count();
+      sh[i].wall_ms =
+          std::chrono::duration<double, std::milli>(c3 - c0).count();
+    };
+    const uint32_t threads = replay_host_threads(opt.sim.replay_threads, n);
+    if (threads <= 1) {
+      for (uint32_t i = 0; i < n; ++i) chain(i);
+    } else {
+      rt::Pool pool(threads, rt::StealPolicy::kRandom);
+      rt::parallel_index(pool, n, chain);
+    }
+    return finish_batch_pipelined(std::move(sh), opt, t0);
+  }
+
   void fill_replay(RunReport& r, const TaskGraph& g, Backend backend,
                    const SimConfig& sim, bool seq_baseline);
 
@@ -362,6 +474,13 @@ class Engine {
   BatchReport finish_batch(std::vector<TaskGraph> graphs,
                            const RunOptions& opt, double record_ms,
                            std::chrono::steady_clock::time_point t0);
+
+  /// Report assembly of the pipelined batch (non-template tail of
+  /// run_batch_pipelined); emits the same shard-order reports as
+  /// finish_batch from per-chain results.
+  BatchReport finish_batch_pipelined(
+      std::vector<detail::BatchShard> sh, const RunOptions& opt,
+      std::chrono::steady_clock::time_point t0);
 
   // Slots 0/1: flat random/priority.  Slots 2/3: NUMA random/priority.
   std::unique_ptr<rt::Pool> pools_[4];

@@ -53,6 +53,12 @@ double RunReport::sim_speedup() const {
          static_cast<double>(sim.makespan);
 }
 
+double RunReport::trace_compression_ratio() const {
+  if (trace_compressed_bytes == 0) return 0;
+  return static_cast<double>(trace_spilled_bytes) /
+         static_cast<double>(trace_compressed_bytes);
+}
+
 namespace {
 
 void append_kv(std::string& s, const char* key, const std::string& val,
@@ -164,7 +170,9 @@ std::string RunReport::to_json() const {
   if (has_stream) {
     kv(s, "trace_segments", trace_segments);
     kv(s, "trace_spilled_bytes", trace_spilled_bytes);
+    kv(s, "trace_compressed_bytes", trace_compressed_bytes);
     kv(s, "trace_peak_resident_bytes", trace_peak_resident_bytes);
+    kv(s, "trace_compression_ratio", trace_compression_ratio());
   }
   s += "}";
   return s;
@@ -333,8 +341,11 @@ bool report_from_json(const std::string& json, RunReport& out) {
       out.has_stream = true;
       out.trace_segments = as_u64(v);
     } else if (k == "trace_spilled_bytes") out.trace_spilled_bytes = as_u64(v);
+    else if (k == "trace_compressed_bytes")
+      out.trace_compressed_bytes = as_u64(v);
     else if (k == "trace_peak_resident_bytes")
       out.trace_peak_resident_bytes = as_u64(v);
+    else if (k == "trace_compression_ratio") {}  // derived; recomputed
     // Unknown keys are skipped: newer writers stay readable.
   }
   if (have_sim) {
@@ -374,6 +385,7 @@ std::string BatchReport::to_json() const {
   append_kv(s, "backend", backend_name(backend), true);
   kv(s, "shards", static_cast<uint64_t>(shards));
   kv(s, "replay_threads", static_cast<uint64_t>(replay_threads));
+  kv(s, "pipelined", static_cast<uint64_t>(pipelined ? 1 : 0));
   kv(s, "wall_ms", wall_ms);
   kv(s, "record_ms", record_ms);
   kv(s, "replay_ms", replay_ms);

@@ -84,11 +84,16 @@ struct RunReport {
   // ---- streaming trace store (RunOptions::trace, sim backends) ----
   bool has_stream = false;
   uint64_t trace_segments = 0;             // trace segments recorded
-  uint64_t trace_spilled_bytes = 0;        // bytes written to spill files
+  uint64_t trace_spilled_bytes = 0;        // record bytes spilled (raw size)
+  uint64_t trace_compressed_bytes = 0;     // physical spill-file bytes
   uint64_t trace_peak_resident_bytes = 0;  // resident-window high-water
 
   /// Simulated speedup over the p=1 baseline (0 when not applicable).
   double sim_speedup() const;
+
+  /// Spill compression ratio raw/physical (0 when nothing spilled).
+  /// Derived like sim_speedup: emitted to JSON, recomputed on parse.
+  double trace_compression_ratio() const;
 
   /// Flat JSON object with every populated scalar field.
   std::string to_json() const;
@@ -114,9 +119,14 @@ struct BatchReport {
   Backend backend = Backend::kSimPws;
   uint32_t shards = 0;
   uint32_t replay_threads = 1;  // requested host parallelism (0 = auto)
+  bool pipelined = false;       // RunOptions::pipeline was on
   double wall_ms = 0;           // record + merge + replay, end to end
-  double record_ms = 0;         // parallel recording phase
-  double replay_ms = 0;         // parallel replay phase (incl. baselines)
+  // Phase timings.  Serial batches: wall clock of the record / replay
+  // phases.  Pipelined batches have no phase barriers, so these are the
+  // cumulative per-shard busy times instead (their sum can exceed
+  // wall_ms — that overlap is the point).
+  double record_ms = 0;
+  double replay_ms = 0;
 
   std::vector<RunReport> runs;  // one per shard, in shard order
   RunReport aggregate;          // shard-order merge (deterministic)

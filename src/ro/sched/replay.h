@@ -39,6 +39,20 @@
 // Metrics at the final round barrier *in shard order*.  That canonical
 // merge order is the determinism guarantee: any replay_threads value
 // (including 1, the plain sequential walk) yields bit-identical Metrics.
+//
+// ## Record-while-replay pipelining
+//
+// The replayer never needs the whole trace up front: its stream cursors
+// fault one sealed TraceStore segment at a time, and TraceStore lets a
+// fault *block on the seal watermark* until the recorder seals that
+// segment (trace_store.h).  Within one shard the walk still has to wait
+// for recording to finish — start_act charges the activation's
+// frame_words, which the recorder only knows at the activation's end —
+// so Engine-level pipelining (RunOptions::pipeline) overlaps at coarser
+// grain instead: per-shard record -> analyze -> replay chains in
+// run_batch (shard i replays while shard j records) and an
+// analyze-vs-replay overlap plus write-behind segment spilling in run.
+// Metrics are unaffected: every walk consumes the same sealed records.
 #pragma once
 
 #include <cstdint>

@@ -6,7 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "ro/alg/graphgen.h"
@@ -14,6 +17,7 @@
 #include "ro/alg/route.h"
 #include "ro/alg/scan.h"
 #include "ro/alg/spms.h"
+#include "ro/core/trace_codec.h"
 #include "ro/core/trace_store.h"
 #include "ro/engine/engine.h"
 #include "ro/util/rng.h"
@@ -98,6 +102,238 @@ TEST(TraceStore, UnboundedWindowNeverSpills) {
   EXPECT_EQ(s.segment_loads, 0u);
   TraceStore::Cursor cur(st);
   for (uint64_t i = 0; i < 100; ++i) EXPECT_EQ(cur.at(i), rec(i));
+}
+
+// ---- trace codec: delta/varint round trips ----
+
+void expect_codec_round_trip(const std::vector<Access>& recs,
+                             const char* what) {
+  std::vector<uint8_t> enc;
+  const size_t bytes = encode_accesses(recs.data(), recs.size(), enc);
+  ASSERT_EQ(bytes, enc.size()) << what;
+  std::vector<Access> dec(recs.size());
+  decode_accesses(enc.data(), enc.size(), dec.data(), dec.size());
+  for (size_t i = 0; i < recs.size(); ++i) {
+    ASSERT_EQ(dec[i], recs[i]) << what << " record " << i;
+  }
+}
+
+TEST(TraceCodec, AdversarialPatternsRoundTrip) {
+  std::vector<std::pair<const char*, std::vector<Access>>> cases;
+  cases.push_back({"empty", {}});
+  cases.push_back({"single", {Access{~uint64_t{0}, kNoAct, 0xFFFF, 0xFFFF}}});
+
+  // Sequential run: the shape the codec is built for.
+  std::vector<Access> seq;
+  for (uint64_t i = 0; i < 300; ++i)
+    seq.push_back(Access{1000 + 4 * i, 7, 4, 0});
+  cases.push_back({"sequential", seq});
+
+  // Descending addresses (negative deltas through zigzag).
+  std::vector<Access> desc;
+  for (uint64_t i = 0; i < 300; ++i)
+    desc.push_back(Access{uint64_t{1} << 40, 7, 4, 0});
+  for (uint64_t i = 0; i < 300; ++i) desc[i].addr -= 3 * i;
+  cases.push_back({"descending", desc});
+
+  // kNoAct <-> act alternation every record (the mapped-act delta path).
+  std::vector<Access> alt;
+  for (uint64_t i = 0; i < 200; ++i)
+    alt.push_back(Access{i, i % 2 ? kNoAct : static_cast<uint32_t>(i),
+                         static_cast<uint16_t>(i % 3), 1});
+  cases.push_back({"act-alternation", alt});
+
+  // Full-width extremes: max addr jumps, act near 2^32, len/flags edges.
+  std::vector<Access> ext;
+  ext.push_back(Access{0, 0, 0, 0});
+  ext.push_back(Access{~uint64_t{0}, kNoAct - 1, 0xFFFF, 0xFFFF});
+  ext.push_back(Access{0, kNoAct, 0, 0});
+  ext.push_back(Access{~uint64_t{0} / 2, 1, 1, 2});
+  ext.push_back(Access{~uint64_t{0} / 2 + 1, kNoAct - 1, 0xFFFF, 1});
+  cases.push_back({"extremes", ext});
+
+  // Random records: every field drawn independently.
+  Rng rng(0xC0DEC);
+  std::vector<Access> rnd;
+  for (int i = 0; i < 1000; ++i) {
+    rnd.push_back(Access{rng.next(), static_cast<uint32_t>(rng.next()),
+                         static_cast<uint16_t>(rng.next()),
+                         static_cast<uint16_t>(rng.next())});
+  }
+  cases.push_back({"random", rnd});
+
+  for (const auto& [what, recs] : cases) expect_codec_round_trip(recs, what);
+}
+
+TEST(TraceCodec, SequentialRunsCostOneBytePerRecord) {
+  std::vector<Access> recs;
+  for (uint64_t i = 0; i < 4096; ++i)
+    recs.push_back(Access{1 << 20 | (4 * i), 3, 4, 0});
+  std::vector<uint8_t> enc;
+  encode_accesses(recs.data(), recs.size(), enc);
+  // First record pays for the initial deltas; every later one is a lone
+  // header byte (16x under the 16-byte resident form).
+  EXPECT_LE(enc.size(), recs.size() + 16);
+  std::vector<Access> dec(recs.size());
+  decode_accesses(enc.data(), enc.size(), dec.data(), dec.size());
+  EXPECT_EQ(dec, recs);
+}
+
+TEST(TraceCodec, RandomRecordsStayBounded) {
+  Rng rng(99);
+  std::vector<Access> recs;
+  for (int i = 0; i < 2000; ++i) {
+    recs.push_back(Access{rng.next(), static_cast<uint32_t>(rng.next()),
+                          static_cast<uint16_t>(rng.next()),
+                          static_cast<uint16_t>(rng.next())});
+  }
+  std::vector<uint8_t> enc;
+  encode_accesses(recs.data(), recs.size(), enc);
+  // Worst case per record: header + 10-byte addr varint + 5-byte act +
+  // 3-byte len + 3-byte flags.
+  EXPECT_LE(enc.size(), recs.size() * 22);
+  std::vector<Access> dec(recs.size());
+  decode_accesses(enc.data(), enc.size(), dec.data(), dec.size());
+  EXPECT_EQ(dec, recs);
+}
+
+TEST(TraceCodec, TruncatedBufferDies) {
+  std::vector<Access> recs(8);
+  for (uint64_t i = 0; i < 8; ++i) recs[i] = rec(i);
+  std::vector<uint8_t> enc;
+  encode_accesses(recs.data(), recs.size(), enc);
+  std::vector<Access> dec(recs.size());
+  EXPECT_DEATH(
+      decode_accesses(enc.data(), enc.size() - 1, dec.data(), dec.size()),
+      "trace codec");
+  EXPECT_DEATH(decode_accesses(enc.data(), enc.size(), dec.data(), 7),
+               "trace codec");
+}
+
+// ---- compressed spills ----
+
+TEST(TraceStore, CompressedSpillRoundTripsRandomRecords) {
+  TraceStore::Options opt;
+  opt.segment_tasks = 32;
+  opt.max_resident_segments = 1;
+  TraceStore st(opt);
+  Rng rng(0x51111);
+  std::vector<Access> recs;
+  for (int i = 0; i < 1000; ++i) {
+    recs.push_back(Access{rng.next(), static_cast<uint32_t>(rng.next()),
+                          static_cast<uint16_t>(rng.next()),
+                          static_cast<uint16_t>(rng.next())});
+    st.append(recs.back());
+  }
+  st.seal();
+  TraceStore::Cursor cur(st);
+  for (uint64_t i = 0; i < recs.size(); ++i)
+    ASSERT_EQ(cur.at(i), recs[i]) << i;
+  const TraceStore::Stats s = st.stats();
+  EXPECT_GT(s.spilled_bytes, 0u);
+  EXPECT_GT(s.compressed_bytes, 0u);
+  // Even adversarial random records never inflate past the raw layout by
+  // much; the regular traces below shrink hard.
+  EXPECT_LE(s.compressed_bytes, s.spilled_bytes + s.spilled_bytes / 2);
+}
+
+TEST(TraceStore, SequentialishTraceCompressesAtLeastFourX) {
+  TraceStore::Options opt;
+  opt.segment_tasks = 512;
+  opt.max_resident_segments = 1;
+  TraceStore st(opt);
+  // The shape real recordings have: sequential address runs, an act
+  // change every few dozen records, near-constant len/flags.
+  uint64_t addr = 1 << 16;
+  for (uint64_t i = 0; i < 8192; ++i) {
+    addr += 1 + i % 3;
+    st.append(Access{addr, static_cast<uint32_t>(i / 48),
+                     static_cast<uint16_t>(1 + i % 2),
+                     static_cast<uint16_t>(i % 5 == 0)});
+  }
+  st.seal();
+  const TraceStore::Stats s = st.stats();
+  ASSERT_GT(s.spilled_bytes, 0u);
+  EXPECT_LE(4 * s.compressed_bytes, s.spilled_bytes)
+      << "ratio " << double(s.spilled_bytes) / double(s.compressed_bytes);
+  TraceStore::Cursor cur(st);
+  addr = 1 << 16;
+  for (uint64_t i = 0; i < 8192; ++i) {
+    addr += 1 + i % 3;
+    ASSERT_EQ(cur.at(i),
+              (Access{addr, static_cast<uint32_t>(i / 48),
+                      static_cast<uint16_t>(1 + i % 2),
+                      static_cast<uint16_t>(i % 5 == 0)}))
+        << i;
+  }
+}
+
+TEST(TraceStore, RawModeSpillsSixteenBytesPerRecord) {
+  TraceStore::Options opt;
+  opt.segment_tasks = 16;
+  opt.max_resident_segments = 1;
+  opt.compress = false;
+  TraceStore st(opt);
+  const uint64_t n = 200;
+  for (uint64_t i = 0; i < n; ++i) st.append(rec(i));
+  st.seal();
+  const TraceStore::Stats s = st.stats();
+  EXPECT_GT(s.spilled_bytes, 0u);
+  EXPECT_EQ(s.compressed_bytes, s.spilled_bytes);  // raw: physical == raw
+  TraceStore::Cursor cur(st);
+  for (uint64_t i = 0; i < n; ++i) ASSERT_EQ(cur.at(i), rec(i)) << i;
+}
+
+// ---- the sealed-segment watermark and write-behind spilling ----
+
+TEST(TraceStore, ReaderConsumesSealedSegmentsWhileRecording) {
+  TraceStore::Options opt;
+  opt.segment_tasks = 16;
+  opt.max_resident_segments = 2;
+  TraceStore st(opt);
+  const uint64_t n = 1024;  // 64 exact segments
+  std::thread writer([&] {
+    for (uint64_t i = 0; i < n; ++i) {
+      st.append(rec(i));
+      if (i % 128 == 0)
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    st.seal();
+  });
+  // Cursor faults block on the watermark until the recorder seals the
+  // requested segment — the record-while-replay handoff.
+  TraceStore::Cursor cur(st);
+  for (uint64_t i = 0; i < n; ++i) ASSERT_EQ(cur.at(i), rec(i)) << i;
+  writer.join();
+  EXPECT_EQ(st.sealed_segment_count(), n / opt.segment_tasks);
+  EXPECT_TRUE(st.sealed());
+}
+
+TEST(TraceStore, AsyncSpillWritesEverySealedSegment) {
+  TraceStore::Options opt;
+  opt.segment_tasks = 8;
+  opt.max_resident_segments = 2;
+  opt.async_spill = true;
+  const uint64_t n = 100;  // 12 full segments + a 4-record tail
+  auto fill = [&] {
+    TraceStore st(opt);
+    for (uint64_t i = 0; i < n; ++i) st.append(rec(i));
+    st.seal();
+    TraceStore::Cursor cur(st);
+    for (uint64_t i = 0; i < n; ++i) EXPECT_EQ(cur.at(i), rec(i)) << i;
+    return st.stats();
+  };
+  const TraceStore::Stats s = fill();
+  // Write-behind: every sealed record reaches disk exactly once, so the
+  // byte counts are deterministic despite the background worker...
+  EXPECT_EQ(s.spilled_bytes, n * sizeof(Access));
+  EXPECT_GT(s.compressed_bytes, 0u);
+  EXPECT_LT(s.compressed_bytes, s.spilled_bytes);
+  EXPECT_EQ(s.sealed_segments, (n + opt.segment_tasks - 1) / opt.segment_tasks);
+  // ...run to run.
+  const TraceStore::Stats t = fill();
+  EXPECT_EQ(t.spilled_bytes, s.spilled_bytes);
+  EXPECT_EQ(t.compressed_bytes, s.compressed_bytes);
 }
 
 // ---- streamed recording vs the in-memory recording ----
@@ -269,6 +505,118 @@ TEST(StreamReplay, MergedBatchMatchesInMemoryBatch) {
   EXPECT_FALSE(mem.aggregate.has_stream);
 }
 
+// ---- record-while-replay pipelining (RunOptions::pipeline) ----
+
+TEST(Pipeline, EngineRunMatchesSerial) {
+  const size_t n = 512;
+  RunOptions opt;
+  opt.backend = Backend::kSimPws;
+  opt.label = "pipe-run";
+  opt.sim = stream_machine(2);
+  opt.trace = tiny_stream(2);
+  const RunReport serial = testing::engine().run(prog_spms(n), opt);
+
+  RunOptions popt = opt;
+  popt.pipeline = true;
+  const RunReport piped = testing::engine().run(prog_spms(n), popt);
+
+  // Pipelining is a scheduling change only: every observable of the
+  // simulated machine and the recorded graph is bit-identical.
+  EXPECT_EQ(piped.sim, serial.sim);
+  EXPECT_EQ(piped.q_seq, serial.q_seq);
+  EXPECT_EQ(piped.graph.work, serial.graph.work);
+  EXPECT_EQ(piped.graph.span, serial.graph.span);
+  EXPECT_EQ(piped.graph.accesses, serial.graph.accesses);
+  EXPECT_EQ(piped.trace_segments, serial.trace_segments);
+  // Write-behind spilling puts every sealed record on disk — a
+  // deterministic count, unlike the serial LRU's eviction subset.
+  ASSERT_TRUE(piped.has_stream);
+  EXPECT_EQ(piped.trace_spilled_bytes,
+            piped.graph.accesses * sizeof(Access));
+  EXPECT_GT(piped.trace_compressed_bytes, 0u);
+  EXPECT_LT(piped.trace_compressed_bytes, piped.trace_spilled_bytes);
+}
+
+TEST(Pipeline, BatchBitIdenticalAcrossKindsAndThreads) {
+  const size_t n = 128;
+  std::vector<std::function<void(detail::EngineCtx<TraceCtx>&)>> progs;
+  progs.emplace_back(prog_route(n));
+  progs.emplace_back(prog_listrank(n));
+  progs.emplace_back(prog_spms(2 * n));
+
+  for (const Backend backend : {Backend::kSimPws, Backend::kSimRws}) {
+    RunOptions opt;
+    opt.backend = backend;
+    opt.label = "pipe-batch";
+    opt.sim = stream_machine(1);
+    opt.trace = tiny_stream(2);
+    const BatchReport serial = testing::engine().run_batch(progs, opt);
+    ASSERT_FALSE(serial.pipelined);
+
+    for (const uint32_t threads : {1u, 2u, 8u}) {
+      RunOptions popt = opt;
+      popt.pipeline = true;
+      popt.sim.replay_threads = threads;
+      const BatchReport piped = testing::engine().run_batch(progs, popt);
+      const std::string what =
+          std::string(backend == Backend::kSimPws ? "pws" : "rws") +
+          " threads=" + std::to_string(threads);
+      EXPECT_TRUE(piped.pipelined) << what;
+      ASSERT_EQ(piped.runs.size(), serial.runs.size()) << what;
+      for (size_t i = 0; i < serial.runs.size(); ++i) {
+        EXPECT_EQ(piped.runs[i].sim, serial.runs[i].sim)
+            << what << " shard " << i;
+        EXPECT_EQ(piped.runs[i].q_seq, serial.runs[i].q_seq)
+            << what << " shard " << i;
+        EXPECT_EQ(piped.runs[i].graph.work, serial.runs[i].graph.work)
+            << what << " shard " << i;
+        EXPECT_EQ(piped.runs[i].graph.accesses,
+                  serial.runs[i].graph.accesses)
+            << what << " shard " << i;
+      }
+      EXPECT_EQ(piped.aggregate.sim, serial.aggregate.sim) << what;
+      EXPECT_EQ(piped.aggregate.q_seq, serial.aggregate.q_seq) << what;
+      EXPECT_EQ(piped.aggregate.graph.work, serial.aggregate.graph.work)
+          << what;
+      // Deterministic write-behind byte counts, independent of thread
+      // interleaving.
+      ASSERT_TRUE(piped.aggregate.has_stream) << what;
+      EXPECT_EQ(piped.aggregate.trace_spilled_bytes,
+                piped.aggregate.graph.accesses * sizeof(Access))
+          << what;
+      EXPECT_GT(piped.aggregate.trace_compressed_bytes, 0u) << what;
+      EXPECT_LE(2 * piped.aggregate.trace_compressed_bytes,
+                piped.aggregate.trace_spilled_bytes)
+          << what;
+    }
+  }
+}
+
+TEST(Pipeline, BatchWithoutTraceStoreStillMatches) {
+  // pipeline=true with in-memory recording (no segment store): the
+  // per-shard chains still run, just without spill write-behind.
+  const size_t n = 96;
+  std::vector<std::function<void(detail::EngineCtx<TraceCtx>&)>> progs;
+  progs.emplace_back(prog_route(n));
+  progs.emplace_back(prog_listrank(n));
+
+  RunOptions opt;
+  opt.backend = Backend::kSimPws;
+  opt.label = "pipe-mem";
+  opt.sim = stream_machine(2);
+  const BatchReport serial = testing::engine().run_batch(progs, opt);
+  RunOptions popt = opt;
+  popt.pipeline = true;
+  const BatchReport piped = testing::engine().run_batch(progs, popt);
+  ASSERT_EQ(piped.runs.size(), serial.runs.size());
+  for (size_t i = 0; i < serial.runs.size(); ++i) {
+    EXPECT_EQ(piped.runs[i].sim, serial.runs[i].sim) << "shard " << i;
+    EXPECT_EQ(piped.runs[i].q_seq, serial.runs[i].q_seq) << "shard " << i;
+  }
+  EXPECT_EQ(piped.aggregate.sim, serial.aggregate.sim);
+  EXPECT_FALSE(piped.aggregate.has_stream);
+}
+
 // ---- report plumbing ----
 
 TEST(StreamReport, EngineRunReportsStoreStats) {
@@ -282,6 +630,9 @@ TEST(StreamReport, EngineRunReportsStoreStats) {
   ASSERT_TRUE(r.has_stream);
   EXPECT_GT(r.trace_segments, 1u);
   EXPECT_GT(r.trace_spilled_bytes, 0u);
+  EXPECT_GT(r.trace_compressed_bytes, 0u);
+  EXPECT_LT(r.trace_compressed_bytes, r.trace_spilled_bytes);
+  EXPECT_GT(r.trace_compression_ratio(), 1.0);
   EXPECT_GT(r.trace_peak_resident_bytes, 0u);
   // Bounded: window + open + a pin per simulated core and analysis pass,
   // in segments of segment_tasks records — far below the full trace.
@@ -298,7 +649,9 @@ TEST(StreamReport, EngineRunReportsStoreStats) {
   EXPECT_EQ(back.to_json(), j);
   EXPECT_EQ(back.trace_segments, r.trace_segments);
   EXPECT_EQ(back.trace_spilled_bytes, r.trace_spilled_bytes);
+  EXPECT_EQ(back.trace_compressed_bytes, r.trace_compressed_bytes);
   EXPECT_EQ(back.trace_peak_resident_bytes, r.trace_peak_resident_bytes);
+  EXPECT_EQ(back.trace_compression_ratio(), r.trace_compression_ratio());
 }
 
 // ---- NUMA-aware replay host pool (SimConfig::replay_layout) ----
