@@ -133,6 +133,19 @@ int main(int argc, char** argv) {
           rec_lr(1 << 11, true, 1, kind), 4.0, "sqrt(r)", "gap"};
     emit(t, r);
   }
+  // The false-sharing calibration pair (alg/counters.h, SNIPPETS #1): the
+  // packed counters are the adversarial layout ro-doctor repairs, the
+  // stride-B padded twin is the clean control the repair must reproduce.
+  {
+    Row r{"FS counters (packed)", rec_counters(8, 32, 1),
+          rec_counters(8, 128, 1), 4.0, "1", "packed"};
+    emit(t, r);
+  }
+  {
+    Row r{"FS counters (padded)", rec_counters(8, 32, 32),
+          rec_counters(8, 128, 32), 4.0, "1", "1"};
+    emit(t, r);
+  }
   {
     Row r{"CC (components)", rec_cc(128, 128, 4, 1, kind),
           rec_cc(512, 512, 4, 1, kind), 4.0, "sqrt(r)", "gap"};

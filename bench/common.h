@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "ro/alg/cc.h"
+#include "ro/alg/counters.h"
 #include "ro/alg/euler.h"
 #include "ro/alg/fft.h"
 #include "ro/alg/graphgen.h"
@@ -299,6 +300,21 @@ inline auto prog_cc(size_t n, size_t extra, size_t groups, size_t grain = 1,
   };
 }
 
+/// The false-sharing calibration microbench (alg/counters.h): k counters
+/// `stride` words apart, `iters` increments each.  stride = 1 is the
+/// packed adversary ro-doctor must diagnose and repair; stride = B is the
+/// padded control.
+inline auto prog_counters(uint32_t k, uint64_t iters, uint64_t stride) {
+  return [=](auto& cx) {
+    auto slots = cx.template alloc<i64>(alg::counter_words(k, stride),
+                                        "counters");
+    for (uint32_t c = 0; c < k; ++c) slots.raw()[c * stride] = 0;
+    cx.run(uint64_t{k} * 2 * iters, [&] {
+      alg::counter_stripes(cx, slots.slice(), k, iters, stride);
+    });
+  };
+}
+
 // ---- recorded-graph factories (record a program once, replay many) ----
 
 inline TaskGraph rec_msum(size_t n, size_t grain = 1, bool padded = false) {
@@ -359,6 +375,10 @@ inline TaskGraph rec_lr(size_t n, bool gapping = true, size_t grain = 1,
 inline TaskGraph rec_cc(size_t n, size_t extra, size_t groups,
                         size_t grain = 1, SortKind kind = SortKind::kMsort) {
   return engine().record(prog_cc(n, extra, groups, grain, kind)).graph;
+}
+
+inline TaskGraph rec_counters(uint32_t k, uint64_t iters, uint64_t stride) {
+  return engine().record(prog_counters(k, iters, stride)).graph;
 }
 
 // ---- run helpers ----

@@ -1,0 +1,47 @@
+// Adversarial false-sharing calibration kernel (SNIPPETS snippet 1 — the
+// packed-vs-padded atomic counter demo — rendered as a fork-join program).
+//
+// `k` counter slots laid out `stride` words apart; one leaf task per slot,
+// each read-modify-writing its own slot `iters` times.  The slots are
+// task-private, so there is *no* true sharing — every coherence event the
+// simulator charges is false sharing from the layout:
+//
+//   stride = 1   packs all k slots into ~one cache line: under any p >= 2
+//                schedule the leaves' writes interleave in simulated time
+//                and the line ping-pongs — the §2 cost model's worst case,
+//                and the canonical input ro-doctor must diagnose and
+//                repair (its padding remap turns this layout into the
+//                next one without re-recording).
+//   stride = B   pads each slot to its own block (mem/gap.h StrideLayout):
+//                the same computation with essentially zero block misses —
+//                the control that calibrates the simulator's verdicts.
+#pragma once
+
+#include <cstdint>
+
+#include "ro/alg/scan.h"
+#include "ro/mem/varray.h"
+
+namespace ro::alg {
+
+/// Words a slot array of `k` counters at `stride` needs.
+constexpr uint64_t counter_words(uint32_t k, uint64_t stride) {
+  return k == 0 ? 0 : (uint64_t{k} - 1) * stride + 1;
+}
+
+/// The kernel: slots[c * stride] += 1, `iters` times per counter, one leaf
+/// task per counter under the balanced BP fork tree.
+template <class Ctx>
+void counter_stripes(Ctx& cx, Slice<i64> slots, uint32_t k, uint64_t iters,
+                     uint64_t stride) {
+  bp_range(cx, 0, k, 1, 2 * iters, [&](size_t lo, size_t hi) {
+    for (size_t c = lo; c < hi; ++c) {
+      const size_t at = c * stride;
+      for (uint64_t it = 0; it < iters; ++it) {
+        cx.set(slots, at, cx.get(slots, at) + 1);
+      }
+    }
+  });
+}
+
+}  // namespace ro::alg

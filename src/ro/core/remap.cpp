@@ -1,0 +1,84 @@
+#include "ro/core/remap.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "ro/util/check.h"
+
+namespace ro {
+
+AddressRemap::AddressRemap(std::vector<RemapRule> rules)
+    : rules_(std::move(rules)) {
+  std::sort(rules_.begin(), rules_.end(),
+            [](const RemapRule& a, const RemapRule& b) { return a.src < b.src; });
+  by_dst_.resize(rules_.size());
+  std::iota(by_dst_.begin(), by_dst_.end(), 0u);
+  std::sort(by_dst_.begin(), by_dst_.end(), [&](uint32_t a, uint32_t b) {
+    return rules_[a].dst < rules_[b].dst;
+  });
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    const RemapRule& r = rules_[i];
+    RO_CHECK_MSG(r.len > 0 && r.stride >= 1, "remap rule must cover words");
+    RO_CHECK_MSG(shard_of(r.src) == shard_of(r.src_end() - 1) &&
+                     shard_of(r.dst) == shard_of(r.dst_end() - 1) &&
+                     shard_of(r.src) == shard_of(r.dst),
+                 "remap rule must stay within one shard span");
+    if (i + 1 < rules_.size()) {
+      RO_CHECK_MSG(r.src_end() <= rules_[i + 1].src,
+                   "remap source ranges overlap");
+      const RemapRule& n = rules_[by_dst_[i + 1]];
+      RO_CHECK_MSG(rules_[by_dst_[i]].dst_end() <= n.dst,
+                   "remap destination ranges overlap");
+    }
+    // Destinations must not shadow any source range, or apply() would map
+    // two addresses to states the inverse cannot tell apart.
+    for (const RemapRule& o : rules_) {
+      RO_CHECK_MSG(r.dst_end() <= o.src || o.src_end() <= r.dst,
+                   "remap destination overlaps a source range");
+    }
+  }
+}
+
+vaddr_t AddressRemap::apply(vaddr_t a) const {
+  auto it = std::upper_bound(
+      rules_.begin(), rules_.end(), a,
+      [](vaddr_t x, const RemapRule& r) { return x < r.src; });
+  if (it == rules_.begin()) return a;
+  const RemapRule& r = *(it - 1);
+  if (a >= r.src_end()) return a;
+  return r.dst + (a - r.src) * r.stride;
+}
+
+bool AddressRemap::unmap(vaddr_t a, vaddr_t* out) const {
+  // In some rule's destination image?
+  auto it = std::upper_bound(by_dst_.begin(), by_dst_.end(), a,
+                             [&](vaddr_t x, uint32_t i) {
+                               return x < rules_[i].dst;
+                             });
+  if (it != by_dst_.begin()) {
+    const RemapRule& r = rules_[*(it - 1)];
+    if (a < r.dst_end()) {
+      const uint64_t off = a - r.dst;
+      if (off % r.stride != 0) return false;  // gap between strided words
+      *out = r.src + off / r.stride;
+      return true;
+    }
+  }
+  // In a source range the map moved away from?
+  auto sit = std::upper_bound(
+      rules_.begin(), rules_.end(), a,
+      [](vaddr_t x, const RemapRule& r) { return x < r.src; });
+  if (sit != rules_.begin() && a < (sit - 1)->src_end()) return false;
+  *out = a;  // identity region
+  return true;
+}
+
+vaddr_t AddressRemap::dst_top_in(vaddr_t lo, vaddr_t hi) const {
+  vaddr_t top = lo;
+  for (const RemapRule& r : rules_) {
+    if (r.dst >= lo && r.dst < hi) top = std::max(top, r.dst_end());
+  }
+  return top;
+}
+
+}  // namespace ro

@@ -3,8 +3,50 @@
 #include <thread>
 
 #include "ro/sched/run.h"
+#include "ro/sim/contention.h"
 
 namespace ro {
+
+doctor::DoctorReport Engine::diagnose(const TaskGraph& g, Backend backend,
+                                      const SimConfig& sim,
+                                      const doctor::DoctorOptions& opt,
+                                      const std::string& label) {
+  RO_CHECK_MSG(backend_is_sim(backend),
+               "diagnose replays a recorded trace; use sim-pws / sim-rws");
+  doctor::DoctorReport d;
+  d.label = label;
+  d.backend = backend;
+  d.p = sim.p;
+  d.M = sim.M;
+  d.B = sim.B;
+
+  // 1. Diagnose: the "before" replay with the ContentionProfile attached.
+  ContentionProfile profile;
+  SimConfig pcfg = sim;
+  pcfg.profile = &profile;
+  pcfg.remap = nullptr;
+  d.before = replay(g, backend, pcfg, /*seq_baseline=*/true, label);
+  d.before.has_contention = true;
+  d.before.fs_false_events = profile.false_events();
+  d.before.fs_true_events = profile.true_events();
+  d.before.fs_hot_lines = profile.hot_lines();
+
+  // 2. Repair: ranked findings -> padding remap.
+  d.findings = doctor::classify(profile, opt);
+  d.plan = doctor::plan_repair(d.findings, g, sim.B, opt);
+
+  // 3. Verify: replay the same stored trace under the remap.  Nothing to
+  //    prove when the plan is empty (a healthy layout).
+  if (!d.plan.remap.empty()) {
+    SimConfig rcfg = sim;
+    rcfg.profile = nullptr;
+    rcfg.remap = &d.plan.remap;
+    d.after = replay(g, backend, rcfg, /*seq_baseline=*/true,
+                     label.empty() ? "repaired" : label + ":repaired");
+    d.has_after = true;
+  }
+  return d;
+}
 
 RunReport Engine::replay(const TaskGraph& g, Backend backend,
                          const SimConfig& sim, bool seq_baseline,
@@ -55,6 +97,11 @@ void Engine::fill_replay(RunReport& r, const TaskGraph& g, Backend backend,
     std::vector<ReplayJob> jobs(2);
     jobs[0] = ReplayJob{&g, kind, sim};
     jobs[1] = ReplayJob{&g, SchedKind::kSeq, sim};
+    // The baseline walk must not record into the caller's profile: it is
+    // a different machine (p=1 has no coherence traffic to attribute),
+    // and the two jobs run concurrently.  The remap, if any, stays — the
+    // baseline then measures the repaired layout's Q(n,M,B).
+    jobs[1].cfg.profile = nullptr;
     std::vector<Metrics> res = simulate_all(jobs, sim.replay_threads);
     r.sim = std::move(res[0]);
     r.has_baseline = true;

@@ -34,6 +34,7 @@
 #include "ro/core/seq_ctx.h"
 #include "ro/core/shard_ctx.h"
 #include "ro/core/trace_ctx.h"
+#include "ro/doctor/doctor.h"
 #include "ro/engine/report.h"
 #include "ro/rt/par_ctx.h"
 #include "ro/rt/pool.h"
@@ -357,6 +358,24 @@ class Engine {
                    const SimConfig& sim, bool seq_baseline = true,
                    const std::string& label = "") {
     return replay(rec.graph, backend, sim, seq_baseline, label, &rec.stats);
+  }
+
+  /// The ro-doctor closed loop over one recorded trace (docs/doctor.md):
+  /// a profiled replay on `sim`'s machine (ContentionProfile attached),
+  /// classification into ranked per-line findings, a repair plan as an
+  /// AddressRemap, and — when the plan is non-empty — a verifying replay
+  /// of the *same* trace under the remap.  The report carries bit-exact
+  /// before/after metrics; `backend` must be a sim backend.
+  doctor::DoctorReport diagnose(const TaskGraph& g, Backend backend,
+                                const SimConfig& sim,
+                                const doctor::DoctorOptions& opt = {},
+                                const std::string& label = "");
+
+  doctor::DoctorReport diagnose(const Recording& rec, Backend backend,
+                                const SimConfig& sim,
+                                const doctor::DoctorOptions& opt = {},
+                                const std::string& label = "") {
+    return diagnose(rec.graph, backend, sim, opt, label);
   }
 
   /// The cached flat real-thread pool for a policy (created on first use;

@@ -167,6 +167,11 @@ std::string RunReport::to_json() const {
       kv(s, "pool_group_remote_steals", pool_group_remote_steals);
     }
   }
+  if (has_contention) {
+    kv(s, "fs_false_events", fs_false_events);
+    kv(s, "fs_true_events", fs_true_events);
+    kv(s, "fs_hot_lines", fs_hot_lines);
+  }
   if (has_stream) {
     kv(s, "trace_segments", trace_segments);
     kv(s, "trace_spilled_bytes", trace_spilled_bytes);
@@ -337,7 +342,16 @@ bool report_from_json(const std::string& json, RunReport& out) {
       out.pool_group_local_steals = as_u64_list(v);
     else if (k == "pool_group_remote_steals")
       out.pool_group_remote_steals = as_u64_list(v);
-    else if (k == "trace_segments") {
+    else if (k == "fs_false_events") {
+      out.has_contention = true;
+      out.fs_false_events = as_u64(v);
+    } else if (k == "fs_true_events") {
+      out.has_contention = true;
+      out.fs_true_events = as_u64(v);
+    } else if (k == "fs_hot_lines") {
+      out.has_contention = true;
+      out.fs_hot_lines = as_u64(v);
+    } else if (k == "trace_segments") {
       out.has_stream = true;
       out.trace_segments = as_u64(v);
     } else if (k == "trace_spilled_bytes") out.trace_spilled_bytes = as_u64(v);

@@ -81,6 +81,16 @@ struct RunReport {
   std::vector<uint64_t> pool_group_local_steals;
   std::vector<uint64_t> pool_group_remote_steals;
 
+  // ---- contention profile summary (profiled replays: Engine::diagnose
+  // and SimConfig::profile) — the scalar shadow of the full per-line
+  // ContentionProfile, for bench trajectories and gates.  Readers of older
+  // reports default all three to zero (report_from_json never fails on a
+  // missing or unknown field). ----
+  bool has_contention = false;
+  uint64_t fs_false_events = 0;  // invalidations at distinct words of a line
+  uint64_t fs_true_events = 0;   // invalidations at the same word
+  uint64_t fs_hot_lines = 0;     // lines with >= 1 false-sharing event
+
   // ---- streaming trace store (RunOptions::trace, sim backends) ----
   bool has_stream = false;
   uint64_t trace_segments = 0;             // trace segments recorded

@@ -3,12 +3,15 @@
 #include <chrono>
 #include <deque>
 #include <thread>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "ro/core/remap.h"
 #include "ro/rt/pool.h"
 #include "ro/sched/arena.h"
 #include "ro/sim/cache.h"
+#include "ro/sim/contention.h"
 #include "ro/sim/directory.h"
 #include "ro/util/bits.h"
 #include "ro/util/check.h"
@@ -34,6 +37,19 @@ namespace {
 
 constexpr uint32_t kNoCore = 0xFFFFFFFFu;
 constexpr vaddr_t kUnresolved = ~vaddr_t{0};
+
+/// Words of the shard's data region (one past the recorded top, rebased):
+/// a remap may relocate lines above the recorded data top, and the stack
+/// arenas — and the directory growth cap — must start above the remapped
+/// image, not just the recorded one.
+uint64_t data_words(const ShardSpan& span, const SimConfig& cfg) {
+  vaddr_t end = span.data_top + 1;
+  if (cfg.remap) {
+    end = std::max(end, cfg.remap->dst_top_in(span.base,
+                                              span.base + kShardSpanWords));
+  }
+  return end - span.base;
+}
 
 /// Access source over the resident TaskGraph::accesses vector — the
 /// degenerate store whose one "segment" is the whole array.
@@ -93,7 +109,7 @@ class ShardReplayer {
                 const SimConfig& cfg, const Source& src)
       : g_(g), span_(span), kind_(kind), cfg_(cfg), src_(src),
         sp_(cfg.effective_steal_latency()),
-        arenas_(round_up_pow2(span.data_top - span.base + 1,
+        arenas_(round_up_pow2(data_words(span, cfg),
                               g.align_words ? g.align_words : 4096),
                 g.align_words ? g.align_words : 4096, cfg.chunk_words),
         rng_(cfg.seed) {
@@ -159,6 +175,13 @@ class ShardReplayer {
     std::unordered_set<uint64_t> invalidated;  // blocks lost to coherence
     std::vector<uint64_t> ever;                // ever-loaded bitset
     CoreMetrics m;
+    // Profiling only (SimConfig::profile): last (word, task) this core
+    // touched per held data block — the victim side of an invalidation.
+    struct LastTouch {
+      uint16_t word = 0;
+      uint32_t act = kNoAct;
+    };
+    std::unordered_map<uint64_t, LastTouch> last_touch;
   };
 
   struct ActState {
@@ -373,7 +396,12 @@ class ShardReplayer {
       addr = acc.addr + ast(acc.act).frame_base;
       stack = true;
     } else {
-      addr = span_rebase(acc.addr, span_.base);  // shard back to address 0
+      vaddr_t a = acc.addr;
+      if (cfg_.remap != nullptr) {
+        a = cfg_.remap->apply(a);
+        RO_CHECK_MSG(a >= span_.base, "remap moved an address below its shard");
+      }
+      addr = span_rebase(a, span_.base);  // shard back to address 0
     }
     if (cfg_.write_hold != 0) {
       const uint64_t until = hold_barrier(c, addr, acc.len, acc.is_write());
@@ -383,7 +411,7 @@ class ShardReplayer {
         return false;
       }
     }
-    touch(c, addr, acc.len, acc.is_write(), stack);
+    touch(c, addr, acc.len, acc.is_write(), stack, c.fr.act);
     return true;
   }
 
@@ -407,15 +435,24 @@ class ShardReplayer {
     return until;
   }
 
-  void touch(Core& c, vaddr_t addr, uint16_t len, bool write, bool stack) {
+  void touch(Core& c, vaddr_t addr, uint16_t len, bool write, bool stack,
+             uint32_t act = kNoAct) {
     c.time += len;
     c.m.compute += len;
     const uint64_t b0 = addr / cfg_.B;
     const uint64_t b1 = (addr + len - 1) / cfg_.B;
-    for (uint64_t b = b0; b <= b1; ++b) touch_block(c, b, write, stack);
+    for (uint64_t b = b0; b <= b1; ++b) {
+      const uint16_t word =
+          b == b0 ? static_cast<uint16_t>(addr % cfg_.B) : uint16_t{0};
+      touch_block(c, b, word, write, stack, act);
+    }
   }
 
-  void touch_block(Core& c, uint64_t block, bool write, bool stack) {
+  void touch_block(Core& c, uint64_t block, uint16_t word, bool write,
+                   bool stack, uint32_t act = kNoAct) {
+    // Attribution is for data lines only: stack frames are padded per
+    // arena (Lemma 3.1), so their sharing is by design, not a bug to fix.
+    const bool prof = cfg_.profile != nullptr && !stack;
     Directory::Entry& d = dir_.at(block);
     const uint64_t me = uint64_t{1} << c.id;
     if (c.cache.contains(block)) {
@@ -425,6 +462,7 @@ class ShardReplayer {
       MissClass cls;
       if (c.invalidated.erase(block) > 0) {
         cls = MissClass::kCoherence;
+        if (prof) cfg_.profile->record_coherence_miss(line_addr(block), word, act);
       } else if (ever_loaded(c, block)) {
         cls = MissClass::kCapacity;
       } else {
@@ -452,7 +490,10 @@ class ShardReplayer {
           }
         }
       }
-      if (d.holders & ~me) ++d.transfers;  // cache-to-cache move (Def 2.2)
+      if (d.holders & ~me) {
+        ++d.transfers;  // cache-to-cache move (Def 2.2)
+        if (prof) cfg_.profile->record_transfer(line_addr(block), word);
+      }
       if (auto victim = c.cache.insert(block)) {
         // With a hierarchy the L2 still holds the victim; without one the
         // core no longer holds it at all.
@@ -470,6 +511,20 @@ class ShardReplayer {
         cores_[h].cache.invalidate(block);
         cores_[h].l2.invalidate(block);
         cores_[h].invalidated.insert(block);
+        if (prof) {
+          // The victim's side of the event is its last touch of the line:
+          // a different word makes this false sharing (a contention-graph
+          // edge), the same word is true sharing a remap cannot remove.
+          uint16_t vword = word;
+          uint32_t vact = act;
+          auto it = cores_[h].last_touch.find(block);
+          if (it != cores_[h].last_touch.end()) {
+            vword = it->second.word;
+            vact = it->second.act;
+          }
+          cfg_.profile->record_invalidation(line_addr(block), word, act,
+                                            vword, vact);
+        }
       }
       d.holders = me;
       if (cfg_.write_hold) {
@@ -477,6 +532,13 @@ class ShardReplayer {
         d.hold_until = c.time + cfg_.write_hold;
       }
     }
+    if (prof) c.last_touch[block] = typename Core::LastTouch{word, act};
+  }
+
+  /// Recorded (global) address of the line holding a rebased block —
+  /// the ContentionProfile key, collision-free across shards.
+  vaddr_t line_addr(uint64_t block) const {
+    return span_.base + block * cfg_.B;
   }
 
   /// Every address this unit can ever touch (rebased data + stack frames)
@@ -569,9 +631,22 @@ rt::Pool make_replay_pool(uint32_t threads, const SimConfig& cfg) {
 /// a cached shared pool would break under concurrent simulate() callers,
 /// and the spawn cost (~tens of µs) is noise next to any replay worth
 /// parallelizing.
-std::vector<Metrics> run_units(const std::vector<Unit>& units,
+std::vector<Metrics> run_units(std::vector<Unit> units,
                                uint32_t replay_threads,
                                std::vector<double>* wall_ms) {
+  // Concurrent units must not share a caller-provided ContentionProfile:
+  // each profiled unit records into its own local, merged back below in
+  // unit (= job, then shard) order after the barrier.  The merge itself is
+  // order-insensitive (pure sums), so profiled replay is bit-identical for
+  // every replay_threads value — the same guarantee Metrics carry.
+  std::vector<ContentionProfile> local(units.size());
+  std::vector<ContentionProfile*> sink(units.size(), nullptr);
+  for (size_t i = 0; i < units.size(); ++i) {
+    if (units[i].cfg.profile != nullptr) {
+      sink[i] = units[i].cfg.profile;
+      units[i].cfg.profile = &local[i];
+    }
+  }
   std::vector<Metrics> out(units.size());
   if (wall_ms) wall_ms->assign(units.size(), 0.0);
   auto run_one = [&](size_t i) {
@@ -589,6 +664,9 @@ std::vector<Metrics> run_units(const std::vector<Unit>& units,
   } else {
     rt::Pool pool = make_replay_pool(t, units[0].cfg);
     rt::parallel_index(pool, units.size(), run_one);
+  }
+  for (size_t i = 0; i < units.size(); ++i) {
+    if (sink[i] != nullptr) sink[i]->merge(local[i]);
   }
   return out;
 }

@@ -64,6 +64,9 @@
 
 namespace ro {
 
+class AddressRemap;       // core/remap.h
+class ContentionProfile;  // sim/contention.h
+
 enum class SchedKind : uint8_t { kSeq, kPws, kRws };
 
 struct SimConfig {
@@ -107,6 +110,23 @@ struct SimConfig {
   // cpus.  Host knobs like replay_threads: never visible in Metrics.
   rt::GroupLayout replay_layout;
   bool replay_pin = false;
+
+  // Optional per-line coherence attribution (sim/contention.h): when
+  // non-null, replay additionally records every invalidation, coherence
+  // miss and block transfer on *data* addresses per (line, word, task)
+  // into this profile (accumulated, never cleared).  Parallel shard units
+  // record into per-unit locals merged back in shard order, so the
+  // profile — like Metrics — is bit-identical for every replay_threads
+  // value.  A host-side observer: it never changes Metrics.
+  ContentionProfile* profile = nullptr;
+
+  // Optional trace transformation (core/remap.h): when non-null, every
+  // recorded data address is remapped at cursor read time, before the
+  // shard rebase — a repaired layout replays straight off the original
+  // stored segments.  Frame/stack addresses are unaffected.  Deliberately
+  // *does* change Metrics (that is the point of a repair), but
+  // deterministically: same remap, same Metrics, any replay_threads.
+  const AddressRemap* remap = nullptr;
 
   uint32_t effective_steal_latency() const;
 };

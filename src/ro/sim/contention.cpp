@@ -1,0 +1,76 @@
+#include "ro/sim/contention.h"
+
+namespace ro {
+
+void ContentionProfile::record_invalidation(vaddr_t line, uint16_t wword,
+                                            uint32_t wact, uint16_t vword,
+                                            uint32_t vact) {
+  Line& l = lines_[line];
+  WordStats& w = l.words[wword];
+  ++w.invalidations_caused;
+  ++w.tasks[wact];
+  WordStats& v = l.words[vword];
+  ++v.invalidations_suffered;
+  ++v.tasks[vact];
+  if (wword == vword) {
+    ++l.true_events;
+  } else {
+    ++l.false_events;
+    ++l.edges[{wword, vword}];
+  }
+}
+
+void ContentionProfile::record_coherence_miss(vaddr_t line, uint16_t word,
+                                              uint32_t act) {
+  Line& l = lines_[line];
+  WordStats& w = l.words[word];
+  ++w.coherence_misses;
+  ++w.tasks[act];
+}
+
+void ContentionProfile::record_transfer(vaddr_t line, uint16_t /*word*/) {
+  ++lines_[line].transfers;
+}
+
+void ContentionProfile::merge(const ContentionProfile& o) {
+  for (const auto& [addr, ol] : o.lines_) {
+    Line& l = lines_[addr];
+    l.false_events += ol.false_events;
+    l.true_events += ol.true_events;
+    l.transfers += ol.transfers;
+    for (const auto& [word, ow] : ol.words) {
+      WordStats& w = l.words[word];
+      w.invalidations_caused += ow.invalidations_caused;
+      w.invalidations_suffered += ow.invalidations_suffered;
+      w.coherence_misses += ow.coherence_misses;
+      for (const auto& [act, n] : ow.tasks) w.tasks[act] += n;
+    }
+    for (const auto& [edge, n] : ol.edges) l.edges[edge] += n;
+  }
+}
+
+uint64_t ContentionProfile::false_events() const {
+  uint64_t n = 0;
+  for (const auto& [addr, l] : lines_) n += l.false_events;
+  return n;
+}
+
+uint64_t ContentionProfile::true_events() const {
+  uint64_t n = 0;
+  for (const auto& [addr, l] : lines_) n += l.true_events;
+  return n;
+}
+
+uint64_t ContentionProfile::total_transfers() const {
+  uint64_t n = 0;
+  for (const auto& [addr, l] : lines_) n += l.transfers;
+  return n;
+}
+
+uint64_t ContentionProfile::hot_lines(uint64_t min_false) const {
+  uint64_t n = 0;
+  for (const auto& [addr, l] : lines_) n += l.false_events >= min_false;
+  return n;
+}
+
+}  // namespace ro
