@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
   opt.sim.replay_threads =
       static_cast<uint32_t>(cli.get_int("replay-threads", 1));
   numa_from_cli(cli, opt);
+  spms_from_cli(cli, opt);
   const std::vector<Backend> backends = backends_from_cli(cli);
 
   std::vector<RunReport> reports;
@@ -56,6 +57,29 @@ int main(int argc, char** argv) {
   sweep("sort", prog_sort(n / 4));
   sweep("sort-spms", prog_sort(n / 4, 1, SortKind::kSpms));
   sweep("mt-bi", prog_mt(static_cast<uint32_t>(next_pow2(isqrt(n)))));
+
+  // The sort's merge base case off-simulator (scalar vs kern::merge), as
+  // two wall-clock-only rows so the kernel speedup accumulates in
+  // BENCH_history.json and the --trend gate catches a sustained loss of
+  // the branch-free win.  Sized so both rows clear the gate's --min-ms
+  // noise guard on CI runners.
+  {
+    const KernelMergeBench kb = kernel_merge_bench();
+    RunReport scalar;
+    scalar.label = "kernel-merge-scalar";
+    scalar.backend = Backend::kSeq;
+    scalar.wall_ms = kb.scalar_ms;
+    RunReport kernel;
+    kernel.label = "kernel-merge";
+    kernel.backend = Backend::kSeq;
+    kernel.wall_ms = kb.kernel_ms;
+    reports.push_back(scalar);
+    reports.push_back(kernel);
+    t.row({"kernel-merge-scalar", backend_name(Backend::kSeq),
+           Table::num(kb.scalar_ms), "-", "-", "-", "-", "-", "-"});
+    t.row({"kernel-merge", backend_name(Backend::kSeq),
+           Table::num(kb.kernel_ms), "-", "-", "-", "-", "-", "-"});
+  }
   t.print();
 
   const std::string out = cli.get_str("out", "BENCH_engine.json");

@@ -154,6 +154,23 @@ int main(int argc, char** argv) {
   t.print();
   if (cli.has("csv")) t.write_csv("table1.csv");
 
+  // The sort's sequential base case, measured off-simulator: the branchy
+  // scalar merge vs the branch-free kern::merge the par-* backends select.
+  // bench_engine emits the same two measurements as RunReports, so the
+  // speedup is tracked across commits in BENCH_history.json by the
+  // --trend gate.
+  {
+    const KernelMergeBench kb = kernel_merge_bench();
+    Table k("Kernel microbench: merge base case (scalar vs branch-free)");
+    k.header({"base case", "wall-ms", "speedup"});
+    k.row({"scalar merge", Table::num(kb.scalar_ms), "1.00x"});
+    k.row({"kern::merge", Table::num(kb.kernel_ms),
+           fmt_speedup(static_cast<uint64_t>(kb.scalar_ms * 1e6),
+                       static_cast<uint64_t>(kb.kernel_ms * 1e6))});
+    k.print();
+    if (cli.has("csv")) k.write_csv("table1_kernels.csv");
+  }
+
   std::printf(
       "\nNotes: W-exp is the growth exponent between the two recorded sizes\n"
       "(expect ~1 for linear-work kernels over the 4x input ratio => column\n"

@@ -10,11 +10,14 @@
 // drops a CSV next to the binary when --csv is passed.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "ro/alg/cc.h"
+#include "ro/alg/kernels.h"
 #include "ro/alg/counters.h"
 #include "ro/alg/euler.h"
 #include "ro/alg/fft.h"
@@ -118,6 +121,118 @@ inline void numa_from_cli(const Cli& cli, RunOptions& opt) {
   opt.numa_groups = static_cast<uint32_t>(cli.get_int("numa-groups", 0));
   opt.numa_escape = cli.get_double("numa-escape", opt.numa_escape);
   opt.numa_pin = cli.get_int("numa-pin", 0) != 0;
+}
+
+/// The shared SPMS tuning flags (`--spms-*`): every knob of
+/// alg::SpmsTuning is overridable from the command line so bench sweeps
+/// never need a recompile.  Only materializes RunOptions::spms when at
+/// least one flag is present, so the process default stays in charge
+/// otherwise.
+inline void spms_from_cli(const Cli& cli, RunOptions& opt) {
+  const bool any =
+      cli.has("spms-merge-base") || cli.has("spms-merge2-min") ||
+      cli.has("spms-stride-mul") || cli.has("spms-seq-cap-div") ||
+      cli.has("spms-stride-per-seq") || cli.has("spms-ms-leaf") ||
+      cli.has("spms-sample-seq") || cli.has("spms-machinery-min") ||
+      cli.has("spms-interleave") || cli.has("spms-kernels");
+  if (!any) return;
+  alg::SpmsTuning t = alg::spms_tuning();
+  t.merge_base = static_cast<size_t>(
+      cli.get_int("spms-merge-base", static_cast<int64_t>(t.merge_base)));
+  t.merge2_min = static_cast<size_t>(
+      cli.get_int("spms-merge2-min", static_cast<int64_t>(t.merge2_min)));
+  t.stride_mul = static_cast<size_t>(
+      cli.get_int("spms-stride-mul", static_cast<int64_t>(t.stride_mul)));
+  t.seq_cap_div = static_cast<size_t>(
+      cli.get_int("spms-seq-cap-div", static_cast<int64_t>(t.seq_cap_div)));
+  t.stride_per_seq = static_cast<size_t>(cli.get_int(
+      "spms-stride-per-seq", static_cast<int64_t>(t.stride_per_seq)));
+  t.multisearch_leaf = static_cast<size_t>(
+      cli.get_int("spms-ms-leaf", static_cast<int64_t>(t.multisearch_leaf)));
+  t.sample_sort_seq = static_cast<size_t>(
+      cli.get_int("spms-sample-seq", static_cast<int64_t>(t.sample_sort_seq)));
+  t.machinery_min = static_cast<size_t>(
+      cli.get_int("spms-machinery-min", static_cast<int64_t>(t.machinery_min)));
+  t.interleave = cli.get_int("spms-interleave", t.interleave ? 1 : 0) != 0;
+  t.kernels = cli.get_int("spms-kernels", t.kernels ? 1 : 0) != 0;
+  opt.spms = t;
+}
+
+/// Installs `t` as the process-default SpmsTuning for its lifetime —
+/// the bench-side twin of the RunOptions::spms engine guard, for code
+/// paths (Engine::record) that take no RunOptions.
+class SpmsTuningGuard {
+ public:
+  explicit SpmsTuningGuard(const alg::SpmsTuning& t)
+      : saved_(alg::spms_tuning()) {
+    alg::set_spms_tuning(t);
+  }
+  ~SpmsTuningGuard() { alg::set_spms_tuning(saved_); }
+  SpmsTuningGuard(const SpmsTuningGuard&) = delete;
+  SpmsTuningGuard& operator=(const SpmsTuningGuard&) = delete;
+
+ private:
+  alg::SpmsTuning saved_;
+};
+
+/// One scalar-vs-kernel head-to-head on the pairwise merge base case: the
+/// branchy scalar loop (what the recording backends execute) against
+/// kern::merge (the cmov kernel the par-* backends select), same inputs,
+/// min wall time over `reps` passes.  The checksum keeps the optimizer
+/// honest and doubles as a correctness cross-check between the two.
+struct KernelMergeBench {
+  double scalar_ms = 0;
+  double kernel_ms = 0;
+  double speedup() const { return kernel_ms > 0 ? scalar_ms / kernel_ms : 0; }
+};
+
+inline KernelMergeBench kernel_merge_bench(size_t n = size_t{1} << 21,
+                                           int reps = 5) {
+  std::vector<i64> a(n), b(n), out(2 * n);
+  Rng rng(n + 9);
+  for (size_t i = 0; i < n; ++i) a[i] = static_cast<i64>(rng.next() >> 1);
+  for (size_t i = 0; i < n; ++i) b[i] = static_cast<i64>(rng.next() >> 1);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+
+  uint64_t sum_scalar = 0, sum_kernel = 0;
+  const auto timed = [&](auto&& body, uint64_t& sum, int r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    body();
+    const auto t1 = std::chrono::steady_clock::now();
+    sum += static_cast<uint64_t>(out[(r * 977) % out.size()]);
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+  };
+  const auto scalar = [&] {
+    size_t i = 0, j = 0, k = 0;
+    while (i < n && j < n) {
+      if (a[i] <= b[j])
+        out[k++] = a[i++];
+      else
+        out[k++] = b[j++];
+    }
+    while (i < n) out[k++] = a[i++];
+    while (j < n) out[k++] = b[j++];
+  };
+  const auto kernel = [&] {
+    alg::kern::merge(a.data(), n, b.data(), n, out.data());
+  };
+
+  // A/B passes interleaved (with one untimed warmup each) so a load spike
+  // from a noisy neighbor hits both sides alike instead of skewing the
+  // ratio; min-of-reps then discards the spikes entirely.
+  scalar();
+  kernel();
+  KernelMergeBench kb;
+  for (int r = 0; r < reps; ++r) {
+    const double sm = timed(scalar, sum_scalar, r);
+    const double km = timed(kernel, sum_kernel, r);
+    kb.scalar_ms = (r == 0 || sm < kb.scalar_ms) ? sm : kb.scalar_ms;
+    kb.kernel_ms = (r == 0 || km < kb.kernel_ms) ? km : kb.kernel_ms;
+  }
+  RO_CHECK_MSG(sum_scalar == sum_kernel,
+               "kernel merge disagrees with the scalar merge");
+  return kb;
 }
 
 /// Process-wide Engine: one record/replay entry point and one cached thread

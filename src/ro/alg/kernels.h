@@ -1,0 +1,125 @@
+// Branch-free / vectorizable sequential kernels for the sort hot path.
+//
+// These are the hardware-fast base cases SPMS selects on the *non-recording*
+// backends (SeqCtx, rt::ParCtx): a pairwise merge whose element selection
+// compiles to conditional moves instead of a ~50%-mispredicted branch, a
+// branchless binary search (the multisearch leaf primitive), the co-rank
+// split search merge2 uses, and bulk copy/fill that lower to memcpy/memset.
+//
+// Selection rule (`kern::fast_path_v<Ctx>`): a context that *records*
+// accesses (TraceCtx and subclasses, `Ctx::kRecording == true`) must keep
+// the scalar cx.get/cx.set base cases so simulator traces stay bit-exact —
+// the kernels read raw pointers and would change the recorded access
+// sequence.  Non-recording contexts pay no accounting, so the only thing
+// the kernels change there is wall-clock.  A context without a kRecording
+// member is conservatively treated as recording.
+//
+// Everything here is sequential and allocation-free: parallelism stays the
+// caller's job (the fork tree above the base case), exactly as with the
+// scalar base cases.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+namespace ro::alg::kern {
+
+namespace detail {
+
+template <class Ctx, class = void>
+struct records : std::true_type {};  // unknown context: assume recording
+
+template <class Ctx>
+struct records<Ctx, std::void_t<decltype(Ctx::kRecording)>>
+    : std::bool_constant<Ctx::kRecording> {};
+
+}  // namespace detail
+
+/// True when `Ctx` may take the raw-pointer fast path without perturbing
+/// any recorded trace.
+template <class Ctx>
+inline constexpr bool fast_path_v = !detail::records<Ctx>::value;
+
+/// Branchless lower bound: first index i in [0, n) with a[i] >= key, or n.
+/// The classic halving walk — the step is a conditional add the compiler
+/// turns into a cmov, so the search pipeline never flushes on the
+/// comparison outcome.
+inline size_t lower_bound(const int64_t* a, size_t n, int64_t key) {
+  const int64_t* base = a;
+  while (n > 1) {
+    const size_t half = n / 2;
+    base += (base[half - 1] < key) ? half : 0;  // cmov
+    n -= half;
+  }
+  return static_cast<size_t>(base - a) + (n == 1 && base[0] < key ? 1 : 0);
+}
+
+/// Branchless upper bound: first index i in [0, n) with a[i] > key, or n.
+inline size_t upper_bound(const int64_t* a, size_t n, int64_t key) {
+  const int64_t* base = a;
+  while (n > 1) {
+    const size_t half = n / 2;
+    base += (base[half - 1] <= key) ? half : 0;  // cmov
+    n -= half;
+  }
+  return static_cast<size_t>(base - a) + (n == 1 && base[0] <= key ? 1 : 0);
+}
+
+/// Co-rank split for a binary merge: the smallest ai in the valid range
+/// with a[ai] >= b[q - ai - 1], i.e. how many elements of `a` the first
+/// `q` outputs of merge(a, b) take.  Same cmov-driven halving as above.
+inline size_t corank(size_t q, const int64_t* a, size_t na, const int64_t* b,
+                     size_t nb) {
+  size_t lo = q > nb ? q - nb : 0;
+  size_t hi = q < na ? q : na;
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    const bool ge = a[mid] >= b[q - mid - 1];
+    hi = ge ? mid : hi;   // cmov
+    lo = ge ? lo : mid + 1;
+  }
+  return lo;
+}
+
+/// Branch-free pairwise merge of sorted a[0..na) and b[0..nb) into
+/// out[0..na+nb).  The selection (which side yields the next output) is a
+/// conditional move plus flag-driven index bumps; only the loop bound
+/// remains a (well-predicted) branch.  Ties take from `a` first — the same
+/// stable order as the scalar base cases.
+inline void merge(const int64_t* a, size_t na, const int64_t* b, size_t nb,
+                  int64_t* out) {
+  const int64_t* ae = a + na;
+  const int64_t* be = b + nb;
+  // min(remaining_a, remaining_b) iterations are safe without touching
+  // either end pointer, so the inner loop carries a single trip counter
+  // instead of two bound checks feeding the branch predictor.
+  size_t guard = na < nb ? na : nb;
+  while (guard) {
+    for (size_t q = 0; q < guard; ++q) {
+      const int64_t av = *a;
+      const int64_t bv = *b;
+      const bool take_a = av <= bv;
+      *out++ = take_a ? av : bv;  // cmov
+      a += take_a;
+      b += !take_a;
+    }
+    const size_t ra = static_cast<size_t>(ae - a);
+    const size_t rb = static_cast<size_t>(be - b);
+    guard = ra < rb ? ra : rb;
+  }
+  out = std::copy(a, ae, out);
+  std::copy(b, be, out);
+}
+
+/// Bulk copy / fill — lowered to memmove/vectorized stores.
+inline void copy(const int64_t* src, size_t n, int64_t* dst) {
+  std::copy(src, src + n, dst);
+}
+
+inline void fill(int64_t* dst, size_t n, int64_t v) {
+  std::fill(dst, dst + n, v);
+}
+
+}  // namespace ro::alg::kern

@@ -2,43 +2,62 @@
 // ("Resource Oblivious Sorting on Multicores", Cole & Ramachandran [12]).
 //
 // Three-phase recursion on n keys (docs/spms.md maps each phase to the
-// paper's bounds and records where this implementation simplifies):
+// paper's bounds):
 //   1. Sample / subsort: split into k = Θ(√n) contiguous runs of ~4√n and
 //      recursively sort them in parallel (one T(√n) term).
-//   2. Partition: deterministically sample each sorted run at stride
-//      4⌈√m⌉ with per-run staggered offsets (so iid runs yield pivots at
-//      distinct quantiles), sort the sample by a *recursive multiway
-//      merge* (the interleaving that names the algorithm — the sample is
-//      itself r sorted subsequences), deduplicate it into pivot values
-//      with the scan.h pack primitives, locate every pivot in every run
-//      with a parallel divide-and-conquer multisearch, and derive bucket
-//      boundaries and segment offsets with one prefix-sums pass over the
-//      cache-obliviously tiled r×(2t+1) boundary table.
+//   2. Partition: deterministically sample each sorted run (stride
+//      4⌈√m⌉, raised to ≥ 16r when a merge arrives with many sequences —
+//      the adaptive stride that keeps the r×t boundary tables ≤ ~m/16 for
+//      *any* sequence count, so bucket merges stay on the sampling
+//      machinery instead of detouring through a binary merge tree), sort
+//      the sample by a recursive multiway merge, deduplicate it into pivot
+//      values with the scan.h pack primitives, and locate every pivot in
+//      every run with ONE batched amortized multisearch per run: a single
+//      divide-and-conquer pass resolves both the lower- and upper-bound
+//      tables, carrying each resolved pivot's interval down the recursion
+//      (children search strictly disjoint subranges, the equal-range
+//      excluded from both) and resolving dense leaves with a linear
+//      merge-sweep, O(len + t) instead of O(t log len).
 //   3. Merge: the pivots cut the output into interleaved buckets —
-//      equal-value buckets resolved by a parallel fill (this is what keeps
-//      duplicate-heavy inputs linear) and strict-gap buckets, each staged
-//      into a contiguous frame-local buffer and merged by a balanced
-//      binary tree over √-splitting co-ranked merges (merge2).
+//      equal-value buckets resolved by a parallel fill and strict-gap
+//      buckets staged contiguously and recursed *directly* into the next
+//      SPMS level (the fully interleaved bucket recursion).  Merges whose
+//      sequence count defeats even the adaptive stride (near-empty
+//      segments) collapse their sequence count to the cap with ONE
+//      word-balanced grouping round (merge_grouped) and re-enter the
+//      machinery — O(1) rounds in place of the old O(log r)-level binary
+//      merge2 tree, which is where the old span paid an extra log factor.
 //
-// Bounds vs the paper: W = O(n log n) and Q = O((n/B)·log_M n)-shaped
-// (bench_spms measures Q below msort's (n/B)·log₂(n/M) from n = 2^16 up);
-// the span of this implementation is O(log² n · log log n) — machinery
-// levels cost O(log² m) and the recursion has O(log log n) levels — versus
-// the paper's O(log n · log log n) via its more intricate merge, and
-// versus msort's O(log³ n).  test_spms asserts the measured growth is
-// flatter than msort's across sizes.
+// Bounds vs the paper: W = O(n log n), Q = O((n/B)·log_M n)-shaped
+// (bench_spms measures Q below msort's (n/B)·log₂(n/M) from n = 2^16 up),
+// and span O(log n · log log n)-consistent: bench_spms --span-trend
+// RO_CHECKs that span/(log n · log log n) stays flat over doubling n,
+// where the staged merge tree previously drifted upward.  msort
+// (sort.h) remains O(log³ n).
+//
+// Hardware fast path: on non-recording contexts (SeqCtx, rt::ParCtx) the
+// base cases switch to the branch-free kernels in kernels.h (cmov merge,
+// branchless binary search, co-rank, bulk copy/fill) — selected by
+// kern::fast_path_v<Ctx>, so simulator traces stay bit-exact while the
+// par-* backends get conditional-move selection and memcpy-grade copies.
 //
 // Limited access: every scratch array and every output position is written
 // exactly once per owning merge call (Def 2.4); base cases use the same
 // read-once/sort-in-registers/write-once idiom as msort.  All scratch is
 // frame-local (cx.local), so replay reuses arena stacks exactly as msort's
 // temporaries do.
+//
+// Tuning: every threshold lives in SpmsTuning (process-wide default via
+// spms_tuning()/set_spms_tuning, per-run override via RunOptions::spms,
+// per-call override via the trailing parameter) so bench sweeps never need
+// a recompile.
 #pragma once
 
 #include <algorithm>
 #include <string>
 #include <vector>
 
+#include "ro/alg/kernels.h"
 #include "ro/alg/scan.h"
 #include "ro/alg/sort.h"
 #include "ro/core/context.h"
@@ -53,14 +72,62 @@ namespace ro::alg {
 bool parse_sort_kind(const std::string& name, SortKind& out);
 const char* sort_kind_name(SortKind k);
 
+/// Runtime tuning of the SPMS recursion — the constants that used to be
+/// compile-time.  Defaults reproduce the shipped behavior; benches sweep
+/// them through --spms-* flags (bench/common.h) or RunOptions::spms.
+struct SpmsTuning {
+  /// Leaf size below which a (sub)problem is resolved by the sequential
+  /// base case.
+  size_t merge_base = 32;
+  /// Below this size merge2's √-splitting hands over to the sequential
+  /// merge (kernel merge on the fast path, merge_rec when recording).
+  size_t merge2_min = 1024;
+  /// Sampling stride factor: stride = stride_mul·⌈√m⌉.
+  size_t stride_mul = 4;
+  /// Phase-1 run count divisor: k = ⌈√n⌉/seq_cap_div runs (also the
+  /// grouped-merge target).  The classic sample cap.
+  size_t seq_cap_div = 4;
+  /// Adaptive-stride floor per sequence: a merge of r sequences samples at
+  /// stride ≥ stride_per_seq·r, so the r×t tables stay ≤ ~m/stride_per_seq
+  /// for any r.  The knob behind the interleaved bucket recursion.
+  size_t stride_per_seq = 16;
+  /// Multisearch leaf: when (pivots + range) fit under this, resolve the
+  /// whole leaf with one linear merge-sweep (the amortized base case).
+  size_t multisearch_leaf = 48;
+  /// Samples up to this count sort via the sequential base case — a fixed
+  /// cap, so the O(1)-span shortcut never reintroduces the legacy path's
+  /// Θ(√m)-span sequential sample sort; larger samples (m beyond ~2^20)
+  /// take the parallel recursive merge.
+  size_t sample_sort_seq = 256;
+  /// Below this merge size the sampling machinery's per-level apparatus
+  /// (sample sort, multisearch, boundary tables, two prefix-sum passes)
+  /// costs more span than it saves: resolve with the binary merge tree
+  /// instead.  Subproblems under a *fixed* cutoff contribute O(1) span, so
+  /// this floor does not reintroduce the asymptotic log factor — it is
+  /// what keeps the interleaved recursion's constants below the staged
+  /// tree's at every measured size.
+  size_t machinery_min = 2048;
+  /// Fully interleaved bucket recursion (adaptive stride + grouped
+  /// fallback).  Off = the pre-rework staged binary merge tree, kept for
+  /// span A/B measurement in bench_spms.
+  bool interleave = true;
+  /// Branch-free kernels (kernels.h) on non-recording backends.
+  bool kernels = true;
+
+  bool operator==(const SpmsTuning&) const = default;
+};
+
+/// Process-wide tuning the sort uses when no explicit override is passed.
+/// set_spms_tuning RO_CHECKs the invariants (nonzero thresholds); it is
+/// not synchronized — install before spawning concurrent runs.
+const SpmsTuning& spms_tuning();
+void set_spms_tuning(const SpmsTuning& t);
+
 namespace detail {
 
-/// Leaf size below which a multiway-merge subproblem is resolved directly.
-inline constexpr size_t kSpmsMergeBase = 32;
-/// Below this size merge2's √-splitting hands over to merge_rec.
-inline constexpr size_t kMerge2Min = 1024;
 /// Paranoia cap: structural progress is guaranteed (every merge level has
-/// at least one pivot, so strict-gap buckets shrink), but a cap keeps any
+/// at least one pivot, so strict-gap buckets shrink, and every grouping
+/// round strictly lowers the sequence count), but a cap keeps any
 /// unforeseen degeneracy from recursing unboundedly — at the cap the
 /// subproblem is resolved by the sequential base case (correct, if slow;
 /// unreachable in practice).
@@ -69,17 +136,18 @@ inline constexpr uint32_t kSpmsDepthCap = 64;
 /// ⌈√m⌉ (m >= 1).
 inline size_t ceil_sqrt(size_t m) { return m <= 1 ? 1 : isqrt(m - 1) + 1; }
 
-/// Sampling stride for a merge of total size m: every 4⌈√m⌉-th element, so
-/// the sample (and with it the pivot count t) stays ~√m/4 and the r×t
-/// partition tables stay a small fraction of m.
-inline size_t spms_stride(size_t m) { return 4 * ceil_sqrt(m); }
+/// Sampling stride for a merge of total size m: every stride_mul·⌈√m⌉-th
+/// element, so the sample (and with it the pivot count t) stays ~√m/4 and
+/// the r×t partition tables stay a small fraction of m.
+inline size_t spms_stride(size_t m, const SpmsTuning& tn) {
+  return tn.stride_mul * ceil_sqrt(m);
+}
 
-/// Cap on the number of sequences a merge level works on directly: with
-/// r ≤ ⌈√m⌉/4 the r×t boundary tables hold ≤ ~m/16 entries.  Merges that
-/// arrive with more sequences (buckets with many tiny segments) first halve
-/// r with pairwise parallel merge rounds.
-inline size_t spms_seq_cap(size_t m) {
-  return std::max<size_t>(2, ceil_sqrt(m) / 4);
+/// The sequence-count target of a merge of size m: phase 1 cuts the input
+/// into this many runs, and grouped merges collapse down to it.  With
+/// r ≤ ⌈√m⌉/4 the r×t boundary tables hold ≤ ~m/16 entries.
+inline size_t spms_seq_cap(size_t m, const SpmsTuning& tn) {
+  return std::max<size_t>(2, ceil_sqrt(m) / tn.seq_cap_div);
 }
 
 /// Sequence i's sampling offset: strides start at (i/r)·s so that when
@@ -96,9 +164,33 @@ inline size_t spms_sample_count(size_t len, size_t s, size_t off) {
 }
 
 /// Base case shared by the sort and merge recursions: read each element
-/// once, order in registers, write each output once (msort's idiom).
+/// once, order in registers, write each output once (msort's idiom).  On
+/// the fast path, one- and two-sequence cases lower to memcpy / the cmov
+/// merge kernel.
 template <class Ctx>
-void spms_base(Ctx& cx, const std::vector<Slice<i64>>& seqs, Slice<i64> out) {
+void spms_base(Ctx& cx, const std::vector<Slice<i64>>& seqs, Slice<i64> out,
+               const SpmsTuning& tn) {
+  if constexpr (kern::fast_path_v<Ctx>) {
+    if (tn.kernels) {
+      if (seqs.size() == 2) {
+        // Two sequences arriving here are sorted (merge-side base case):
+        // the cmov merge beats gather+sort.
+        RO_CHECK(seqs[0].n + seqs[1].n == out.n);
+        kern::merge(seqs[0].ptr, seqs[0].n, seqs[1].ptr, seqs[1].n, out.ptr);
+        return;
+      }
+      // General case — including the sort recursion's single *unsorted*
+      // run: gather with bulk copies, sort in place, done.
+      size_t k = 0;
+      for (const Slice<i64>& s : seqs) {
+        kern::copy(s.ptr, s.n, out.ptr + k);
+        k += s.n;
+      }
+      RO_CHECK(k == out.n);
+      std::sort(out.ptr, out.ptr + out.n);
+      return;
+    }
+  }
   std::vector<i64> buf;
   buf.reserve(out.n);
   for (const Slice<i64>& s : seqs) {
@@ -109,52 +201,123 @@ void spms_base(Ctx& cx, const std::vector<Slice<i64>>& seqs, Slice<i64> out) {
   for (size_t i = 0; i < out.n; ++i) cx.set(out, i, buf[i]);
 }
 
-/// Parallel copy of one sorted sequence into its output range.
+/// Parallel copy of one sorted sequence into its output range.  Fast path:
+/// coarse leaves lowering to memcpy; recording path: the word loop.
 template <class Ctx>
-void spms_copy(Ctx& cx, Slice<i64> src, Slice<i64> out, size_t grain) {
+void spms_copy(Ctx& cx, Slice<i64> src, Slice<i64> out, size_t grain,
+               const SpmsTuning& tn) {
   RO_CHECK(src.n == out.n);
+  if constexpr (kern::fast_path_v<Ctx>) {
+    if (tn.kernels) {
+      bp_range(cx, 0, src.n, std::max(grain, tn.merge2_min), 2,
+               [&](size_t lo, size_t hi) {
+                 kern::copy(src.ptr + lo, hi - lo, out.ptr + lo);
+               });
+      return;
+    }
+  }
   bp_range(cx, 0, src.n, grain, 2, [&](size_t lo, size_t hi) {
     for (size_t i = lo; i < hi; ++i) cx.set(out, i, cx.get(src, i));
   });
 }
 
-/// Divide-and-conquer multisearch: resolves boundary positions for pivots
-/// [j0, j1) of `pv` within seq range [slo, shi), writing them to row
-/// `row[j]`.  With `strict`, bound[j] = first index with seq[idx] >= pv[j]
-/// (lower bound); otherwise first index with seq[idx] > pv[j] (upper
-/// bound).  Each node binary-searches the middle pivot, then the two
-/// halves recurse on disjoint halves of the sequence range in parallel —
-/// span O(log t · log len), reads confined to the run and the pivot array.
+/// Batched amortized multisearch: ONE divide-and-conquer pass per
+/// (sequence, pivot set) resolves BOTH boundary tables — lo_row[j] = first
+/// index with seq[idx] >= pv[j] (lower bound), hi_row[j] = first index
+/// with seq[idx] > pv[j] (upper bound) — for pivots [j0, j1) within the
+/// sequence range [slo, shi).
+///
+/// Each node resolves the middle pivot's equal-range [lpos, hpos) and
+/// carries the interval down: the left half recurses on [slo, lpos), the
+/// right half on [hpos, shi) — strictly disjoint, the equal range excluded
+/// from both — instead of two independent passes each re-searching from
+/// the full nested range.  Dense leaves (pivots + range under
+/// tn.multisearch_leaf) resolve with one linear merge-sweep, O(len + t)
+/// work; this is what amortizes a level's multisearch work to O(m).
+/// The fast path uses the branchless searches from kernels.h.
 template <class Ctx>
-void multisearch(Ctx& cx, Slice<i64> seq, Slice<i64> pv, Slice<i64> row,
-                 size_t j0, size_t j1, size_t slo, size_t shi, bool strict) {
+void multisearch(Ctx& cx, Slice<i64> seq, Slice<i64> pv, Slice<i64> lo_row,
+                 Slice<i64> hi_row, size_t j0, size_t j1, size_t slo,
+                 size_t shi, const SpmsTuning& tn) {
   if (j0 >= j1) return;
+  if ((j1 - j0) + (shi - slo) <= tn.multisearch_leaf) {
+    // Amortized leaf: pivots and range walk forward together once.
+    size_t idx = slo;
+    for (size_t j = j0; j < j1; ++j) {
+      const i64 p = cx.get(pv, j);
+      while (idx < shi && cx.get(seq, idx) < p) ++idx;
+      cx.set(lo_row, j, static_cast<i64>(idx));
+      while (idx < shi && cx.get(seq, idx) == p) ++idx;
+      cx.set(hi_row, j, static_cast<i64>(idx));
+    }
+    return;
+  }
   const size_t jm = j0 + (j1 - j0) / 2;
   const i64 p = cx.get(pv, jm);
-  size_t lo = slo;
-  size_t hi = shi;
-  while (lo < hi) {
-    const size_t mid = lo + (hi - lo) / 2;
-    const i64 v = cx.get(seq, mid);
-    if (strict ? (v < p) : (v <= p)) {
-      lo = mid + 1;
-    } else {
-      hi = mid;
+  size_t lpos = slo;
+  size_t hpos = shi;
+  bool scalar = true;
+  if constexpr (kern::fast_path_v<Ctx>) {
+    if (tn.kernels) {
+      lpos = slo + kern::lower_bound(seq.ptr + slo, shi - slo, p);
+      hpos = lpos + kern::upper_bound(seq.ptr + lpos, shi - lpos, p);
+      scalar = false;
     }
   }
-  const size_t pos = lo;
-  cx.set(row, jm, static_cast<i64>(pos));
+  if (scalar) {
+    size_t lo = slo;
+    size_t hi = shi;
+    while (lo < hi) {  // lower bound
+      const size_t mid = lo + (hi - lo) / 2;
+      if (cx.get(seq, mid) < p) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    lpos = lo;
+    // Upper bound by galloping from lpos: the equal run is usually empty
+    // or short, so this costs O(log gap) reads instead of a second full
+    // O(log range) search — the fused node stays as cheap as the
+    // single-table node on the critical path.
+    size_t run = lpos;  // everything in [lpos, run) is == p
+    size_t probe = 1;
+    while (run + probe <= shi && cx.get(seq, run + probe - 1) <= p) {
+      run += probe;
+      probe <<= 1;
+    }
+    hi = std::min(run + probe - 1, shi);
+    while (run < hi) {  // the first > p is in [run, hi)
+      const size_t mid = run + (hi - run) / 2;
+      if (cx.get(seq, mid) <= p) {
+        run = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    hpos = run;
+  }
+  cx.set(lo_row, jm, static_cast<i64>(lpos));
+  cx.set(hi_row, jm, static_cast<i64>(hpos));
   if (j1 - j0 == 1) return;
   cx.fork2(
-      2 * (jm - j0 + (pos - slo) + 1),
-      [&] { multisearch(cx, seq, pv, row, j0, jm, slo, pos, strict); },
-      2 * (j1 - jm + (shi - pos) + 1),
-      [&] { multisearch(cx, seq, pv, row, jm + 1, j1, pos, shi, strict); });
+      2 * ((jm - j0) + (lpos - slo) + 1),
+      [&] {
+        multisearch(cx, seq, pv, lo_row, hi_row, j0, jm, slo, lpos, tn);
+      },
+      2 * ((j1 - jm) + (shi - hpos) + 1), [&] {
+        multisearch(cx, seq, pv, lo_row, hi_row, jm + 1, j1, hpos, shi, tn);
+      });
 }
 
 template <class Ctx>
 void spms_sort_rec(Ctx& cx, Slice<i64> a, Slice<i64> out, size_t base,
-                   size_t grain, uint32_t depth);
+                   size_t grain, uint32_t depth, const SpmsTuning& tn);
+
+template <class Ctx>
+void spms_merge(Ctx& cx, const std::vector<Slice<i64>>& seqs_in,
+                Slice<i64> out, size_t base, size_t grain, uint32_t depth,
+                const SpmsTuning& tn);
 
 /// √-splitting binary merge — SPMS's replacement for sort.h's merge_rec.
 /// Instead of one pivot split per recursion level (O(log² m) span), it
@@ -164,19 +327,25 @@ void spms_sort_rec(Ctx& cx, Slice<i64> a, Slice<i64> out, size_t base,
 /// the paper's merge relies on for its T∞ bound.
 template <class Ctx>
 void merge2(Ctx& cx, Slice<i64> a, Slice<i64> b, Slice<i64> out, size_t base,
-            size_t grain) {
+            size_t grain, const SpmsTuning& tn) {
   RO_CHECK(out.n == a.n + b.n);
   const size_t m = out.n;
   if (a.n == 0) {
-    spms_copy(cx, b, out, grain);
+    spms_copy(cx, b, out, grain, tn);
     return;
   }
   if (b.n == 0) {
-    spms_copy(cx, a, out, grain);
+    spms_copy(cx, a, out, grain, tn);
     return;
   }
-  if (m < kMerge2Min) {
-    // Below this size the co-ranking setup costs more than it saves;
+  if (m < tn.merge2_min) {
+    // Below this size the co-ranking setup costs more than it saves.
+    if constexpr (kern::fast_path_v<Ctx>) {
+      if (tn.kernels) {  // flat cmov merge beats the split recursion
+        kern::merge(a.ptr, a.n, b.ptr, b.n, out.ptr);
+        return;
+      }
+    }
     // merge_rec's single-pivot splitting has the smaller constants.
     merge_rec(cx, a, b, out, std::max(base, size_t{8}), grain);
     return;
@@ -191,17 +360,28 @@ void merge2(Ctx& cx, Slice<i64> a, Slice<i64> b, Slice<i64> out, size_t base,
     // condition a[ai-1] < b[q-ai] holds by minimality).
     fork_range(cx, 0, chunks - 1, 2 * (log2_ceil(m | 1) + 1), [&](size_t j) {
       const size_t q = (j + 1) * c;
-      size_t lo = q > b.n ? q - b.n : 0;
-      size_t hi = std::min(q, a.n);
-      while (lo < hi) {
-        const size_t mid = lo + (hi - lo) / 2;
-        if (cx.get(a, mid) >= cx.get(b, q - mid - 1)) {
-          hi = mid;
-        } else {
-          lo = mid + 1;
+      size_t pos;
+      bool scalar = true;
+      if constexpr (kern::fast_path_v<Ctx>) {
+        if (tn.kernels) {
+          pos = kern::corank(q, a.ptr, a.n, b.ptr, b.n);
+          scalar = false;
         }
       }
-      cx.set(sp, j, static_cast<i64>(lo));
+      if (scalar) {
+        size_t lo = q > b.n ? q - b.n : 0;
+        size_t hi = std::min(q, a.n);
+        while (lo < hi) {
+          const size_t mid = lo + (hi - lo) / 2;
+          if (cx.get(a, mid) >= cx.get(b, q - mid - 1)) {
+            hi = mid;
+          } else {
+            lo = mid + 1;
+          }
+        }
+        pos = lo;
+      }
+      cx.set(sp, j, static_cast<i64>(pos));
     });
   }
   // Chunk boundaries, made monotone (ties admit several valid splits).
@@ -223,7 +403,7 @@ void merge2(Ctx& cx, Slice<i64> a, Slice<i64> b, Slice<i64> out, size_t base,
         const size_t b0 = qa[j] - a0;
         const size_t b1 = qa[j + 1] - a1;
         merge2(cx, a.sub(a0, a1 - a0), b.sub(b0, b1 - b0),
-               out.sub(qa[j], qa[j + 1] - qa[j]), base, grain);
+               out.sub(qa[j], qa[j + 1] - qa[j]), base, grain, tn);
       });
 }
 
@@ -237,7 +417,7 @@ void tile2d(Ctx& cx, size_t b0, size_t b1, size_t i0, size_t i1,
   const size_t db = b1 - b0;
   const size_t di = i1 - i0;
   if (db == 0 || di == 0) return;
-  if (db <= 8 && di <= 8) {
+  if (db <= 4 && di <= 4) {
     body(b0, b1, i0, i1);
     return;
   }
@@ -258,26 +438,27 @@ void tile2d(Ctx& cx, size_t b0, size_t b1, size_t i0, size_t i1,
   }
 }
 
-/// Balanced binary merge tree over seqs[lo, hi): the resolver for bucket
-/// subproblems whose sequence count is too large for the sampling
-/// machinery (r² ≫ m).  Halves of the list merge in parallel into scratch,
-/// then one parallel binary merge combines them — span O(log r · log² m),
-/// linear work per tree level.
+/// Legacy resolver for bucket subproblems whose sequence count is too
+/// large for the sampling machinery: a balanced *binary* merge tree over
+/// seqs[lo, hi) — span O(log r · log² m), one log factor worse than the
+/// grouped+interleaved path.  Kept behind SpmsTuning::interleave = false
+/// so bench_spms can measure the span gap it used to cost.
 template <class Ctx>
 void merge_many(Ctx& cx, const std::vector<Slice<i64>>& seqs, size_t lo,
-                size_t hi, Slice<i64> out, size_t base, size_t grain) {
+                size_t hi, Slice<i64> out, size_t base, size_t grain,
+                const SpmsTuning& tn) {
   if (hi == lo) return;
   if (hi - lo == 1) {
-    spms_copy(cx, seqs[lo], out, grain);
+    spms_copy(cx, seqs[lo], out, grain, tn);
     return;
   }
   if (hi - lo == 2) {
-    merge2(cx, seqs[lo], seqs[lo + 1], out, 8, grain);
+    merge2(cx, seqs[lo], seqs[lo + 1], out, 8, grain, tn);
     return;
   }
-  if (out.n <= std::max(base, kSpmsMergeBase)) {
+  if (out.n <= std::max(base, tn.merge_base)) {
     std::vector<Slice<i64>> segs(seqs.begin() + lo, seqs.begin() + hi);
-    spms_base(cx, segs, out);
+    spms_base(cx, segs, out, tn);
     return;
   }
   // Split the sequence list where the words split most evenly.
@@ -294,16 +475,78 @@ void merge_many(Ctx& cx, const std::vector<Slice<i64>>& seqs, size_t lo,
   auto sr = scratch.slice(left_words, words - left_words);
   cx.fork2(
       2 * left_words,
-      [&] { merge_many(cx, seqs, lo, mid, sl, base, grain); },
+      [&] { merge_many(cx, seqs, lo, mid, sl, base, grain, tn); },
       2 * (words - left_words),
-      [&] { merge_many(cx, seqs, mid, hi, sr, base, grain); });
-  merge2(cx, sl, sr, out, 8, grain);
+      [&] { merge_many(cx, seqs, mid, hi, sr, base, grain, tn); });
+  merge2(cx, sl, sr, out, 8, grain, tn);
+}
+
+/// Interleaved resolver for merges the adaptive stride could not tame
+/// (sequence count r with r·t tables that would dominate m — near-empty
+/// segments): ONE word-balanced grouping round collapses the sequence
+/// count to the cap — every group merges recursively in parallel into
+/// staged scratch, then the g group results re-enter spms_merge, whose
+/// sampling machinery now applies.  O(1) grouping rounds replace the old
+/// binary tree's O(log r) merge2 levels on the critical path.
+template <class Ctx>
+void merge_grouped(Ctx& cx, const std::vector<Slice<i64>>& seqs,
+                   Slice<i64> out, size_t base, size_t grain, uint32_t depth,
+                   const SpmsTuning& tn) {
+  const size_t q = seqs.size();
+  RO_CHECK(q >= 3);  // 0/1/2 sequences are handled upstream
+  const size_t words = out.n;
+  if (words <= std::max(base, tn.merge_base) || depth >= kSpmsDepthCap) {
+    spms_base(cx, seqs, out, tn);
+    return;
+  }
+  // Group count: the machinery's cap, but at most q/2 so every round
+  // strictly (and usually geometrically) lowers the sequence count.
+  const size_t g =
+      std::max<size_t>(2, std::min(spms_seq_cap(words, tn), q / 2));
+  std::vector<size_t> gb(g + 1);  // group boundaries into seqs
+  std::vector<size_t> goff(g + 1, 0);  // group word offsets into scratch
+  {
+    size_t i = 0;
+    size_t acc = 0;
+    for (size_t j = 0; j < g; ++j) {
+      gb[j] = i;
+      goff[j] = acc;
+      // Take ≥ 1 sequence, stop at the word-balanced target, and always
+      // leave one sequence for each remaining group.
+      do {
+        acc += seqs[i].n;
+        ++i;
+      } while (i + (g - 1 - j) < q && acc * g < words * (j + 1));
+    }
+    gb[g] = q;
+    goff[g] = words;
+    RO_CHECK(i <= q && acc <= words);
+    // Trailing sequences the walk did not reach belong to the last group.
+    for (size_t k = i; k < q; ++k) acc += seqs[k].n;
+    RO_CHECK(acc == words);
+  }
+  auto scratch = cx.template local<i64>(words);
+  auto st = scratch.slice();
+  fork_range_sized(
+      cx, 0, g, [&](size_t j) { return 2 * (goff[j + 1] - goff[j]); },
+      [&](size_t j) {
+        std::vector<Slice<i64>> group(seqs.begin() + gb[j],
+                                      seqs.begin() + gb[j + 1]);
+        spms_merge(cx, group, st.sub(goff[j], goff[j + 1] - goff[j]), base,
+                   grain, depth + 1, tn);
+      });
+  std::vector<Slice<i64>> merged(g);
+  for (size_t j = 0; j < g; ++j) {
+    merged[j] = st.sub(goff[j], goff[j + 1] - goff[j]);
+  }
+  spms_merge(cx, merged, out, base, grain, depth + 1, tn);
 }
 
 /// Multiway merge of the sorted sequences `seqs_in` (total size out.n).
 template <class Ctx>
 void spms_merge(Ctx& cx, const std::vector<Slice<i64>>& seqs_in,
-                Slice<i64> out, size_t base, size_t grain, uint32_t depth) {
+                Slice<i64> out, size_t base, size_t grain, uint32_t depth,
+                const SpmsTuning& tn) {
   std::vector<Slice<i64>> seqs;
   seqs.reserve(seqs_in.size());
   size_t total = 0;
@@ -318,27 +561,50 @@ void spms_merge(Ctx& cx, const std::vector<Slice<i64>>& seqs_in,
   if (m == 0) return;
   const size_t r = seqs.size();
   if (r == 1) {
-    spms_copy(cx, seqs[0], out, grain);
+    spms_copy(cx, seqs[0], out, grain, tn);
     return;
   }
-  if (m <= std::max({base, kSpmsMergeBase, 2 * r}) ||
-      depth >= kSpmsDepthCap) {
-    spms_base(cx, seqs, out);
+  // Base case.  The legacy path additionally bails to the sequential base
+  // below 2r (it had no parallel resolver for many tiny sequences); the
+  // interleaved path keeps those parallel via merge_grouped — the
+  // sequential Θ(r)-span sample sorts this removes from every machinery
+  // level are part of the span fix.
+  const size_t cutoff = tn.interleave
+                            ? std::max(base, tn.merge_base)
+                            : std::max({base, tn.merge_base, 2 * r});
+  if (m <= cutoff || depth >= kSpmsDepthCap) {
+    spms_base(cx, seqs, out, tn);
     return;
   }
   if (r == 2) {
-    merge2(cx, seqs[0], seqs[1], out, 8, grain);
+    merge2(cx, seqs[0], seqs[1], out, 8, grain, tn);
     return;
   }
-  const size_t s = spms_stride(m);
+  const size_t s = spms_stride(m, tn);
   size_t ns = 0;
   for (size_t i = 0; i < r; ++i) {
     ns += spms_sample_count(seqs[i].n, s, spms_sample_off(i, r, s));
   }
-  if (r > spms_seq_cap(m) || ns < 2) {
-    // Bucket shape (many short segments): the r×t boundary tables would
-    // dominate, so resolve with the binary merge tree instead.
-    merge_many(cx, seqs, 0, seqs.size(), out, base, grain);
+  if (tn.interleave) {
+    // Below the machinery floor the binary tree wins on constants and its
+    // depth is bounded by the fixed cutoff — O(1) span per occurrence.
+    if (m < tn.machinery_min) {
+      merge_many(cx, seqs, 0, seqs.size(), out, base, grain, tn);
+      return;
+    }
+    // The machinery wants r ≤ ⌈√m⌉/4 sequences: beyond that the per-
+    // sequence table overhead binds (stride_per_seq·r outgrows the
+    // natural stride) and a level would yield almost no pivots.  One
+    // word-balanced grouping round collapses r to the cap and re-enters
+    // — O(1) rounds where the staged tree paid O(log r) merge2 levels.
+    if (ns < 2 || tn.stride_per_seq * r > s || r * ns > m) {
+      merge_grouped(cx, seqs, out, base, grain, depth, tn);
+      return;
+    }
+  } else if (r > spms_seq_cap(m, tn) || ns < 2) {
+    // Legacy bucket shape (many short segments): the r×t boundary tables
+    // would dominate, so resolve with the binary merge tree instead.
+    merge_many(cx, seqs, 0, seqs.size(), out, base, grain, tn);
     return;
   }
 
@@ -371,9 +637,19 @@ void spms_merge(Ctx& cx, const std::vector<Slice<i64>>& seqs_in,
   // sorted subsequences of the runs), then dedup into pivot values ----
   auto sample_sorted = cx.template local<i64>(ns);
   {
-    std::vector<Slice<i64>> sseqs(r);
-    for (size_t i = 0; i < r; ++i) sseqs[i] = sample.slice(soff[i], scnt[i]);
-    spms_merge(cx, sseqs, sample_sorted.slice(), base, grain, depth + 1);
+    std::vector<Slice<i64>> sseqs;
+    sseqs.reserve(r);
+    for (size_t i = 0; i < r; ++i) {
+      if (scnt[i]) sseqs.push_back(sample.slice(soff[i], scnt[i]));
+    }
+    if (tn.interleave && ns <= tn.sample_sort_seq) {
+      // Small sample: the sequential base case beats any parallel
+      // structure's fork overhead, and the fixed cap keeps this O(1) span.
+      spms_base(cx, sseqs, sample_sorted.slice(), tn);
+    } else {
+      spms_merge(cx, sseqs, sample_sorted.slice(), base, grain, depth + 1,
+                 tn);
+    }
   }
   auto keep = cx.template local<i64>(ns);
   auto pos = cx.template local<i64>(ns);
@@ -393,8 +669,8 @@ void spms_merge(Ctx& cx, const std::vector<Slice<i64>>& seqs_in,
   scatter_pack(cx, sample_sorted.slice(), keep.slice(), pos.slice(),
                pivots.slice(), grain);
 
-  // ---- Phase 2c: locate every pivot in every run (lower and upper
-  // bounds) with the parallel multisearch ----
+  // ---- Phase 2c: locate every pivot in every run — lower AND upper
+  // bounds from one batched amortized multisearch per run ----
   auto lo_tab = cx.template local<i64>(r * t);
   auto hi_tab = cx.template local<i64>(r * t);
   {
@@ -404,16 +680,8 @@ void spms_merge(Ctx& cx, const std::vector<Slice<i64>>& seqs_in,
     fork_range_sized(
         cx, 0, r, [&](size_t i) { return 2 * (seqs[i].n + t); },
         [&](size_t i) {
-          cx.fork2(
-              seqs[i].n + t,
-              [&] {
-                multisearch(cx, seqs[i], pv, lt.sub(i * t, t), 0, t, 0,
-                            seqs[i].n, /*strict=*/true);
-              },
-              seqs[i].n + t, [&] {
-                multisearch(cx, seqs[i], pv, ht.sub(i * t, t), 0, t, 0,
-                            seqs[i].n, /*strict=*/false);
-              });
+          multisearch(cx, seqs[i], pv, lt.sub(i * t, t), ht.sub(i * t, t), 0,
+                      t, 0, seqs[i].n, tn);
         });
   }
 
@@ -477,6 +745,15 @@ void spms_merge(Ctx& cx, const std::vector<Slice<i64>>& seqs_in,
         if (b % 2 == 1) {  // equal-value bucket: fill with the pivot
           const size_t j = (b - 1) / 2;
           const i64 v = cx.get(pivots.slice(), j);
+          if constexpr (kern::fast_path_v<Ctx>) {
+            if (tn.kernels) {
+              bp_range(cx, 0, size, std::max(grain, tn.merge2_min), 1,
+                       [&](size_t lo, size_t hi) {
+                         kern::fill(dst.ptr + lo, hi - lo, v);
+                       });
+              return;
+            }
+          }
           bp_range(cx, 0, size, grain, 1, [&](size_t lo, size_t hi) {
             for (size_t q = lo; q < hi; ++q) cx.set(dst, q, v);
           });
@@ -504,37 +781,39 @@ void spms_merge(Ctx& cx, const std::vector<Slice<i64>>& seqs_in,
         // Stage the bucket's segments contiguously (this materializes the
         // partition): the recursive merge then reads one compact range
         // instead of r scattered ones, which is what keeps a bucket's
-        // working set ~its own size on any cache.
+        // working set ~its own size on any cache.  The interleaved
+        // recursion then drops straight into the next SPMS level — the
+        // adaptive stride keeps it on the sampling machinery.
         auto staged = cx.template local<i64>(size);
         auto st = staged.slice();
         fork_range_sized(
             cx, 0, srcs.size(),
             [&](size_t i) { return 2 * srcs[i].n; },
             [&](size_t i) {
-              spms_copy(cx, srcs[i], st.sub(offs[i], srcs[i].n), grain);
+              spms_copy(cx, srcs[i], st.sub(offs[i], srcs[i].n), grain, tn);
             });
         std::vector<Slice<i64>> segs(srcs.size());
         for (size_t i = 0; i < srcs.size(); ++i) {
           segs[i] = st.sub(offs[i], srcs[i].n);
         }
-        spms_merge(cx, segs, dst, base, grain, depth + 1);
+        spms_merge(cx, segs, dst, base, grain, depth + 1, tn);
       });
 }
 
 template <class Ctx>
 void spms_sort_rec(Ctx& cx, Slice<i64> a, Slice<i64> out, size_t base,
-                   size_t grain, uint32_t depth) {
+                   size_t grain, uint32_t depth, const SpmsTuning& tn) {
   RO_CHECK(a.n == out.n);
   const size_t n = a.n;
-  if (n <= std::max(base, kSpmsMergeBase)) {
-    spms_base(cx, {a}, out);
+  if (n <= std::max(base, tn.merge_base)) {
+    spms_base(cx, {a}, out, tn);
     return;
   }
   // Phase 1: k = ⌈√n⌉/4 contiguous runs of size ~4√n, sorted recursively
   // in parallel into fresh scratch (written once — limited access).  The
   // divisor keeps k at the merge's sequence cap so the top merge needs no
-  // pair rounds and its boundary tables stay ≤ ~m/16 entries.
-  const size_t k = spms_seq_cap(n);
+  // grouping round and its boundary tables stay ≤ ~m/16 entries.
+  const size_t k = spms_seq_cap(n, tn);
   const size_t run = (n + k - 1) / k;
   const size_t nruns = (n + run - 1) / run;
   auto runs = cx.template local<i64>(n);
@@ -544,7 +823,7 @@ void spms_sort_rec(Ctx& cx, Slice<i64> a, Slice<i64> out, size_t base,
       const size_t lo = i * run;
       const size_t len = std::min(run, n - lo);
       spms_sort_rec(cx, a.sub(lo, len), rs.sub(lo, len), base, grain,
-                    depth + 1);
+                    depth + 1, tn);
     });
   }
   std::vector<Slice<i64>> seqs(nruns);
@@ -552,16 +831,17 @@ void spms_sort_rec(Ctx& cx, Slice<i64> a, Slice<i64> out, size_t base,
     const size_t lo = i * run;
     seqs[i] = runs.slice(lo, std::min(run, n - lo));
   }
-  spms_merge(cx, seqs, out, base, grain, depth);
+  spms_merge(cx, seqs, out, base, grain, depth, tn);
 }
 
 }  // namespace detail
 
-/// Sorts `a` into `out` with SPMS (non-destructive; |a| = |out|).
+/// Sorts `a` into `out` with SPMS (non-destructive; |a| = |out|).  `tn`
+/// overrides the process-wide tuning for this call.
 template <class Ctx>
 void spms(Ctx& cx, Slice<i64> a, Slice<i64> out, size_t base = 32,
-          size_t grain = 1) {
-  detail::spms_sort_rec(cx, a, out, base, grain, 0);
+          size_t grain = 1, const SpmsTuning& tn = spms_tuning()) {
+  detail::spms_sort_rec(cx, a, out, base, grain, 0, tn);
 }
 
 /// Runtime dispatch for the sort-consuming algorithms (route, LR, CC,

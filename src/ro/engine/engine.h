@@ -27,9 +27,12 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "ro/alg/spms.h"
 
 #include "ro/core/seq_ctx.h"
 #include "ro/core/shard_ctx.h"
@@ -106,6 +109,13 @@ struct RunOptions {
   uint32_t numa_groups = 0;       // worker groups; 0 = one per detected node
   double numa_escape = 1.0 / 16;  // random flavor cross-group steal prob
   bool numa_pin = false;          // pin workers to their node's cpus (Linux)
+
+  // ---- algorithm tuning ----
+  // Per-run override of the SPMS tuning knobs (alg/spms.h SpmsTuning):
+  // installed process-wide for the duration of the run and restored after,
+  // so bench sweeps change merge thresholds / strides / kernel selection
+  // per run instead of per recompile.  Unset = the process default.
+  std::optional<alg::SpmsTuning> spms;
 };
 
 /// A recorded computation plus its derived stats (Engine::record).
@@ -182,6 +192,28 @@ struct BatchShard {
   double wall_ms = 0;     // the chain end to end (incl. analyze)
 };
 
+/// Scoped install of a per-run SPMS tuning override (RunOptions::spms):
+/// swaps the process-wide tuning in for the run and restores the previous
+/// tuning on scope exit.  Like the global itself this is unsynchronized —
+/// concurrent runs needing *different* tunings should pass the tuning to
+/// alg::spms directly instead of overriding per run.
+class SpmsTuningScope {
+ public:
+  explicit SpmsTuningScope(const std::optional<alg::SpmsTuning>& t)
+      : active_(t.has_value()), prev_(alg::spms_tuning()) {
+    if (active_) alg::set_spms_tuning(*t);
+  }
+  ~SpmsTuningScope() {
+    if (active_) alg::set_spms_tuning(prev_);
+  }
+  SpmsTuningScope(const SpmsTuningScope&) = delete;
+  SpmsTuningScope& operator=(const SpmsTuningScope&) = delete;
+
+ private:
+  bool active_;
+  alg::SpmsTuning prev_;
+};
+
 }  // namespace detail
 
 class Engine {
@@ -197,6 +229,7 @@ class Engine {
     RunReport r;
     r.label = opt.label;
     r.backend = opt.backend;
+    const detail::SpmsTuningScope tuning(opt.spms);
     const auto t0 = std::chrono::steady_clock::now();
     switch (opt.backend) {
       case Backend::kSeq: {
@@ -311,6 +344,7 @@ class Engine {
     RO_CHECK_MSG(!progs.empty(), "run_batch needs at least one program");
     RO_CHECK_MSG(!backend_is_parallel(opt.backend),
                  "run_batch replays traces; use a seq/sim backend");
+    const detail::SpmsTuningScope tuning(opt.spms);
     if (opt.pipeline) return run_batch_pipelined(progs, opt);
     const auto t0 = std::chrono::steady_clock::now();
     const uint32_t n = static_cast<uint32_t>(progs.size());

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "ro/alg/route.h"
@@ -36,6 +37,9 @@ std::vector<i64> pattern_input(const std::string& name, size_t n) {
   } else if (name == "few-distinct") {
     Rng rng(9);
     for (auto& x : v) x = static_cast<i64>(rng.next_below(3));
+  } else if (name == "organ-pipe") {
+    for (size_t i = 0; i < n; ++i)
+      v[i] = static_cast<i64>(std::min(i, n - 1 - i));
   }
   return v;
 }
@@ -87,7 +91,8 @@ TEST_P(SortPattern, MatchesStdSort) {
 INSTANTIATE_TEST_SUITE_P(
     Patterns, SortPattern,
     ::testing::Combine(::testing::Values("all-equal", "sawtooth", "sorted",
-                                         "reverse", "few-distinct"),
+                                         "reverse", "few-distinct",
+                                         "organ-pipe"),
                        ::testing::Values(0, 1)),
     [](const auto& info) {
       std::string name = std::get<0>(info.param) + "_" +
@@ -131,6 +136,70 @@ TEST(SpmsEngineParity, AllBackendsProduceGoldenOutput) {
     EXPECT_EQ(r.has_pool, backend_is_parallel(b));
   }
 }
+
+// Satellite: the interleaved recursion under adversarial inputs on every
+// backend.  Each pattern must match std::sort on all five backends, and
+// the simulated backends must be deterministic end to end: re-running the
+// identical program gives bit-identical metrics, and both sim flavors
+// replay the same recorded trace (same work and span).
+class SpmsAdversarial : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SpmsAdversarial, AllBackendsSortWithDeterministicMetrics) {
+  const std::string pattern = GetParam();
+  const size_t n = 4096;
+  const std::vector<i64> in = pattern_input(pattern, n);
+  std::vector<i64> want = in;
+  std::sort(want.begin(), want.end());
+
+  auto make = [&in, n](std::vector<i64>& out) {
+    return [&in, n, &out](auto& cx) {
+      auto a = cx.template alloc<i64>(n, "a");
+      std::copy(in.begin(), in.end(), a.raw());
+      auto o = cx.template alloc<i64>(n, "o");
+      cx.run(2 * n, [&] { alg::spms(cx, a.slice(), o.slice()); });
+      out.assign(o.raw(), o.raw() + n);
+    };
+  };
+
+  std::vector<i64> golden;
+  RunOptions opt;
+  opt.backend = Backend::kSeq;
+  testing::engine().run(make(golden), opt);
+  EXPECT_EQ(golden, want) << "seq backend, pattern " << pattern;
+
+  std::vector<GraphStats> recorded;
+  for (Backend b : kNonSeqBackends) {
+    std::vector<i64> out1, out2;
+    RunOptions o;
+    o.backend = b;
+    o.threads = 2;
+    o.serial_below = 64;  // force real forking on the parallel backends
+    const RunReport r1 = testing::engine().run(make(out1), o);
+    const RunReport r2 = testing::engine().run(make(out2), o);
+    EXPECT_EQ(out1, want) << backend_name(b) << ", pattern " << pattern;
+    EXPECT_EQ(out2, want) << backend_name(b) << ", pattern " << pattern;
+    if (backend_is_sim(b)) {
+      EXPECT_EQ(r1.sim.makespan, r2.sim.makespan) << backend_name(b);
+      EXPECT_EQ(r1.sim.cache_misses(), r2.sim.cache_misses())
+          << backend_name(b);
+      EXPECT_EQ(r1.sim.steals(), r2.sim.steals()) << backend_name(b);
+      ASSERT_TRUE(r1.has_graph);
+      recorded.push_back(r1.graph);
+    }
+  }
+  ASSERT_EQ(recorded.size(), 2u);  // sim-pws and sim-rws
+  EXPECT_EQ(recorded[0].work, recorded[1].work) << "pattern " << pattern;
+  EXPECT_EQ(recorded[0].span, recorded[1].span) << "pattern " << pattern;
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, SpmsAdversarial,
+                         ::testing::Values("all-equal", "organ-pipe", "sorted",
+                                           "reverse"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           std::replace(name.begin(), name.end(), '-', '_');
+                           return name;
+                         });
 
 TEST(Spms, SortKindParsesAndNames) {
   SortKind k = SortKind::kMsort;
@@ -205,25 +274,73 @@ TEST(SpmsStructure, WorkIsNLogN) {
   EXPECT_GT(r2 / r1, 0.67);
 }
 
-TEST(SpmsStructure, SpanGrowsSlowerThanMsort) {
-  // SPMS span is O(log² n · log log n) against msort's O(log³ n): over a
-  // 16x size range the measured growth factor must be strictly smaller
-  // (measured ~1.67 vs ~2.15), with slack against small-size noise.
-  const GraphStats spms_small = record_sort(SortKind::kSpms, 1024);
-  const GraphStats spms_big = record_sort(SortKind::kSpms, 16384);
-  const GraphStats msort_small = record_sort(SortKind::kMsort, 1024);
-  const GraphStats msort_big = record_sort(SortKind::kMsort, 16384);
-  const double spms_growth = static_cast<double>(spms_big.span) /
-                             static_cast<double>(spms_small.span);
-  const double msort_growth = static_cast<double>(msort_big.span) /
-                              static_cast<double>(msort_small.span);
-  EXPECT_LT(spms_growth, msort_growth)
-      << "spms span " << spms_small.span << " -> " << spms_big.span
-      << ", msort span " << msort_small.span << " -> " << msort_big.span;
-  // Absolute sanity: span within a generous constant of log²n·loglog n
-  // (measured ~3.2·log²n·loglog n at n = 16384).
-  const double unit = 14.0 * 14.0 * 3.8;  // log²(16384)·log log(16384)
-  EXPECT_LT(static_cast<double>(spms_big.span), 8.0 * unit);
+TEST(SpmsStructure, InterleavedSpanBeatsStagedAndStaysFlat) {
+  // The amortized multisearch + interleaved bucket recursion must beat the
+  // legacy staged variant (SpmsTuning::interleave = false, the binary
+  // merge2 tree with its extra log factor) pointwise, and its span
+  // normalized by lg n · lg lg n must stay in a narrow band — the
+  // O(log n · log log n) trend.  Spans are recording-derived and
+  // deterministic, so these are exact comparisons, not noise bands.
+  alg::SpmsTuning staged = alg::spms_tuning();
+  staged.interleave = false;
+  double norm_min = 0, norm_max = 0;
+  bool first = true;
+  for (const size_t n : {4096u, 8192u, 16384u, 32768u}) {
+    const uint64_t intl = record_sort(SortKind::kSpms, n).span;
+    const alg::SpmsTuning saved = alg::spms_tuning();
+    alg::set_spms_tuning(staged);
+    const uint64_t stg = record_sort(SortKind::kSpms, n).span;
+    alg::set_spms_tuning(saved);
+    EXPECT_LE(intl, stg) << "interleaved span lost to the staged tree at n="
+                         << n;
+    const double lg = std::log2(static_cast<double>(n));
+    const double norm = static_cast<double>(intl) / (lg * std::log2(lg));
+    EXPECT_LT(norm, 80.0) << "span above 80·lg·lglg at n=" << n;
+    norm_min = first ? norm : std::min(norm_min, norm);
+    norm_max = first ? norm : std::max(norm_max, norm);
+    first = false;
+  }
+  EXPECT_LE(norm_max, 1.8 * norm_min)
+      << "normalized span not flat: [" << norm_min << ", " << norm_max << "]";
+}
+
+TEST(SpmsTuningKnobs, RunOptionsOverrideIsScopedToTheRun) {
+  const alg::SpmsTuning before = alg::spms_tuning();
+  const size_t n = 4096;
+  auto prog = [n](auto& cx) {
+    auto a = cx.template alloc<i64>(n, "a");
+    Rng rng(n);
+    for (size_t i = 0; i < n; ++i)
+      a.raw()[i] = static_cast<i64>(rng.next() >> 1);
+    auto o = cx.template alloc<i64>(n, "o");
+    cx.run(2 * n, [&] { alg::spms(cx, a.slice(), o.slice()); });
+  };
+  RunOptions base;
+  base.backend = Backend::kSimPws;
+  const RunReport intl = testing::engine().run(prog, base);
+  RunOptions override_opt = base;
+  alg::SpmsTuning staged = before;
+  staged.interleave = false;
+  override_opt.spms = staged;
+  const RunReport stg = testing::engine().run(prog, override_opt);
+  ASSERT_TRUE(intl.has_graph);
+  ASSERT_TRUE(stg.has_graph);
+  // The override took effect (the staged tree has the longer critical
+  // path) and was rolled back when the run finished.
+  EXPECT_LT(intl.graph.span, stg.graph.span);
+  EXPECT_TRUE(alg::spms_tuning() == before);
+}
+
+TEST(SpmsTuningKnobs, SetRejectsDegenerateValues) {
+  alg::SpmsTuning bad = alg::spms_tuning();
+  bad.merge_base = 1;
+  EXPECT_DEATH(alg::set_spms_tuning(bad), "merge_base");
+  bad = alg::spms_tuning();
+  bad.multisearch_leaf = 1;
+  EXPECT_DEATH(alg::set_spms_tuning(bad), "multisearch_leaf");
+  bad = alg::spms_tuning();
+  bad.stride_mul = 0;
+  EXPECT_DEATH(alg::set_spms_tuning(bad), "stride_mul");
 }
 
 }  // namespace
