@@ -7,8 +7,10 @@ of those artifacts into one BENCH_history.json — a JSON array of
 the engine can be plotted or gated across commits without re-running old
 revisions.
 
-    # append (or replace) this commit's entry
+    # append (or replace) this commit's entry; multiple artifacts merge
+    # into one entry, keyed by (label, backend), later files winning
     $ python3 bench/history.py add build/BENCH_engine.json \
+          build/BENCH_serve.json \
           --commit "$GITHUB_SHA" --history BENCH_history.json
 
     # one line per (label, backend): metric trajectory over commits
@@ -46,10 +48,23 @@ def load_json(path, default=None):
 
 
 def cmd_add(args):
-    reports = load_json(args.fresh)
-    if not isinstance(reports, list):
-        print(f"history: {args.fresh} is not a report array", file=sys.stderr)
-        return 2
+    # Merge every artifact into one row set, keyed like the gates key rows:
+    # (label, backend).  A later file's row replaces an earlier one, so
+    # `add a.json a-fixed.json` behaves like re-adding a commit does.
+    reports = []
+    seen = {}
+    for path in args.fresh:
+        arr = load_json(path)
+        if not isinstance(arr, list):
+            print(f"history: {path} is not a report array", file=sys.stderr)
+            return 2
+        for r in arr:
+            key = (r.get("label", "?"), r.get("backend", "?"))
+            if key in seen:
+                reports[seen[key]] = r
+            else:
+                seen[key] = len(reports)
+                reports.append(r)
     history = load_json(args.history, default=[])
     entry = {"commit": args.commit, "reports": reports}
     replaced = False
@@ -171,7 +186,9 @@ def main():
     sub = ap.add_subparsers(dest="cmd", required=True)
 
     add = sub.add_parser("add", help="fold one bench artifact into history")
-    add.add_argument("fresh", help="freshly emitted BENCH_engine.json")
+    add.add_argument("fresh", nargs="+",
+                     help="freshly emitted BENCH_*.json artifact(s); "
+                          "rows merge keyed by (label, backend)")
     add.add_argument("--commit", required=True, help="commit SHA of the run")
     add.add_argument("--history", default="BENCH_history.json")
     add.add_argument("--max-entries", type=int, default=0,

@@ -237,6 +237,24 @@ class HistoryAdd(ToolingCase):
             entries = json.load(f)
         self.assertEqual([e["commit"] for e in entries], ["bbb", "ccc"])
 
+    def test_multi_file_add_merges_rows_by_label_backend(self):
+        hist = self.path("h.json")
+        a = self.write_json("a.json", [report("eng", "sim-pws", makespan=10),
+                                       report("dup", "sim-pws", makespan=1)])
+        b = self.write_json("b.json", [report("serve", "service", p50_ms=3.5),
+                                       report("dup", "sim-pws", makespan=2)])
+        code, out = run(HISTORY, "add", a, b, "--commit", "c1",
+                        "--history", hist)
+        self.assertEqual(code, 0, out)
+        with open(hist) as f:
+            entries = json.load(f)
+        self.assertEqual(len(entries), 1)
+        rows = {(r["label"], r["backend"]): r
+                for r in entries[0]["reports"]}
+        self.assertEqual(len(rows), 3)       # dup merged, not duplicated
+        self.assertEqual(rows[("dup", "sim-pws")]["makespan"], 2)  # later wins
+        self.assertEqual(rows[("serve", "service")]["p50_ms"], 3.5)
+
     def test_non_array_artifact_is_rejected(self):
         bad = self.write_json("bad.json", {"not": "an array"})
         code, out = run(HISTORY, "add", bad, "--commit", "aaa",

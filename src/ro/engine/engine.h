@@ -3,7 +3,7 @@
 // Algorithms in alg/ are templates over an execution context; the Engine
 // owns everything around them: the simulated address space and cache
 // simulator (via TraceCtx + sched/replay), scheduler selection, and the
-// real-thread pool.  One generic callable runs unchanged on five backends:
+// real-thread pools.  One generic callable runs unchanged on five backends:
 //
 //   Engine eng;
 //   auto prog = [&](auto& cx) {
@@ -19,25 +19,37 @@
 // `prog` must call cx.run(root_size, body) exactly once; allocation and
 // input initialization happen before it, accounted accesses inside it.
 //
-// Benches that replay one recorded trace on many simulated machines split
-// the two phases: Engine::record(prog) -> Recording, then
-// Engine::replay(recording.graph, backend, sim_config) per machine.
+// The primary entry point is Engine::submit(JobSpec [, program]): one
+// versioned spec describes the job (docs/engine.md), the result comes back
+// as a JobResult with a status instead of an abort, and — the redesign's
+// point — submit is safe to call from many threads at once.  Pools come
+// from a thread-safe PoolCache under exclusive leases, and per-job SPMS
+// tuning goes through a TuningGate instead of an unsynchronized global
+// swap.  run / run_batch are thin shims over submit and remain the
+// convenient single-caller surface; record / replay / diagnose expose the
+// two phases separately for benches that replay one trace on many machines.
 #pragma once
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "ro/alg/spms.h"
-
 #include "ro/core/seq_ctx.h"
 #include "ro/core/shard_ctx.h"
 #include "ro/core/trace_ctx.h"
 #include "ro/doctor/doctor.h"
+#include "ro/engine/any_prog.h"
+#include "ro/engine/job.h"
+#include "ro/engine/options.h"
+#include "ro/engine/pool_cache.h"
 #include "ro/engine/report.h"
 #include "ro/rt/par_ctx.h"
 #include "ro/rt/pool.h"
@@ -46,173 +58,50 @@
 
 namespace ro {
 
-/// Streaming trace pipeline knobs (RunOptions::trace): when segment_tasks
-/// is nonzero, sim-backend recordings go through a chunked ro::TraceStore
-/// (fixed-capacity trace segments, bounded resident window, sealed
-/// segments spilled to disk) instead of the monolithic in-memory access
-/// vector, and replay streams them back through cursors — bit-identical
-/// Metrics, bounded memory (docs/streaming.md).
-struct StreamOptions {
-  uint64_t segment_tasks = 0;          // records per trace segment;
-                                       // 0 = classic in-memory recording
-  uint32_t max_resident_segments = 4;  // resident window (0 = unbounded)
-  std::string spill_dir;               // "" = the system temp directory
-  bool compress = true;                // delta/varint-encode spilled
-                                       // segments (trace_codec.h)
-  bool async_spill = false;            // background seal->compress->spill
-                                       // worker (RunOptions::pipeline
-                                       // turns this on automatically)
-
-  TraceStore::Options store_options() const {
-    TraceStore::Options o;
-    o.segment_tasks = segment_tasks;
-    o.max_resident_segments = max_resident_segments;
-    o.spill_dir = spill_dir;
-    o.compress = compress;
-    o.async_spill = async_spill;
-    return o;
-  }
-};
-
-struct RunOptions {
-  Backend backend = Backend::kSeq;
-  std::string label;            // carried verbatim into the report
-
-  // ---- sim backends ----
-  SimConfig sim;                // simulated machine (p, M, B, latencies, ...)
-                                // incl. replay_threads, the host-parallel
-                                // record/replay knob (1 = sequential)
-  bool padded = false;          // padded BP/HBP frames (Def 3.3)
-  uint64_t align_words = 4096;  // VSpace allocation alignment
-  uint32_t shard = 0;           // address shard to record into (vspace.h)
-  bool seq_baseline = true;     // also replay at p=1 for Q(n,M,B) + excess
-  StreamOptions trace;          // streaming trace pipeline (off by default)
-  // Record-while-replay pipelining.  Engine::run overlaps the stream
-  // analysis pass with the replay walks and spills/compresses trace
-  // segments behind the recorder (TraceStore async_spill), so the wall
-  // clock approaches record + max(analyze, replay) instead of their sum.
-  // Engine::run_batch turns each shard into an independent
-  // record -> analyze -> replay chain with no phase barriers: shard 0
-  // replays while shard 1 is still recording.  Metrics stay bit-identical
-  // to the serial pipeline (asserted in tests/test_stream.cpp); only
-  // trace_peak_resident_bytes becomes timing-dependent, since spilling
-  // and replay reloads now overlap.
-  bool pipeline = false;
-
-  // ---- parallel backends ----
-  // Pool size.  0 = keep the engine's current pool for the policy (created
-  // at hardware concurrency on first use); a nonzero value resizes it.
-  unsigned threads = 0;
-  uint64_t serial_below = 1 << 12;  // ParCtx serial cutoff, words
-
-  // ---- NUMA backends (par-numa-random / par-numa-priority) ----
-  uint32_t numa_groups = 0;       // worker groups; 0 = one per detected node
-  double numa_escape = 1.0 / 16;  // random flavor cross-group steal prob
-  bool numa_pin = false;          // pin workers to their node's cpus (Linux)
-
-  // ---- algorithm tuning ----
-  // Per-run override of the SPMS tuning knobs (alg/spms.h SpmsTuning):
-  // installed process-wide for the duration of the run and restored after,
-  // so bench sweeps change merge thresholds / strides / kernel selection
-  // per run instead of per recompile.  Unset = the process default.
-  std::optional<alg::SpmsTuning> spms;
-};
-
-/// A recorded computation plus its derived stats (Engine::record).
-struct Recording {
-  TaskGraph graph;
-  GraphStats stats;
-};
-
-/// The replay scheduler a (non-parallel) backend selects.
-inline SchedKind sched_kind_of(Backend b) {
-  return b == Backend::kSeq      ? SchedKind::kSeq
-         : b == Backend::kSimPws ? SchedKind::kPws
-                                 : SchedKind::kRws;
-}
-
 namespace detail {
 
-/// Uniform run() seam over the concrete contexts: forwards the whole
-/// Context surface to `Inner` and captures the TaskGraph that only the
-/// recording context produces, so one generic `prog(cx)` works everywhere.
-template <class Inner>
-class EngineCtx : public CtxBase<EngineCtx<Inner>> {
+/// Serializes jobs over the process-wide SPMS tuning (alg::spms_tuning is
+/// read as a default argument on pool threads mid-record, so it cannot be
+/// job-local state).  Jobs whose *effective* tuning — their RunOptions
+/// override, or the process default snapshotted when the machine was idle —
+/// matches the currently installed one proceed concurrently; a job needing
+/// a different tuning waits for the active group to drain, installs its
+/// own, and the default is restored when the last job of a group leaves.
+/// This replaces the old unsynchronized per-run global swap
+/// (SpmsTuningScope), which silently corrupted concurrent runs.
+class TuningGate {
  public:
-  static constexpr bool kRecording = Inner::kRecording;
+  class Lease {
+   public:
+    Lease(Lease&& o) noexcept : gate_(o.gate_) { o.gate_ = nullptr; }
+    Lease& operator=(Lease&& o) noexcept;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease();
 
-  explicit EngineCtx(Inner& in) : in_(in) {}
+   private:
+    friend class TuningGate;
+    explicit Lease(TuningGate* gate) : gate_(gate) {}
+    TuningGate* gate_ = nullptr;
+  };
 
-  template <class T>
-  void on_access(const Slice<T>& s, size_t i, bool write) {
-    in_.on_access(s, i, write);  // Inner's accounting, Inner's default
-  }
-
-  template <class T>
-  VArray<T> do_alloc(size_t n, const char* name) {
-    return in_.template alloc<T>(n, name);
-  }
-
-  template <class T>
-  Local<T> do_local(size_t n) {
-    return in_.template local<T>(n);
-  }
-
-  template <class F, class G>
-  void fork2(uint64_t size_left, F&& f, uint64_t size_right, G&& g) {
-    in_.fork2(size_left, std::forward<F>(f), size_right, std::forward<G>(g));
-  }
-
-  template <class F>
-  void run(uint64_t root_size, F&& f) {
-    if constexpr (Inner::kRecording) {
-      graph_ = in_.run(root_size, std::forward<F>(f));
-    } else {
-      in_.run(root_size, std::forward<F>(f));
-    }
-  }
-
-  TaskGraph& graph() { return graph_; }
+  /// Blocks until `want` (or, unset, the idle-snapshot default) can be the
+  /// installed tuning, then joins the active group.
+  Lease enter(const std::optional<alg::SpmsTuning>& want);
 
  private:
-  Inner& in_;
-  TaskGraph graph_;
+  void leave();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t active_ = 0;       // jobs currently inside the gate
+  alg::SpmsTuning cur_{};     // tuning the active group runs under
+  alg::SpmsTuning base_{};    // process default snapshotted at group start
 };
 
-/// One shard's results from a pipelined batch chain (record -> analyze ->
-/// replay with no cross-shard barriers); the non-template report-assembly
-/// tail consumes a vector of these.
-struct BatchShard {
-  TaskGraph g;
-  GraphStats stats;
-  Metrics main;
-  Metrics base;           // p=1 baseline (valid when the batch asks for it)
-  double record_ms = 0;   // host time this chain spent recording
-  double replay_ms = 0;   // host time replaying (main + baseline)
-  double wall_ms = 0;     // the chain end to end (incl. analyze)
-};
-
-/// Scoped install of a per-run SPMS tuning override (RunOptions::spms):
-/// swaps the process-wide tuning in for the run and restores the previous
-/// tuning on scope exit.  Like the global itself this is unsynchronized —
-/// concurrent runs needing *different* tunings should pass the tuning to
-/// alg::spms directly instead of overriding per run.
-class SpmsTuningScope {
- public:
-  explicit SpmsTuningScope(const std::optional<alg::SpmsTuning>& t)
-      : active_(t.has_value()), prev_(alg::spms_tuning()) {
-    if (active_) alg::set_spms_tuning(*t);
-  }
-  ~SpmsTuningScope() {
-    if (active_) alg::set_spms_tuning(prev_);
-  }
-  SpmsTuningScope(const SpmsTuningScope&) = delete;
-  SpmsTuningScope& operator=(const SpmsTuningScope&) = delete;
-
- private:
-  bool active_;
-  alg::SpmsTuning prev_;
-};
+/// Aborts with the JobResult's error when a shim's job failed — the legacy
+/// entry points promised RO_CHECK semantics, submit promises a status.
+void require_ok(const JobResult& jr, const char* what);
 
 }  // namespace detail
 
@@ -222,91 +111,75 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
+  // ---- the concurrent-caller entry point -------------------------------
+
+  /// Executes the named workload the spec selects (spec.workload, resolved
+  /// through engine/workloads.h) as a kRun / kBatch / kDiagnose job.
+  /// Thread-safe: concurrent submits share the pool cache and serialize
+  /// only when their SPMS tunings differ.  Invalid specs come back as
+  /// status kError with a reason — never an abort — so wire callers
+  /// (ro-serve) stay up across bad input.
+  JobResult submit(const JobSpec& spec);
+
+  /// Programmatic flavour: runs `prog` instead of a named workload
+  /// (kRun and kDiagnose jobs; spec.workload is ignored).
+  JobResult submit(const JobSpec& spec, const AnyProg& prog);
+
+  /// Batch flavour: one program per shard (kBatch jobs).
+  JobResult submit(const JobSpec& spec, const std::vector<AnyProg>& progs);
+
+  // ---- legacy single-caller surface (shims over submit) ----------------
+
   /// Runs `prog` on the backend selected by `opt` and returns the unified
   /// report.  `prog(cx)` must call cx.run(root_size, body) exactly once.
+  /// Equivalent to submit() with a kRun spec; kept for callers that want
+  /// report-or-abort semantics.
   template <class Prog>
   RunReport run(Prog&& prog, const RunOptions& opt = {}) {
-    RunReport r;
-    r.label = opt.label;
-    r.backend = opt.backend;
-    const detail::SpmsTuningScope tuning(opt.spms);
-    const auto t0 = std::chrono::steady_clock::now();
-    switch (opt.backend) {
-      case Backend::kSeq: {
-        SeqCtx cx;
-        detail::EngineCtx<SeqCtx> ec(cx);
-        prog(ec);
-        break;
-      }
-      case Backend::kSimPws:
-      case Backend::kSimRws: {
-        StreamOptions st = opt.trace;
-        if (opt.pipeline) st.async_spill = true;  // spill behind recording
-        const TaskGraph g = record_graph(
-            std::forward<Prog>(prog), st.segment_tasks > 0 ? &st : nullptr,
-            opt.padded, opt.align_words, opt.shard);
-        GraphStats gs;
-        if (opt.pipeline) {
-          // The analysis pass is a full walk of the stream; overlap it
-          // with the replay walks (all read-only on the sealed store):
-          // wall = record + max(analyze, replay) instead of their sum.
-          std::thread analyzer([&] { gs = g.analyze(); });
-          fill_replay(r, g, opt.backend, opt.sim, opt.seq_baseline);
-          analyzer.join();
-        } else {
-          gs = g.analyze();
-          fill_replay(r, g, opt.backend, opt.sim, opt.seq_baseline);
-        }
-        r.has_graph = true;
-        r.graph = gs;
-        fill_stream_stats(r, g);  // post-replay: loads included
-        break;
-      }
-      case Backend::kParRandom:
-      case Backend::kParPriority:
-      case Backend::kParNumaRandom:
-      case Backend::kParNumaPriority: {
-        rt::Pool& pool = pool_for(opt);
-        const rt::PoolStats before = pool.stats();
-        rt::ParCtx cx(pool, opt.serial_below);
-        detail::EngineCtx<rt::ParCtx> ec(cx);
-        prog(ec);
-        const rt::PoolStats after = pool.stats();
-        r.has_pool = true;
-        r.threads = pool.threads();
-        r.pool_steals = after.steals - before.steals;
-        r.pool_failed_steals = after.failed_steals - before.failed_steals;
-        r.pool_groups = pool.groups();
-        r.pool_local_steals = after.local_steals - before.local_steals;
-        r.pool_remote_steals = after.remote_steals - before.remote_steals;
-        r.pool_group_local_steals.resize(after.group_local.size());
-        r.pool_group_remote_steals.resize(after.group_remote.size());
-        for (size_t g = 0; g < after.group_local.size(); ++g) {
-          r.pool_group_local_steals[g] =
-              after.group_local[g] - before.group_local[g];
-          r.pool_group_remote_steals[g] =
-              after.group_remote[g] - before.group_remote[g];
-        }
-        break;
-      }
-    }
-    r.wall_ms = std::chrono::duration<double, std::milli>(
-                    std::chrono::steady_clock::now() - t0)
-                    .count();
-    return r;
+    JobSpec spec;
+    spec.kind = JobKind::kRun;
+    spec.opt = opt;
+    JobResult jr = submit(spec, AnyProg(std::forward<Prog>(prog)));
+    detail::require_ok(jr, "Engine::run");
+    return std::move(jr.report);
+  }
+
+  /// Batch pipeline: records `progs[i]` into shard i of one ShardedVSpace —
+  /// on concurrent host threads when opt.sim.replay_threads allows — fuses
+  /// the per-shard graphs with merge_shards, and replays every shard (plus
+  /// its p=1 baseline unless opt.seq_baseline is off) in parallel against
+  /// the machine opt.sim describes.  opt.backend must be kSeq / kSimPws /
+  /// kSimRws.  The BatchReport carries one RunReport per shard (labelled
+  /// "label#i") and the shard-order aggregate; both are bit-identical for
+  /// every replay_threads value.  With opt.capacity_shared the shards
+  /// replay on ONE shared machine with per-tenant attribution instead
+  /// (docs/serve.md).  Equivalent to submit() with a kBatch spec.
+  template <class Prog>
+  BatchReport run_batch(const std::vector<Prog>& progs,
+                        const RunOptions& opt = {}) {
+    std::vector<AnyProg> any(progs.begin(), progs.end());
+    JobSpec spec;
+    spec.kind = JobKind::kBatch;
+    spec.shards = static_cast<uint32_t>(progs.size());
+    spec.opt = opt;
+    JobResult jr = submit(spec, any);
+    detail::require_ok(jr, "Engine::run_batch");
+    return std::move(jr.batch);
   }
 
   /// Records `prog` through a fresh TraceCtx (the Engine-owned virtual
   /// address space) and returns the graph + stats for repeated replay.
   /// `shard` selects the address shard recorded into (0 = the classic
   /// single-shard layout); replay rebases per shard, so the shard choice
-  /// never changes the replayed Metrics.
+  /// never changes the replayed Metrics.  Recording reads the *process
+  /// default* SPMS tuning: submit() is the entry point that coordinates
+  /// per-job tunings.
   template <class Prog>
   Recording record(Prog&& prog, bool padded = false,
                    uint64_t align_words = 4096, uint32_t shard = 0) {
     Recording rec;
-    rec.graph = record_graph(std::forward<Prog>(prog), nullptr, padded,
-                             align_words, shard);
+    rec.graph = record_graph(AnyProg(std::forward<Prog>(prog)), nullptr,
+                             padded, align_words, shard);
     rec.stats = rec.graph.analyze();
     return rec;
   }
@@ -324,57 +197,10 @@ class Engine {
     RO_CHECK_MSG(stream.segment_tasks > 0,
                  "record_stream needs a trace segment capacity");
     Recording rec;
-    rec.graph = record_graph(std::forward<Prog>(prog), &stream, padded,
-                             align_words, shard);
+    rec.graph = record_graph(AnyProg(std::forward<Prog>(prog)), &stream,
+                             padded, align_words, shard);
     rec.stats = rec.graph.analyze();
     return rec;
-  }
-
-  /// Batch pipeline: records `progs[i]` into shard i of one ShardedVSpace —
-  /// on concurrent host threads when opt.sim.replay_threads allows — fuses
-  /// the per-shard graphs with merge_shards, and replays every shard (plus
-  /// its p=1 baseline unless opt.seq_baseline is off) in parallel against
-  /// the machine opt.sim describes.  opt.backend must be kSeq / kSimPws /
-  /// kSimRws.  The BatchReport carries one RunReport per shard (labelled
-  /// "label#i") and the shard-order aggregate; both are bit-identical for
-  /// every replay_threads value.
-  template <class Prog>
-  BatchReport run_batch(const std::vector<Prog>& progs,
-                        const RunOptions& opt = {}) {
-    RO_CHECK_MSG(!progs.empty(), "run_batch needs at least one program");
-    RO_CHECK_MSG(!backend_is_parallel(opt.backend),
-                 "run_batch replays traces; use a seq/sim backend");
-    const detail::SpmsTuningScope tuning(opt.spms);
-    if (opt.pipeline) return run_batch_pipelined(progs, opt);
-    const auto t0 = std::chrono::steady_clock::now();
-    const uint32_t n = static_cast<uint32_t>(progs.size());
-    ShardedVSpace ssp(n, opt.align_words);
-    std::vector<TaskGraph> graphs(n);
-    auto record_one = [&](size_t i) {
-      TraceCtx::Options topt;
-      topt.padded = opt.padded;
-      if (opt.trace.segment_tasks > 0) {
-        // One chunked store per shard: shards spill and stream
-        // independently, so the batch's resident bound scales with the
-        // window x live recorders, not with the trace.
-        topt.store = std::make_shared<TraceStore>(opt.trace.store_options());
-      }
-      ShardCtx cx(ssp, static_cast<uint32_t>(i), topt);
-      detail::EngineCtx<TraceCtx> ec(cx);
-      progs[i](ec);
-      graphs[i] = std::move(ec.graph());
-    };
-    const uint32_t rec_threads = replay_host_threads(opt.sim.replay_threads, n);
-    if (rec_threads <= 1) {
-      for (uint32_t i = 0; i < n; ++i) record_one(i);
-    } else {
-      rt::Pool pool(rec_threads, rt::StealPolicy::kRandom);
-      rt::parallel_index(pool, n, record_one);
-    }
-    const double record_ms = std::chrono::duration<double, std::milli>(
-                                 std::chrono::steady_clock::now() - t0)
-                                 .count();
-    return finish_batch(std::move(graphs), opt, record_ms, t0);
   }
 
   /// Replays a recorded graph on one simulated machine.  `backend` may be
@@ -399,7 +225,8 @@ class Engine {
   /// classification into ranked per-line findings, a repair plan as an
   /// AddressRemap, and — when the plan is non-empty — a verifying replay
   /// of the *same* trace under the remap.  The report carries bit-exact
-  /// before/after metrics; `backend` must be a sim backend.
+  /// before/after metrics; `backend` must be a sim backend.  This is the
+  /// seam kDiagnose submit() jobs land on after recording their workload.
   doctor::DoctorReport diagnose(const TaskGraph& g, Backend backend,
                                 const SimConfig& sim,
                                 const doctor::DoctorOptions& opt = {},
@@ -412,133 +239,86 @@ class Engine {
     return diagnose(rec.graph, backend, sim, opt, label);
   }
 
-  /// The cached flat real-thread pool for a policy (created on first use;
-  /// recreated only when `threads` changes).  threads = 0 keeps the current
-  /// pool or creates one sized to the hardware.
+  // ---- legacy pool accessors -------------------------------------------
+  // Deprecated single-caller conveniences over the PoolCache: they return
+  // a plain reference *without* holding the exclusive lease, exactly like
+  // the old cached slots — fine for one thread driving the engine, unsound
+  // for concurrent use (that is what submit() is for).  The cache keeps
+  // every pool alive for the engine's lifetime, so the references stay
+  // valid even after a different configuration is requested.
+
+  /// The cached flat real-thread pool for a policy.  threads = 0 keeps the
+  /// policy's current pool (created at hardware concurrency on first use);
+  /// a nonzero value selects (and on first use creates) that size.
   rt::Pool& pool(rt::StealPolicy policy, unsigned threads = 0);
 
   /// The cached NUMA-aware pool for a policy: `groups` worker groups
   /// (0 = one per detected node) with `escape` as the random flavor's
-  /// cross-group steal probability.  Recreated when threads (nonzero),
-  /// groups, escape or pin differ from the cached pool.
+  /// cross-group steal probability.  A different configuration selects a
+  /// different cached pool.
   rt::Pool& numa_pool(rt::StealPolicy policy, unsigned threads = 0,
                       uint32_t groups = 0, double escape = 1.0 / 16,
                       bool pin = false);
 
   /// The pool `opt` asks for — flat or NUMA-aware, from opt.backend.
   rt::Pool& pool_for(const RunOptions& opt) {
-    const rt::StealPolicy policy = (opt.backend == Backend::kParRandom ||
-                                    opt.backend == Backend::kParNumaRandom)
-                                       ? rt::StealPolicy::kRandom
-                                       : rt::StealPolicy::kPriority;
     if (backend_is_numa(opt.backend)) {
-      return numa_pool(policy, opt.threads, opt.numa_groups, opt.numa_escape,
-                       opt.numa_pin);
+      return numa_pool(steal_policy_of(opt.backend), opt.threads,
+                       opt.numa_groups, opt.numa_escape, opt.numa_pin);
     }
-    return pool(policy, opt.threads);
+    return pool(steal_policy_of(opt.backend), opt.threads);
+  }
+
+  /// Pools ever constructed by this engine's cache (tests/observability).
+  uint64_t pools_created() const { return pool_cache_.created(); }
+
+  /// The steal policy a parallel backend selects.
+  static rt::StealPolicy steal_policy_of(Backend b) {
+    return (b == Backend::kParRandom || b == Backend::kParNumaRandom)
+               ? rt::StealPolicy::kRandom
+               : rt::StealPolicy::kPriority;
   }
 
  private:
-  /// Shared recording core of record / record_stream / run: executes
+  /// Shared recording core of record / record_stream / submit: executes
   /// `prog` through a fresh TraceCtx and returns the raw graph *without*
   /// analyzing it, so pipelined callers can overlap the analysis pass
   /// with replay.  `stream` non-null selects the chunked TraceStore.
-  template <class Prog>
-  TaskGraph record_graph(Prog&& prog, const StreamOptions* stream,
-                         bool padded, uint64_t align_words, uint32_t shard) {
-    TraceCtx::Options topt;
-    topt.padded = padded;
-    topt.align_words = align_words;
-    topt.shard = shard;
-    if (stream != nullptr) {
-      topt.store = std::make_shared<TraceStore>(stream->store_options());
-    }
-    TraceCtx cx(topt);
-    detail::EngineCtx<TraceCtx> ec(cx);
-    prog(ec);
-    return std::move(ec.graph());
-  }
+  TaskGraph record_graph(const AnyProg& prog, const StreamOptions* stream,
+                         bool padded, uint64_t align_words, uint32_t shard);
 
-  /// Pipelined batch: one independent record -> analyze -> replay chain
-  /// per shard on the host pool, no phase barriers — shard i replays
-  /// while shard j still records, and each shard's store compresses and
-  /// spills behind its recorder (async_spill).  Replaying each shard's
-  /// own single-shard graph is bit-identical to replaying its span of
-  /// the merged graph (the PR3 per-shard determinism guarantee), which
-  /// is what makes skipping merge_shards sound.
-  template <class Prog>
-  BatchReport run_batch_pipelined(const std::vector<Prog>& progs,
-                                  const RunOptions& opt) {
-    const auto t0 = std::chrono::steady_clock::now();
-    const uint32_t n = static_cast<uint32_t>(progs.size());
-    ShardedVSpace ssp(n, opt.align_words);
-    const SchedKind kind = sched_kind_of(opt.backend);
-    const bool with_baseline = opt.seq_baseline && kind != SchedKind::kSeq;
-    std::vector<detail::BatchShard> sh(n);
-    auto chain = [&](size_t i) {
-      const auto c0 = std::chrono::steady_clock::now();
-      TraceCtx::Options topt;
-      topt.padded = opt.padded;
-      if (opt.trace.segment_tasks > 0) {
-        TraceStore::Options so = opt.trace.store_options();
-        so.async_spill = true;  // spill/compress behind this recorder
-        topt.store = std::make_shared<TraceStore>(so);
-      }
-      ShardCtx cx(ssp, static_cast<uint32_t>(i), topt);
-      detail::EngineCtx<TraceCtx> ec(cx);
-      progs[i](ec);
-      sh[i].g = std::move(ec.graph());
-      const auto c1 = std::chrono::steady_clock::now();
-      sh[i].stats = sh[i].g.analyze();
-      const auto c2 = std::chrono::steady_clock::now();
-      SimConfig scfg = opt.sim;
-      scfg.replay_threads = 1;  // the chain is the unit of parallelism
-      sh[i].main = simulate(sh[i].g, kind, scfg);
-      if (with_baseline) {
-        sh[i].base = simulate(sh[i].g, SchedKind::kSeq, scfg);
-      }
-      const auto c3 = std::chrono::steady_clock::now();
-      sh[i].record_ms =
-          std::chrono::duration<double, std::milli>(c1 - c0).count();
-      sh[i].replay_ms =
-          std::chrono::duration<double, std::milli>(c3 - c2).count();
-      sh[i].wall_ms =
-          std::chrono::duration<double, std::milli>(c3 - c0).count();
-    };
-    const uint32_t threads = replay_host_threads(opt.sim.replay_threads, n);
-    if (threads <= 1) {
-      for (uint32_t i = 0; i < n; ++i) chain(i);
-    } else {
-      rt::Pool pool(threads, rt::StealPolicy::kRandom);
-      rt::parallel_index(pool, n, chain);
-    }
-    return finish_batch_pipelined(std::move(sh), opt, t0);
-  }
+  /// kRun execution core (the old templated run()): dispatches on the
+  /// backend, drives record/replay or a leased pool, fills the report.
+  RunReport run_one(const AnyProg& prog, const RunOptions& opt);
 
-  void fill_replay(RunReport& r, const TaskGraph& g, Backend backend,
-                   const SimConfig& sim, bool seq_baseline);
+  /// kBatch execution core: serial, pipelined, or capacity-shared path.
+  BatchReport run_batch_any(const std::vector<AnyProg>& progs,
+                            const RunOptions& opt);
 
-  /// Copies the graph's TraceStore statistics (segments, spilled bytes,
-  /// resident high-water) into the report; no-op for resident graphs.
-  static void fill_stream_stats(RunReport& r, const TaskGraph& g);
+  /// Resolves the pool configuration a parallel run asks for, applying the
+  /// "threads = 0 keeps the policy's current size" memo.
+  PoolKey resolve_flat_key(rt::StealPolicy policy, unsigned threads);
+  PoolKey resolve_numa_key(rt::StealPolicy policy, unsigned threads,
+                           uint32_t groups, double escape, bool pin);
 
-  /// Merge + parallel replay + report assembly of the batch pipeline
-  /// (non-template tail of run_batch).
-  BatchReport finish_batch(std::vector<TaskGraph> graphs,
-                           const RunOptions& opt, double record_ms,
-                           std::chrono::steady_clock::time_point t0);
+  /// The legacy accessors' core: returns the memoized pool when the key
+  /// matches, otherwise looks the key up in the cache (non-leasing) and
+  /// re-memoizes.
+  rt::Pool& sticky_pool(int slot, const PoolKey& key);
 
-  /// Report assembly of the pipelined batch (non-template tail of
-  /// run_batch_pipelined); emits the same shard-order reports as
-  /// finish_batch from per-chain results.
-  BatchReport finish_batch_pipelined(
-      std::vector<detail::BatchShard> sh, const RunOptions& opt,
-      std::chrono::steady_clock::time_point t0);
+  PoolCache pool_cache_;
+  detail::TuningGate tuning_gate_;
+  std::atomic<uint64_t> next_job_id_{1};
 
-  // Slots 0/1: flat random/priority.  Slots 2/3: NUMA random/priority.
-  std::unique_ptr<rt::Pool> pools_[4];
-  double numa_escape_[2] = {-1, -1};  // escape prob the numa slots carry
-  bool numa_pin_[2] = {false, false};
+  // Last-key memos behind the legacy accessors' "0 = keep current"
+  // semantics: slots 0/1 flat random/priority, 2/3 NUMA random/priority.
+  struct SlotMemo {
+    bool valid = false;
+    PoolKey key;
+    rt::Pool* pool = nullptr;  // owned by pool_cache_, never destroyed
+  };
+  std::mutex memo_mu_;
+  SlotMemo memo_[4];
 };
 
 }  // namespace ro

@@ -1,5 +1,7 @@
 #include "ro/engine/report.h"
 
+#include "ro/util/flatjson.h"
+
 #include <cstdio>
 #include <cstdlib>
 #include <utility>
@@ -59,67 +61,14 @@ double RunReport::trace_compression_ratio() const {
          static_cast<double>(trace_compressed_bytes);
 }
 
-namespace {
-
-void append_kv(std::string& s, const char* key, const std::string& val,
-               bool quote) {
-  if (s.size() > 1) s += ",";
-  s += "\"";
-  s += key;
-  s += "\":";
-  if (quote) s += "\"";
-  s += val;
-  if (quote) s += "\"";
-}
-
-void kv(std::string& s, const char* key, uint64_t v) {
-  append_kv(s, key, std::to_string(v), false);
-}
-
-void kv(std::string& s, const char* key, double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.4f", v);
-  append_kv(s, key, buf, false);
-}
-
-void kv(std::string& s, const char* key, const std::vector<uint64_t>& v) {
-  std::string arr = "[";
-  for (size_t i = 0; i < v.size(); ++i) {
-    if (i) arr += ",";
-    arr += std::to_string(v[i]);
-  }
-  arr += "]";
-  append_kv(s, key, arr, false);
-}
-
-std::string escape(const std::string& in) {
-  std::string out;
-  for (char c : in) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-}  // namespace
+using json::kv;
+using json::kv_str;
+using json::kv_raw;
 
 std::string RunReport::to_json() const {
   std::string s = "{";
-  append_kv(s, "label", escape(label), true);
-  append_kv(s, "backend", backend_name(backend), true);
+  kv_str(s, "label", label);
+  kv_str(s, "backend", backend_name(backend));
   kv(s, "wall_ms", wall_ms);
   if (has_graph) {
     kv(s, "work", graph.work);
@@ -172,6 +121,13 @@ std::string RunReport::to_json() const {
     kv(s, "fs_true_events", fs_true_events);
     kv(s, "fs_hot_lines", fs_hot_lines);
   }
+  if (has_tenant) {
+    kv_str(s, "tenant", tenant);
+    kv(s, "tenant_compute", tenant_compute);
+    kv(s, "tenant_cache_misses", tenant_cache_misses);
+    kv(s, "tenant_block_misses", tenant_block_misses);
+    kv(s, "tenant_transfers", tenant_transfers);
+  }
   if (has_stream) {
     kv(s, "trace_segments", trace_segments);
     kv(s, "trace_spilled_bytes", trace_spilled_bytes);
@@ -195,100 +151,12 @@ std::string reports_to_json(const std::vector<RunReport>& reports) {
   return s;
 }
 
-namespace {
+using json::as_u64;
+using json::as_u64_list;
 
-/// Tokenizes one flat JSON object {"key":value,...} into key -> raw value
-/// (strings unescaped, numbers verbatim).  No nesting — exactly the
-/// to_json output shape.
-bool scan_flat_object(const std::string& j,
-                      std::vector<std::pair<std::string, std::string>>& kvs) {
-  size_t i = j.find('{');
-  if (i == std::string::npos) return false;
-  ++i;
-  auto skip_ws = [&] {
-    while (i < j.size() && (j[i] == ' ' || j[i] == '\n' || j[i] == '\t' ||
-                            j[i] == '\r' || j[i] == ','))
-      ++i;
-  };
-  auto parse_string = [&](std::string& out) {
-    if (i >= j.size() || j[i] != '"') return false;
-    ++i;
-    out.clear();
-    while (i < j.size() && j[i] != '"') {
-      if (j[i] == '\\') {
-        if (i + 1 >= j.size()) return false;
-        const char e = j[i + 1];
-        if (e == 'n') out += '\n';
-        else if (e == 't') out += '\t';
-        else if (e == 'r') out += '\r';
-        else if (e == 'u') {
-          if (i + 5 >= j.size()) return false;
-          out += static_cast<char>(
-              std::strtoul(j.substr(i + 2, 4).c_str(), nullptr, 16));
-          i += 4;
-        } else out += e;  // \" \\ \/ and friends
-        i += 2;
-      } else {
-        out += j[i++];
-      }
-    }
-    if (i >= j.size()) return false;
-    ++i;  // closing quote
-    return true;
-  };
-  while (true) {
-    skip_ws();
-    if (i >= j.size()) return false;
-    if (j[i] == '}') return true;
-    std::string key;
-    if (!parse_string(key)) return false;
-    skip_ws();
-    if (i >= j.size() || j[i] != ':') return false;
-    ++i;
-    skip_ws();
-    std::string val;
-    if (i < j.size() && j[i] == '"') {
-      if (!parse_string(val)) return false;
-    } else if (i < j.size() && j[i] == '[') {
-      // Flat array of numbers (the histogram fields): captured raw,
-      // brackets included.
-      const size_t v0 = i;
-      while (i < j.size() && j[i] != ']') ++i;
-      if (i >= j.size()) return false;
-      ++i;  // closing bracket
-      val = j.substr(v0, i - v0);
-    } else {
-      const size_t v0 = i;
-      while (i < j.size() && j[i] != ',' && j[i] != '}') ++i;
-      val = j.substr(v0, i - v0);
-      if (val.empty()) return false;
-    }
-    kvs.emplace_back(std::move(key), std::move(val));
-  }
-}
-
-uint64_t as_u64(const std::string& v) { return std::strtoull(v.c_str(), nullptr, 10); }
-
-/// Parses a raw "[1,2,3]" capture into numbers ("[]" -> empty).
-std::vector<uint64_t> as_u64_list(const std::string& v) {
-  std::vector<uint64_t> out;
-  size_t i = 1;  // skip '['
-  while (i < v.size() && v[i] != ']') {
-    char* end = nullptr;
-    const uint64_t x = std::strtoull(v.c_str() + i, &end, 10);
-    if (end == v.c_str() + i) break;  // malformed element: stop, don't spin
-    out.push_back(x);
-    i = static_cast<size_t>(end - v.c_str());
-    if (i < v.size() && v[i] == ',') ++i;
-  }
-  return out;
-}
-
-}  // namespace
-
-bool report_from_json(const std::string& json, RunReport& out) {
+bool report_from_json(const std::string& text, RunReport& out) {
   std::vector<std::pair<std::string, std::string>> kvs;
-  if (!scan_flat_object(json, kvs)) return false;
+  if (!json::scan_object(text, kvs)) return false;
   out = RunReport{};
   CoreMetrics agg;  // single synthetic core holding the parsed aggregates
   uint64_t cache = 0, block = 0, stack = 0;
@@ -351,7 +219,14 @@ bool report_from_json(const std::string& json, RunReport& out) {
     } else if (k == "fs_hot_lines") {
       out.has_contention = true;
       out.fs_hot_lines = as_u64(v);
-    } else if (k == "trace_segments") {
+    } else if (k == "tenant") {
+      out.has_tenant = true;
+      out.tenant = v;
+    } else if (k == "tenant_compute") out.tenant_compute = as_u64(v);
+    else if (k == "tenant_cache_misses") out.tenant_cache_misses = as_u64(v);
+    else if (k == "tenant_block_misses") out.tenant_block_misses = as_u64(v);
+    else if (k == "tenant_transfers") out.tenant_transfers = as_u64(v);
+    else if (k == "trace_segments") {
       out.has_stream = true;
       out.trace_segments = as_u64(v);
     } else if (k == "trace_spilled_bytes") out.trace_spilled_bytes = as_u64(v);
@@ -381,38 +256,58 @@ bool report_from_json(const std::string& json, RunReport& out) {
   return true;
 }
 
-namespace {
-
-void append_raw(std::string& s, const char* key, const std::string& raw) {
-  if (s.size() > 1) s += ",";
-  s += "\"";
-  s += key;
-  s += "\":";
-  s += raw;
-}
-
-}  // namespace
 
 std::string BatchReport::to_json() const {
   std::string s = "{";
-  append_kv(s, "label", escape(label), true);
-  append_kv(s, "backend", backend_name(backend), true);
+  kv_str(s, "label", label);
+  kv_str(s, "backend", backend_name(backend));
   kv(s, "shards", static_cast<uint64_t>(shards));
   kv(s, "replay_threads", static_cast<uint64_t>(replay_threads));
   kv(s, "pipelined", static_cast<uint64_t>(pipelined ? 1 : 0));
+  kv(s, "capacity_shared", static_cast<uint64_t>(capacity_shared ? 1 : 0));
   kv(s, "wall_ms", wall_ms);
   kv(s, "record_ms", record_ms);
   kv(s, "replay_ms", replay_ms);
-  append_raw(s, "aggregate", aggregate.to_json());
+  kv_raw(s, "aggregate", aggregate.to_json());
   std::string arr = "[";
   for (size_t i = 0; i < runs.size(); ++i) {
     if (i) arr += ",";
     arr += runs[i].to_json();
   }
   arr += "]";
-  append_raw(s, "runs", arr);
+  kv_raw(s, "runs", arr);
   s += "}";
   return s;
+}
+
+bool batch_from_json(const std::string& text, BatchReport& out) {
+  std::vector<std::pair<std::string, std::string>> kvs;
+  if (!json::scan_object(text, kvs)) return false;
+  out = BatchReport{};
+  for (const auto& [k, v] : kvs) {
+    if (k == "label") out.label = v;
+    else if (k == "backend") {
+      if (!parse_backend(v, out.backend)) return false;
+    } else if (k == "shards") out.shards = static_cast<uint32_t>(as_u64(v));
+    else if (k == "replay_threads")
+      out.replay_threads = static_cast<uint32_t>(as_u64(v));
+    else if (k == "pipelined") out.pipelined = as_u64(v) != 0;
+    else if (k == "capacity_shared") out.capacity_shared = as_u64(v) != 0;
+    else if (k == "wall_ms") out.wall_ms = json::as_double(v);
+    else if (k == "record_ms") out.record_ms = json::as_double(v);
+    else if (k == "replay_ms") out.replay_ms = json::as_double(v);
+    else if (k == "aggregate") {
+      if (!report_from_json(v, out.aggregate)) return false;
+    } else if (k == "runs") {
+      for (const std::string& run : json::as_object_list(v)) {
+        RunReport r;
+        if (!report_from_json(run, r)) return false;
+        out.runs.push_back(std::move(r));
+      }
+    }
+    // Unknown keys are skipped: newer writers stay readable.
+  }
+  return true;
 }
 
 }  // namespace ro

@@ -91,6 +91,17 @@ struct RunReport {
   uint64_t fs_true_events = 0;   // invalidations at the same word
   uint64_t fs_hot_lines = 0;     // lines with >= 1 false-sharing event
 
+  // ---- per-tenant attribution (capacity-shared batch replay: all shards
+  // on ONE simulated machine, each counter charged to the tenant whose
+  // task performed the event; docs/serve.md).  Sums over a batch's runs
+  // equal the aggregate's machine-wide totals. ----
+  bool has_tenant = false;
+  std::string tenant;                 // tenant id (serve jobs; may be empty)
+  uint64_t tenant_compute = 0;        // words touched by this tenant
+  uint64_t tenant_cache_misses = 0;   // cold + capacity misses
+  uint64_t tenant_block_misses = 0;   // coherence misses
+  uint64_t tenant_transfers = 0;      // cache-to-cache transfers caused
+
   // ---- streaming trace store (RunOptions::trace, sim backends) ----
   bool has_stream = false;
   uint64_t trace_segments = 0;             // trace segments recorded
@@ -130,6 +141,8 @@ struct BatchReport {
   uint32_t shards = 0;
   uint32_t replay_threads = 1;  // requested host parallelism (0 = auto)
   bool pipelined = false;       // RunOptions::pipeline was on
+  bool capacity_shared = false; // one shared simulated machine for all
+                                // shards (RunOptions::capacity_shared)
   double wall_ms = 0;           // record + merge + replay, end to end
   // Phase timings.  Serial batches: wall clock of the record / replay
   // phases.  Pipelined batches have no phase barriers, so these are the
@@ -144,5 +157,11 @@ struct BatchReport {
   /// Nested JSON: batch scalars + "aggregate" object + "runs" array.
   std::string to_json() const;
 };
+
+/// Parses a BatchReport JSON object (the to_json format): batch scalars,
+/// the "aggregate" object and every "runs" element go through
+/// report_from_json, so the same round-trip guarantee holds.  Unknown keys
+/// are skipped; returns false on malformed JSON.
+bool batch_from_json(const std::string& json, BatchReport& out);
 
 }  // namespace ro

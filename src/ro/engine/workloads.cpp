@@ -1,0 +1,89 @@
+#include "ro/engine/workloads.h"
+
+#include <algorithm>
+
+#include "ro/alg/counters.h"
+#include "ro/alg/scan.h"
+#include "ro/alg/sort.h"
+#include "ro/alg/spms.h"
+#include "ro/util/rng.h"
+
+namespace ro {
+
+namespace {
+
+using alg::i64;
+
+// The builders mirror bench/common.h's prog_* factories (same sizes, same
+// RNG streams at seed 0) but carry the seed salt so shards of a batch get
+// distinct deterministic inputs.
+
+AnyProg wl_msum(uint64_t n, uint64_t seed) {
+  return [n, seed](auto& cx) {
+    auto a = cx.template alloc<i64>(n, "a");
+    Rng rng(n + seed);
+    for (uint64_t i = 0; i < n; ++i)
+      a.raw()[i] = static_cast<i64>(rng.next_below(100));
+    auto out = cx.template alloc<i64>(1, "out");
+    cx.run(n, [&] { alg::msum(cx, a.slice(), out.slice()); });
+  };
+}
+
+AnyProg wl_ps(uint64_t n, uint64_t seed) {
+  return [n, seed](auto& cx) {
+    auto a = cx.template alloc<i64>(n, "a");
+    Rng rng(n + 1 + seed);
+    for (uint64_t i = 0; i < n; ++i)
+      a.raw()[i] = static_cast<i64>(rng.next_below(100));
+    auto out = cx.template alloc<i64>(n, "out");
+    cx.run(2 * n, [&] { alg::prefix_sums(cx, a.slice(), out.slice()); });
+  };
+}
+
+AnyProg wl_sort(uint64_t n, uint64_t seed, alg::SortKind kind) {
+  return [n, seed, kind](auto& cx) {
+    auto a = cx.template alloc<i64>(n, "a");
+    Rng rng(n + 4 + seed);
+    for (uint64_t i = 0; i < n; ++i)
+      a.raw()[i] = static_cast<i64>(rng.next() >> 1);
+    auto out = cx.template alloc<i64>(n, "out");
+    cx.run(2 * n, [&] { alg::sort_by(cx, kind, a.slice(), out.slice(), 8); });
+  };
+}
+
+/// k counters `stride` words apart, 16 increments each (alg/counters.h):
+/// stride 1 is the packed false-sharing adversary, stride 64 the padded
+/// control.  n is the counter count; the seed shifts nothing here (the
+/// workload is access-pattern-only), but stays part of the key.
+AnyProg wl_counters(uint64_t n, uint64_t stride) {
+  const uint32_t k = static_cast<uint32_t>(std::max<uint64_t>(1, n));
+  const uint64_t iters = 16;
+  return [k, iters, stride](auto& cx) {
+    auto slots =
+        cx.template alloc<i64>(alg::counter_words(k, stride), "counters");
+    for (uint32_t c = 0; c < k; ++c) slots.raw()[c * stride] = 0;
+    cx.run(uint64_t{k} * 2 * iters, [&] {
+      alg::counter_stripes(cx, slots.slice(), k, iters, stride);
+    });
+  };
+}
+
+}  // namespace
+
+AnyProg make_workload(const std::string& name, uint64_t n, uint64_t seed) {
+  if (name == "msum") return wl_msum(n, seed);
+  if (name == "ps") return wl_ps(n, seed);
+  if (name == "sort") return wl_sort(n, seed, alg::SortKind::kMsort);
+  if (name == "sort-spms") return wl_sort(n, seed, alg::SortKind::kSpms);
+  if (name == "counters-packed") return wl_counters(n, 1);
+  if (name == "counters-padded") return wl_counters(n, 64);
+  return AnyProg{};
+}
+
+const std::vector<std::string>& workload_names() {
+  static const std::vector<std::string> names = {
+      "msum", "ps", "sort", "sort-spms", "counters-packed", "counters-padded"};
+  return names;
+}
+
+}  // namespace ro

@@ -75,9 +75,14 @@ Pool::~Pool() {
 unsigned Pool::current_worker() { return t_worker_id; }
 
 void Pool::run(const std::function<void()>& root) {
+  // Not reentrant, not concurrency-safe: one root at a time per pool.
+  // Concurrent Engine callers get sibling pools through PoolCache's
+  // exclusive leases (engine/pool_cache.h); tripping this means a caller
+  // held a raw Pool& across threads and bypassed the cache.
+  RO_CHECK_MSG(!active_.exchange(true, std::memory_order_acq_rel),
+               "Pool::run called while a root is already running");
   t_worker_id = 0;
   t_pool = this;
-  active_.store(true, std::memory_order_release);
   root();
   active_.store(false, std::memory_order_release);
   t_pool = nullptr;

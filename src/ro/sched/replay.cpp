@@ -90,33 +90,80 @@ struct StreamSource {
   }
 };
 
-/// Replays one shard unit: the span's priority-round sequence on its own
-/// simulated machine (cores, caches, directory, stack arenas).  Addresses
-/// are rebased to the shard (global vaddr - span.base), so the dense
-/// directory and ever-loaded bitsets stay as small as in the single-shard
-/// days regardless of which shard the data was recorded in.  One instance
-/// never touches state outside its span — the invariant that makes units
+/// Sized data region of each span and its rebased offset in a replayer's
+/// address space.  Span s's recorded address a maps to
+/// off[s] + (a - span.base); off[0] == 0, so a single-span replayer sees
+/// exactly the classic `span_rebase` addresses (bit-identical Metrics).
+/// Later spans are placed above the previous span's aligned data image, so
+/// distinct tenants never alias — capacity-shared replay contends for
+/// cache space and cores, not addresses.
+struct SpanLayout {
+  std::vector<vaddr_t> off;       // rebased base offset per span
+  uint64_t data_top = 0;          // one past the last span's data image
+  uint64_t recorded_words = 0;    // sum of (data_top - base) per span
+};
+
+SpanLayout layout_spans(const std::vector<ShardSpan>& spans,
+                        const SimConfig& cfg, uint64_t align) {
+  SpanLayout lo;
+  lo.off.reserve(spans.size());
+  for (const ShardSpan& s : spans) {
+    lo.off.push_back(lo.data_top);
+    lo.data_top += round_up_pow2(data_words(s, cfg), align);
+    lo.recorded_words += s.data_top - s.base;
+  }
+  return lo;
+}
+
+/// Replays one or more shard spans as a single unit: the priority-round
+/// sequence on one simulated machine (cores, caches, directory, stack
+/// arenas).  Addresses are rebased per span (SpanLayout), so the dense
+/// directory and ever-loaded bitsets stay as small as the spans' combined
+/// data regardless of which shards the data was recorded in.  One instance
+/// never touches state outside its spans — the invariant that makes units
 /// safe to run on concurrent host threads.
 ///
-/// The access stream is consumed through per-core cursors of `Source`
-/// (VecSource / StreamSource above), never by walking a resident array
-/// directly, so the same scheduling loop serves both the in-memory and
-/// the bounded-memory streaming representations.
+/// The classic sharded replay constructs one single-span instance per
+/// shard (independent machines); capacity-shared replay (simulate_shared)
+/// constructs one instance over ALL spans, whose roots are co-scheduled on
+/// the shared cores and whose misses/transfers can be attributed per span
+/// through `shares`.
+///
+/// The access stream is consumed through per-core, per-span cursors of
+/// `Source` (VecSource / StreamSource above), never by walking a resident
+/// array directly, so the same scheduling loop serves both the in-memory
+/// and the bounded-memory streaming representations.
 template <class Source>
 class ShardReplayer {
  public:
-  ShardReplayer(const TaskGraph& g, const ShardSpan& span, SchedKind kind,
-                const SimConfig& cfg, const Source& src)
-      : g_(g), span_(span), kind_(kind), cfg_(cfg), src_(src),
+  ShardReplayer(const TaskGraph& g, std::vector<ShardSpan> spans,
+                SchedKind kind, const SimConfig& cfg,
+                std::vector<Source> srcs,
+                std::vector<TenantShare>* shares = nullptr)
+      : g_(g), spans_(std::move(spans)), kind_(kind), cfg_(cfg),
+        srcs_(std::move(srcs)), shares_(shares),
         sp_(cfg.effective_steal_latency()),
-        arenas_(round_up_pow2(data_words(span, cfg),
-                              g.align_words ? g.align_words : 4096),
-                g.align_words ? g.align_words : 4096, cfg.chunk_words),
+        layout_(layout_spans(spans_, cfg,
+                             g.align_words ? g.align_words : 4096)),
+        arenas_(layout_.data_top, g.align_words ? g.align_words : 4096,
+                cfg.chunk_words),
         rng_(cfg.seed) {
     RO_CHECK_MSG(cfg_.p >= 1 && cfg_.p <= 64, "p must be in [1, 64]");
     RO_CHECK_MSG(cfg_.M / cfg_.B >= 1, "cache must hold >= 1 block");
+    RO_CHECK_MSG(!spans_.empty() && spans_.size() == srcs_.size(),
+                 "one access source per span");
     if (kind_ == SchedKind::kSeq) {
       RO_CHECK_MSG(cfg_.p == 1, "sequential schedule needs p == 1");
+    }
+    // Span-local state is indexed off the first span's ids; merge_shards
+    // lays successive spans out contiguously, which this relies on.
+    uint64_t acts = 0, segs = 0;
+    for (size_t s = 0; s < spans_.size(); ++s) {
+      RO_CHECK_MSG(spans_[s].first_act == spans_[0].first_act + acts &&
+                       spans_[s].first_seg == spans_[0].first_seg + segs,
+                   "shard spans must be contiguous");
+      acts += spans_[s].num_acts;
+      segs += spans_[s].num_segs;
     }
     const uint32_t lines = static_cast<uint32_t>(cfg_.M / cfg_.B);
     const uint32_t l2_lines =
@@ -124,15 +171,26 @@ class ShardReplayer {
     cores_.reserve(cfg_.p);
     for (uint32_t i = 0; i < cfg_.p; ++i) {
       cores_.emplace_back(i, lines, l2_lines);
-      cores_.back().cur = src_.cursor();
+      for (const Source& src : srcs_) {
+        cores_.back().curs.push_back(src.cursor());
+      }
     }
-    astate_.resize(span_.num_acts);
-    sstate_.resize(span_.num_segs);
+    astate_.resize(acts);
+    sstate_.resize(segs);
+    if (shares_) shares_->assign(spans_.size(), TenantShare{});
     update_dir_limit();
   }
 
   Metrics run() {
-    start_act(cores_[0], span_.root, /*stolen=*/false);
+    roots_left_ = static_cast<uint32_t>(spans_.size());
+    // Seed the extra tenants' roots round-robin onto core deques (reversed
+    // so core 0's bottom — resumed first — is span 1), stealable at depth 0
+    // like any fork; span 0's root starts on core 0 exactly as the classic
+    // single-span walk does.
+    for (uint32_t s = static_cast<uint32_t>(spans_.size()); s-- > 1;) {
+      cores_[s % cfg_.p].dq.push_back(static_cast<uint32_t>(spans_[s].root));
+    }
+    start_act(cores_[0], spans_[0].root, /*stolen=*/false);
     while (!done_) {
       Core& c = pick_core();
       step(c);
@@ -148,15 +206,16 @@ class ShardReplayer {
     auto ts = dir_.transfer_stats();
     m.max_block_transfers = ts.max_transfers;
     m.total_block_transfers = ts.total_transfers;
-    m.stack_words = arenas_.bump() - (span_.data_top - span_.base);
+    m.stack_words = arenas_.bump() - layout_.recorded_words;
     return m;
   }
 
  private:
   struct Frame {
     uint32_t act = 0;
-    uint32_t seg = 0;   // local segment index
-    uint64_t acc = 0;   // absolute cursor into g_.accesses
+    uint32_t seg = 0;    // local segment index
+    uint64_t acc = 0;    // absolute cursor into g_.accesses
+    uint32_t span = 0;   // owning span (= tenant) of `act`
   };
 
   struct Core {
@@ -168,7 +227,9 @@ class ShardReplayer {
     bool busy = false;
     Frame fr;
     uint32_t cur_arena = kNoCore;  // stack the core pushes frames on
-    typename Source::Cursor cur;   // this core's window into the trace
+    // This core's window into each span's trace (one cursor per span; a
+    // classic single-span unit has exactly one).
+    std::vector<typename Source::Cursor> curs;
     std::deque<uint32_t> dq;  // stealable right children; back = bottom
     LruCache cache;                            // private L1
     LruCache l2;                               // L2 partition (§5.2)
@@ -196,12 +257,25 @@ class ShardReplayer {
   };
 
   // Span-local state lookup: activation / segment ids are global into the
-  // (possibly merged) graph, state vectors are sized to this shard only.
-  ActState& ast(uint32_t act) { return astate_[act - span_.first_act]; }
+  // (possibly merged) graph, state vectors are sized to this unit's spans
+  // only (contiguous id ranges, checked in the constructor).
+  ActState& ast(uint32_t act) { return astate_[act - spans_[0].first_act]; }
   const ActState& ast(uint32_t act) const {
-    return astate_[act - span_.first_act];
+    return astate_[act - spans_[0].first_act];
   }
-  SegState& sst(uint32_t gseg) { return sstate_[gseg - span_.first_seg]; }
+  SegState& sst(uint32_t gseg) { return sstate_[gseg - spans_[0].first_seg]; }
+
+  /// Owning span of an activation id (binary search over the contiguous
+  /// first_act ranges; trivially 0 for a single-span unit).
+  uint32_t span_of_act(uint32_t act) const {
+    uint32_t lo = 0, hi = static_cast<uint32_t>(spans_.size()) - 1;
+    while (lo < hi) {
+      const uint32_t mid = (lo + hi + 1) / 2;
+      if (act >= spans_[mid].first_act) lo = mid;
+      else hi = mid - 1;
+    }
+    return lo;
+  }
 
   // ---- scheduling loop ----
 
@@ -221,7 +295,7 @@ class ShardReplayer {
     const Activation& a = g_.acts[c.fr.act];
     const Segment& seg = g_.segments[a.first_seg + c.fr.seg];
     if (c.fr.acc < seg.acc_end) {
-      const Access acc = c.cur.at(c.fr.acc);
+      const Access acc = c.curs[c.fr.span].at(c.fr.acc);
       if (replay_access(c, acc)) ++c.fr.acc;  // else: waiting on a hold
       c.last_productive = c.time;
       return;
@@ -319,7 +393,8 @@ class ShardReplayer {
     update_dir_limit();  // the frame may have raised the high-water mark
     st.frame_base = st.token.base;
     c.busy = true;
-    c.fr = Frame{act, 0, g_.segments[a.first_seg].acc_begin};
+    c.fr = Frame{act, 0, g_.segments[a.first_seg].acc_begin,
+                 span_of_act(act)};
   }
 
   void do_fork(Core& c, const Activation& /*parent*/, const Segment& seg) {
@@ -342,7 +417,7 @@ class ShardReplayer {
     ActState& st = ast(act);
     arenas_.complete(st.token);
     if (a.parent == kNoAct) {
-      done_ = true;
+      if (--roots_left_ == 0) done_ = true;
       c.busy = false;
       return;
     }
@@ -372,8 +447,9 @@ class ShardReplayer {
     const uint32_t next_seg = a.parent_seg + 1;
     RO_CHECK(next_seg < pa.num_segs);
     c.busy = true;
+    // The parent lives in the same span as its child.
     c.fr = Frame{a.parent, next_seg,
-                 g_.segments[pa.first_seg + next_seg].acc_begin};
+                 g_.segments[pa.first_seg + next_seg].acc_begin, c.fr.span};
   }
 
   vaddr_t fork_slot_addr(uint32_t act, uint32_t local_seg) const {
@@ -396,12 +472,15 @@ class ShardReplayer {
       addr = acc.addr + ast(acc.act).frame_base;
       stack = true;
     } else {
+      // A task only ever touches its own shard's data (shards share no
+      // addresses), so the current frame's span owns this address.
+      const ShardSpan& sp = spans_[c.fr.span];
       vaddr_t a = acc.addr;
       if (cfg_.remap != nullptr) {
         a = cfg_.remap->apply(a);
-        RO_CHECK_MSG(a >= span_.base, "remap moved an address below its shard");
+        RO_CHECK_MSG(a >= sp.base, "remap moved an address below its shard");
       }
-      addr = span_rebase(a, span_.base);  // shard back to address 0
+      addr = layout_.off[c.fr.span] + span_rebase(a, sp.base);
     }
     if (cfg_.write_hold != 0) {
       const uint64_t until = hold_barrier(c, addr, acc.len, acc.is_write());
@@ -439,6 +518,7 @@ class ShardReplayer {
              uint32_t act = kNoAct) {
     c.time += len;
     c.m.compute += len;
+    if (shares_) (*shares_)[c.fr.span].compute += len;
     const uint64_t b0 = addr / cfg_.B;
     const uint64_t b1 = (addr + len - 1) / cfg_.B;
     for (uint64_t b = b0; b <= b1; ++b) {
@@ -470,6 +550,11 @@ class ShardReplayer {
       }
       mark_loaded(c, block);
       ++c.m.miss[stack ? 1 : 0][static_cast<int>(cls)];
+      if (shares_) {
+        TenantShare& ts = (*shares_)[c.fr.span];
+        if (cls == MissClass::kCoherence) ++ts.block_misses;
+        else ++ts.cache_misses;
+      }
       // §5.2 partitioned hierarchy: an L1 miss served by the core's L2
       // partition pays l2_latency; otherwise the full miss latency.
       if (cfg_.M2 && c.l2.contains(block)) {
@@ -492,6 +577,7 @@ class ShardReplayer {
       }
       if (d.holders & ~me) {
         ++d.transfers;  // cache-to-cache move (Def 2.2)
+        if (shares_) ++(*shares_)[c.fr.span].transfers;
         if (prof) cfg_.profile->record_transfer(line_addr(block), word);
       }
       if (auto victim = c.cache.insert(block)) {
@@ -536,9 +622,13 @@ class ShardReplayer {
   }
 
   /// Recorded (global) address of the line holding a rebased block —
-  /// the ContentionProfile key, collision-free across shards.
+  /// the ContentionProfile key, collision-free across shards.  Only called
+  /// for data blocks, which always lie inside some span's data image.
   vaddr_t line_addr(uint64_t block) const {
-    return span_.base + block * cfg_.B;
+    const vaddr_t a = block * cfg_.B;
+    size_t s = spans_.size() - 1;
+    while (s > 0 && a < layout_.off[s]) --s;
+    return spans_[s].base + (a - layout_.off[s]);
   }
 
   /// Every address this unit can ever touch (rebased data + stack frames)
@@ -561,11 +651,13 @@ class ShardReplayer {
   }
 
   const TaskGraph& g_;
-  ShardSpan span_;
+  std::vector<ShardSpan> spans_;
   SchedKind kind_;
   SimConfig cfg_;
-  Source src_;
+  std::vector<Source> srcs_;
+  std::vector<TenantShare>* shares_;
   uint32_t sp_;
+  SpanLayout layout_;
   ArenaSet arenas_;
   Rng rng_;
   Directory dir_;
@@ -573,6 +665,7 @@ class ShardReplayer {
   std::vector<ActState> astate_;
   std::vector<SegState> sstate_;
   std::map<uint32_t, uint32_t> steals_per_priority_;
+  uint32_t roots_left_ = 0;
   bool done_ = false;
 };
 
@@ -595,11 +688,11 @@ Metrics run_unit(const Unit& u) {
   if (u.part >= 0) {
     const StreamPart& part = u.g->streams[static_cast<size_t>(u.part)];
     StreamSource src{part.store.get(), part.acc_base, u.span.first_act};
-    return ShardReplayer<StreamSource>(*u.g, u.span, u.kind, u.cfg, src)
+    return ShardReplayer<StreamSource>(*u.g, {u.span}, u.kind, u.cfg, {src})
         .run();
   }
   VecSource src{u.g->accesses.data()};
-  return ShardReplayer<VecSource>(*u.g, u.span, u.kind, u.cfg, src).run();
+  return ShardReplayer<VecSource>(*u.g, {u.span}, u.kind, u.cfg, {src}).run();
 }
 
 /// Host pool for the parallel replay phase.  A flat random-stealing pool
@@ -707,6 +800,31 @@ Metrics simulate(const TaskGraph& g, SchedKind kind, const SimConfig& cfg) {
   std::vector<Metrics> parts = simulate_shards(g, kind, cfg);
   if (parts.size() == 1) return std::move(parts[0]);
   return merge_shard_metrics(parts);
+}
+
+Metrics simulate_shared(const TaskGraph& g, SchedKind kind,
+                        const SimConfig& cfg,
+                        std::vector<TenantShare>* shares) {
+  const SimConfig ecfg = effective_cfg(kind, cfg);
+  const std::vector<ShardSpan> spans = g.shard_spans();
+  if (g.streaming()) {
+    RO_CHECK_MSG(g.streams.size() == spans.size(),
+                 "streamed graph must carry one part per shard span");
+    std::vector<StreamSource> srcs;
+    srcs.reserve(spans.size());
+    for (size_t k = 0; k < spans.size(); ++k) {
+      srcs.push_back(StreamSource{g.streams[k].store.get(),
+                                  g.streams[k].acc_base,
+                                  spans[k].first_act});
+    }
+    return ShardReplayer<StreamSource>(g, spans, kind, ecfg, std::move(srcs),
+                                       shares)
+        .run();
+  }
+  std::vector<VecSource> srcs(spans.size(), VecSource{g.accesses.data()});
+  return ShardReplayer<VecSource>(g, spans, kind, ecfg, std::move(srcs),
+                                  shares)
+      .run();
 }
 
 std::vector<std::vector<Metrics>> simulate_shards_all(

@@ -137,6 +137,33 @@ struct SimConfig {
 /// (merge_shard_metrics).
 Metrics simulate(const TaskGraph& g, SchedKind kind, const SimConfig& cfg);
 
+/// Per-tenant share of a capacity-shared replay (simulate_shared): every
+/// counter is attributed to the shard span whose task performed the event,
+/// so sums over tenants equal the machine-wide Metrics totals.
+struct TenantShare {
+  uint64_t compute = 0;       // words touched by this tenant's tasks
+  uint64_t cache_misses = 0;  // cold + capacity misses (data + stack)
+  uint64_t block_misses = 0;  // coherence misses
+  uint64_t transfers = 0;     // cache-to-cache transfers this tenant caused
+  friend bool operator==(const TenantShare&, const TenantShare&) = default;
+};
+
+/// Capacity-shared replay: all shard components of `g` run on ONE simulated
+/// machine — shared cores, one set of private caches, one coherence
+/// directory — instead of a machine per shard.  Tenants (= shard spans)
+/// contend for cache capacity and steal across each other's task trees;
+/// per-span offsets keep their address ranges disjoint, so all contention
+/// is capacity and scheduling, never aliasing.  Span 0's root starts on
+/// core 0; the other roots are seeded round-robin onto core deques before
+/// the walk, stealable like any fork.  Deterministic for every SchedKind at
+/// fixed seed (the walk is one sequential unit; replay_threads does not
+/// apply).  When `shares` is non-null it is resized to the span count and
+/// filled with per-tenant attribution.  A single-span graph degenerates to
+/// exactly simulate()'s machine and Metrics.
+Metrics simulate_shared(const TaskGraph& g, SchedKind kind,
+                        const SimConfig& cfg,
+                        std::vector<TenantShare>* shares = nullptr);
+
 /// Per-shard metrics of `g`'s components, in shard order (one entry for a
 /// classic single-shard graph).  `merge_shard_metrics` of the result equals
 /// simulate()'s return.

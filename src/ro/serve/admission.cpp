@@ -1,0 +1,89 @@
+#include "ro/serve/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "ro/util/check.h"
+
+namespace ro::serve {
+
+uint64_t estimate_job_bytes(const JobSpec& spec) {
+  // Policy constants, not measurements: ~16 bytes per resident trace
+  // record (the compact binary TraceRecord footprint) and, for classic
+  // recordings that hold the whole trace, ~64 bytes per workload element
+  // (a divide-and-conquer program records a few accesses plus task
+  // structure per element).  The numbers only need to be deterministic
+  // and monotone in job size — admission compares them against a budget,
+  // it never bills actual allocations against them.
+  constexpr uint64_t kBytesPerRecord = 16;
+  constexpr uint64_t kBytesPerElement = 64;
+  const uint64_t shards = std::max<uint32_t>(1, spec.shards);
+  const StreamOptions& tr = spec.opt.trace;
+  if (tr.segment_tasks > 0 && tr.max_resident_segments > 0) {
+    // Streaming: each shard keeps at most the resident window in memory,
+    // everything else spills.
+    return shards * tr.segment_tasks * tr.max_resident_segments *
+           kBytesPerRecord;
+  }
+  return shards * std::max<uint64_t>(1, spec.n) * kBytesPerElement;
+}
+
+bool Admission::admit(const std::string& tenant, uint64_t bytes,
+                      double* queue_ms) {
+  if (queue_ms != nullptr) *queue_ms = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  if (opt_.tenant_budget_bytes > 0 && bytes > opt_.tenant_budget_bytes) {
+    // The job can never fit, no matter what drains: reject now, before
+    // any waiting, so the decision depends only on (spec, options).
+    ++st_.rejected;
+    return false;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  bool waited = false;
+  auto fits = [&] {
+    if (st_.inflight >= opt_.max_inflight) return false;
+    if (opt_.tenant_budget_bytes == 0) return true;
+    return resident_[tenant] + bytes <= opt_.tenant_budget_bytes;
+  };
+  while (!fits()) {
+    waited = true;
+    cv_.wait(lk);
+  }
+  if (waited) {
+    ++st_.queued;
+    if (queue_ms != nullptr) {
+      *queue_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    }
+  }
+  ++st_.admitted;
+  ++st_.inflight;
+  st_.inflight_peak = std::max(st_.inflight_peak, st_.inflight);
+  resident_[tenant] += bytes;
+  st_.resident_bytes += bytes;
+  return true;
+}
+
+void Admission::release(const std::string& tenant, uint64_t bytes) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    RO_CHECK_MSG(st_.inflight > 0, "Admission release underflow");
+    auto it = resident_.find(tenant);
+    RO_CHECK_MSG(it != resident_.end() && it->second >= bytes &&
+                     st_.resident_bytes >= bytes,
+                 "Admission release does not match an admitted job");
+    it->second -= bytes;
+    if (it->second == 0) resident_.erase(it);
+    st_.resident_bytes -= bytes;
+    --st_.inflight;
+  }
+  cv_.notify_all();
+}
+
+Admission::Stats Admission::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return st_;
+}
+
+}  // namespace ro::serve

@@ -1,0 +1,46 @@
+// Client side of the ro-serve line protocol (src/ro/serve/server.h): one
+// blocking connection, one request line out, one response line back.  Used
+// by the ro-serve CLI subcommands, bench_serve's open-loop tenants, and
+// the protocol tests.
+#pragma once
+
+#include <string>
+
+#include "ro/engine/job.h"
+#include "ro/serve/admission.h"
+
+namespace ro::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to a server's Unix socket; false (with `error`) on failure.
+  bool connect(const std::string& socket_path, std::string* error = nullptr);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends a raw request line, reads one reply line (newline stripped).
+  /// False when the connection drops mid-exchange.
+  bool exchange(const std::string& line, std::string& reply);
+
+  /// Submits one job and parses the JobResult; a dead connection or an
+  /// unparseable reply returns false.
+  bool submit(const JobSpec& spec, JobResult& out);
+
+  /// Fetches the server's admission counters + jobs served.
+  bool stats(Admission::Stats& out, uint64_t* jobs = nullptr);
+
+  /// Asks the server to stop accepting; true on an acknowledged shutdown.
+  bool shutdown();
+
+ private:
+  int fd_ = -1;
+  std::string buf_;  // bytes read past the last reply line
+};
+
+}  // namespace ro::serve

@@ -1,0 +1,89 @@
+// ro-serve — a long-lived multi-tenant Engine service (docs/serve.md).
+//
+// One Server owns one Engine and listens on a local Unix-domain stream
+// socket.  The protocol is newline-delimited JSON, one object per line:
+//
+//   -> {"op": "submit", "spec": { ...JobSpec... }}
+//   <- { ...JobResult... }                         (one line per job)
+//
+//   -> {"op": "stats"}
+//   <- {"admitted": .., "rejected": .., "queued": .., "inflight": ..,
+//       "inflight_peak": .., "resident_bytes": .., "jobs": ..}
+//
+//   -> {"op": "shutdown"}
+//   <- {"ok": 1}                                   (then the server stops)
+//
+// Every connection gets its own thread; the thread parses lines, runs
+// jobs through admission + Engine::submit, and writes the result line.
+// Concurrency therefore comes from concurrent clients — exactly the
+// redesigned Engine's contract — and is bounded by Admission, not by the
+// client count.  A malformed line produces an error JobResult line (the
+// connection survives); an over-long line or a closed peer ends just that
+// connection.  The server never aborts on wire input: spec validation
+// errors come back as status "error" results.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ro/engine/engine.h"
+#include "ro/serve/admission.h"
+
+namespace ro::serve {
+
+/// Longest accepted request line; longer input ends the connection (a
+/// protocol violation, not a job error).
+inline constexpr size_t kMaxLineBytes = 1 << 20;
+
+class Server {
+ public:
+  struct Options {
+    std::string socket_path;  // required; unlinked on start and stop
+    Admission::Options admission;
+  };
+
+  explicit Server(const Options& opt) : opt_(opt) {}
+  ~Server() { stop(); }
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the socket and starts the accept loop in a background thread.
+  /// Returns false (with a reason in `error`) when the bind fails.
+  bool start(std::string* error = nullptr);
+
+  /// Stops accepting, wakes the accept loop, and joins every connection
+  /// thread.  Idempotent; also triggered remotely by the shutdown op.
+  void stop();
+
+  bool running() const { return running_.load(); }
+  const std::string& socket_path() const { return opt_.socket_path; }
+
+  /// Jobs fully served (result line written), across all connections.
+  uint64_t jobs_served() const { return jobs_served_.load(); }
+
+  Admission::Stats admission_stats() const { return admission_.stats(); }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  /// One request line in, one response line out (no trailing newline).
+  std::string handle_line(const std::string& line);
+
+  Options opt_;
+  Engine engine_;
+  Admission admission_{opt_.admission};
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> jobs_served_{0};
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace ro::serve

@@ -4,7 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "ro/alg/graphgen.h"
@@ -15,6 +18,7 @@
 #include "ro/alg/sort.h"
 #include "ro/alg/spms.h"
 #include "ro/engine/engine.h"
+#include "ro/engine/workloads.h"
 #include "ro/util/rng.h"
 #include "test_helpers.h"
 
@@ -341,6 +345,164 @@ TEST(Engine, NumaPoolIsCachedPerConfig) {
   rt::Pool& flat = eng.pool(rt::StealPolicy::kRandom, 4);
   EXPECT_NE(&flat, &d);
   EXPECT_EQ(flat.groups(), 1u);
+}
+
+TEST(Engine, RunShimIsBitIdenticalToSubmit) {
+  // run()/run_batch() are deprecated wrappers over submit(); the wrapper
+  // and the JobSpec path must produce the same deterministic report
+  // (everything but wall-clock), or a migration to submit() changes
+  // results behind callers' backs.
+  Engine eng;
+  RunOptions opt;
+  opt.backend = Backend::kSimPws;
+  opt.label = "shim";
+  const RunReport via_run = eng.run(make_workload("msum", 1 << 10, 0), opt);
+
+  JobSpec spec;
+  spec.workload = "msum";
+  spec.n = 1 << 10;
+  spec.opt = opt;
+  const JobResult via_submit = eng.submit(spec);
+  ASSERT_TRUE(via_submit.ok()) << via_submit.error;
+
+  std::string a = via_run.to_json();
+  std::string b = via_submit.report.to_json();
+  auto strip_wall = [](std::string& s) {
+    const size_t i = s.find("\"wall_ms\":");
+    ASSERT_NE(i, std::string::npos);
+    s.erase(i, s.find(',', i) + 1 - i);
+  };
+  strip_wall(a);
+  strip_wall(b);
+  EXPECT_EQ(a, b);
+
+  // Batch shards too: run_batch(progs) == submit(kBatch spec).
+  std::vector<AnyProg> progs;
+  for (uint64_t i = 0; i < 2; ++i)
+    progs.push_back(make_workload("msum", 1 << 10, i));
+  opt.label = "shim-batch";
+  const BatchReport via_batch = eng.run_batch(progs, opt);
+  JobSpec bspec;
+  bspec.kind = JobKind::kBatch;
+  bspec.workload = "msum";
+  bspec.n = 1 << 10;
+  bspec.shards = 2;
+  bspec.opt = opt;
+  const JobResult bjr = eng.submit(bspec);
+  ASSERT_TRUE(bjr.ok() && bjr.has_batch) << bjr.error;
+  std::string ba = via_batch.aggregate.to_json();
+  std::string bb = bjr.batch.aggregate.to_json();
+  strip_wall(ba);
+  strip_wall(bb);
+  EXPECT_EQ(ba, bb);
+}
+
+TEST(Engine, SubmitRejectsBadSpecsInsteadOfAborting) {
+  Engine eng;
+  JobSpec spec;  // no workload, no program
+  EXPECT_EQ(eng.submit(spec).status, JobStatus::kError);
+  spec.workload = "no-such-workload";
+  EXPECT_EQ(eng.submit(spec).status, JobStatus::kError);
+  spec.workload = "msum";
+  spec.opt.sim.p = 0;  // invalid machine
+  spec.opt.backend = Backend::kSimPws;
+  EXPECT_EQ(eng.submit(spec).status, JobStatus::kError);
+  spec.opt.sim.p = 4;
+  spec.kind = JobKind::kDiagnose;
+  spec.opt.backend = Backend::kParRandom;  // diagnose needs a sim backend
+  EXPECT_EQ(eng.submit(spec).status, JobStatus::kError);
+}
+
+TEST(Engine, ConcurrentSubmitsShareThePoolCacheSafely) {
+  // The redesigned API's core claim: many threads may call submit() on one
+  // Engine at once.  Sequential same-config callers must still reuse one
+  // pool (no unbounded growth), concurrent callers get siblings, and every
+  // result stays bit-identical to a solo run.  Under TSan/ASan this is
+  // also the regression test for the old lazily-created-pool data race.
+  Engine eng;
+  JobSpec spec;
+  spec.workload = "msum";
+  spec.n = 1 << 10;
+  spec.opt.backend = Backend::kParRandom;
+  spec.opt.threads = 2;
+  const JobResult golden = eng.submit(spec);
+  ASSERT_TRUE(golden.ok()) << golden.error;
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 4;
+  std::vector<std::thread> workers;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        JobSpec s = spec;
+        const JobResult jr = eng.submit(s);
+        if (!jr.ok() || !jr.report.has_pool) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+  // At most one pool per concurrent caller (plus the golden's): the cache
+  // reuses free pools instead of creating one per submit.
+  EXPECT_LE(eng.pools_created(), static_cast<size_t>(kThreads + 1));
+  // Sim-backend submits race the same way (they share the TuningGate).
+  spec.opt.backend = Backend::kSimPws;
+  spec.opt.threads = 0;
+  std::vector<std::thread> sims;
+  std::atomic<int> sim_failures{0};
+  for (int t = 0; t < 4; ++t) {
+    sims.emplace_back([&] {
+      const JobResult jr = eng.submit(spec);
+      if (!jr.ok()) sim_failures.fetch_add(1);
+    });
+  }
+  for (std::thread& w : sims) w.join();
+  EXPECT_EQ(sim_failures.load(), 0);
+}
+
+TEST(Engine, CapacitySharedBatchAttributesEveryMissAndTransfer) {
+  Engine eng;
+  JobSpec spec;
+  spec.kind = JobKind::kBatch;
+  spec.workload = "sort";
+  spec.n = 1 << 10;
+  spec.shards = 3;
+  spec.opt.backend = Backend::kSimPws;
+  spec.opt.label = "shared";
+  spec.opt.capacity_shared = true;
+  const JobResult jr = eng.submit(spec);
+  ASSERT_TRUE(jr.ok() && jr.has_batch) << jr.error;
+  const BatchReport& br = jr.batch;
+  EXPECT_TRUE(br.capacity_shared);
+  ASSERT_EQ(br.runs.size(), 3u);
+  uint64_t cache = 0, block = 0, transfers = 0;
+  for (const RunReport& r : br.runs) {
+    ASSERT_TRUE(r.has_tenant);
+    cache += r.tenant_cache_misses;
+    block += r.tenant_block_misses;
+    transfers += r.tenant_transfers;
+  }
+  // Per-tenant attribution is a partition of the shared machine's totals:
+  // nothing double-counted, nothing dropped.
+  ASSERT_TRUE(br.aggregate.has_sim);
+  EXPECT_EQ(cache, br.aggregate.sim.cache_misses());
+  EXPECT_EQ(block, br.aggregate.sim.block_misses());
+  EXPECT_EQ(transfers, br.aggregate.sim.total_block_transfers);
+  // And the whole thing is deterministic: a second submit is identical.
+  const JobResult again = eng.submit(spec);
+  ASSERT_TRUE(again.ok() && again.has_batch);
+  std::string a = br.to_json();
+  std::string b = again.batch.to_json();
+  for (std::string* s : {&a, &b}) {  // wall fields differ, metrics may not
+    for (const char* key : {"\"wall_ms\":", "\"record_ms\":",
+                            "\"replay_ms\":"}) {
+      size_t i;
+      while ((i = s->find(key)) != std::string::npos)
+        s->erase(i, s->find(',', i) + 1 - i);
+    }
+  }
+  EXPECT_EQ(a, b);
 }
 
 TEST(Engine, NumaReportCarriesLocalityCounters) {

@@ -140,22 +140,35 @@ int main(int argc, char** argv) {
   const uint64_t iters = static_cast<uint64_t>(cli.get_int("iters", 64));
   const size_t n = static_cast<size_t>(cli.get_int("n", 1 << 12));
 
+  // The doctor loop goes through the concurrent-caller submit API: one
+  // JobSpec (kind=diagnose) plus the program, one JobResult back — the
+  // same path a serve daemon or a programmatic caller takes.
+  JobSpec spec;
+  spec.kind = JobKind::kDiagnose;
+  spec.opt.backend = backend;
+  spec.opt.sim = cfg;
+  spec.opt.label = "doctor-" + workload;
+  spec.doc = opt;
+
   Engine eng;
-  Recording rec;
+  AnyProg prog;
   if (workload == "packed" || workload == "padded") {
     const uint64_t stride = static_cast<uint64_t>(
         cli.get_int("stride", workload == "packed" ? 1 : cfg.B));
-    rec = eng.record(prog_counters(k, iters, stride));
+    prog = prog_counters(k, iters, stride);
   } else if (workload == "msum") {
-    rec = eng.record(prog_msum(n));
+    prog = prog_msum(n);
   } else {
     std::fprintf(stderr, "unknown --workload=%s (packed|padded|msum)\n",
                  workload.c_str());
     return 2;
   }
-
-  const doctor::DoctorReport d =
-      eng.diagnose(rec, backend, cfg, opt, "doctor-" + workload);
+  const JobResult jr = eng.submit(spec, prog);
+  if (!jr.ok()) {
+    std::fprintf(stderr, "ro-doctor: %s\n", jr.error.c_str());
+    return 2;
+  }
+  const doctor::DoctorReport& d = jr.doctor;
 
   std::printf("ro-doctor %s: workload=%s backend=%s p=%u M=%llu B=%u\n",
               cmd.c_str(), workload.c_str(), backend_name(backend), cfg.p,

@@ -1,0 +1,179 @@
+// ro-serve — the long-lived multi-tenant Engine service CLI
+// (src/ro/serve, docs/serve.md).
+//
+//   ro-serve start    --socket=PATH [--max-inflight=N]
+//                     [--tenant-budget=BYTES]   (0 = unbounded)
+//       Runs the daemon in the foreground until a client sends the
+//       shutdown op (or the process gets SIGINT/SIGTERM).
+//
+//   ro-serve submit   --socket=PATH --workload=NAME [--n=N --seed=S]
+//                     [--kind=run|batch|diagnose --shards=K]
+//                     [--tenant=ID --tag=TEXT --backend=B --label=L]
+//                     [--p --M --B --seq-baseline=0|1 --capacity-shared]
+//                     [--spec=JSON | --spec-file=FILE]
+//       Builds a JobSpec from flags (or takes one verbatim), submits it,
+//       prints the JobResult JSON line, exits 0 iff status is "ok".
+//
+//   ro-serve stats    --socket=PATH    admission counters + jobs served
+//   ro-serve shutdown --socket=PATH    stop the daemon
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "ro/serve/client.h"
+#include "ro/serve/server.h"
+#include "ro/util/cli.h"
+
+namespace {
+
+using namespace ro;
+
+volatile std::sig_atomic_t g_signalled = 0;
+void on_signal(int) { g_signalled = 1; }
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ro-serve start|submit|stats|shutdown --socket=PATH "
+               "[flags]\n       (see tools/ro_serve.cpp for the full list)\n");
+  return 2;
+}
+
+int cmd_start(const Cli& cli, const std::string& socket) {
+  serve::Server::Options opt;
+  opt.socket_path = socket;
+  opt.admission.max_inflight =
+      static_cast<uint32_t>(cli.get_int("max-inflight", 4));
+  opt.admission.tenant_budget_bytes =
+      static_cast<uint64_t>(cli.get_int("tenant-budget", 0));
+  serve::Server server(opt);
+  std::string err;
+  if (!server.start(&err)) {
+    std::fprintf(stderr, "ro-serve: %s\n", err.c_str());
+    return 1;
+  }
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::printf("ro-serve: listening on %s (max-inflight=%u budget=%llu)\n",
+              socket.c_str(), opt.admission.max_inflight,
+              static_cast<unsigned long long>(opt.admission.tenant_budget_bytes));
+  std::fflush(stdout);
+  while (server.running() && g_signalled == 0) ::usleep(50 * 1000);
+  server.stop();
+  std::printf("ro-serve: stopped after %llu job(s)\n",
+              static_cast<unsigned long long>(server.jobs_served()));
+  return 0;
+}
+
+bool spec_from_cli(const Cli& cli, JobSpec& spec, std::string& err) {
+  const std::string inline_spec = cli.get_str("spec", "");
+  const std::string spec_file = cli.get_str("spec-file", "");
+  if (!inline_spec.empty() || !spec_file.empty()) {
+    std::string text = inline_spec;
+    if (!spec_file.empty()) {
+      std::ifstream in(spec_file);
+      if (!in) {
+        err = "cannot read " + spec_file;
+        return false;
+      }
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      text = ss.str();
+    }
+    return jobspec_from_json(text, spec, &err);
+  }
+  spec.tenant = cli.get_str("tenant", "");
+  spec.tag = cli.get_str("tag", "");
+  if (!parse_job_kind(cli.get_str("kind", "run"), spec.kind)) {
+    err = "unknown --kind";
+    return false;
+  }
+  spec.workload = cli.get_str("workload", "msum");
+  spec.n = static_cast<uint64_t>(cli.get_int("n", 1 << 12));
+  spec.seed = static_cast<uint64_t>(cli.get_int("seed", 0));
+  spec.shards = static_cast<uint32_t>(cli.get_int("shards", 1));
+  if (!parse_backend(cli.get_str("backend", "sim-pws"), spec.opt.backend)) {
+    err = "unknown --backend";
+    return false;
+  }
+  spec.opt.label = cli.get_str("label", spec.workload);
+  spec.opt.sim.p = static_cast<uint32_t>(cli.get_int("p", spec.opt.sim.p));
+  spec.opt.sim.M = static_cast<uint64_t>(cli.get_int("M", spec.opt.sim.M));
+  spec.opt.sim.B = static_cast<uint64_t>(cli.get_int("B", spec.opt.sim.B));
+  spec.opt.sim.replay_threads = static_cast<uint32_t>(
+      cli.get_int("replay-threads", spec.opt.sim.replay_threads));
+  spec.opt.seq_baseline = cli.get_int("seq-baseline", 1) != 0;
+  spec.opt.pipeline = cli.get_int("pipeline", 0) != 0;
+  spec.opt.capacity_shared =
+      cli.has("capacity-shared") && cli.get_int("capacity-shared", 1) != 0;
+  return true;
+}
+
+int cmd_submit(const Cli& cli, const std::string& socket) {
+  JobSpec spec;
+  std::string err;
+  if (!spec_from_cli(cli, spec, err)) {
+    std::fprintf(stderr, "ro-serve: %s\n", err.c_str());
+    return 2;
+  }
+  serve::Client client;
+  if (!client.connect(socket, &err)) {
+    std::fprintf(stderr, "ro-serve: %s\n", err.c_str());
+    return 1;
+  }
+  JobResult jr;
+  if (!client.submit(spec, jr)) {
+    std::fprintf(stderr, "ro-serve: connection lost mid-submit\n");
+    return 1;
+  }
+  std::printf("%s\n", jr.to_json().c_str());
+  return jr.ok() ? 0 : 1;
+}
+
+int cmd_stats(const std::string& socket) {
+  serve::Client client;
+  std::string err;
+  if (!client.connect(socket, &err)) {
+    std::fprintf(stderr, "ro-serve: %s\n", err.c_str());
+    return 1;
+  }
+  std::string reply;
+  if (!client.exchange("{\"op\":\"stats\"}", reply)) {
+    std::fprintf(stderr, "ro-serve: connection lost\n");
+    return 1;
+  }
+  std::printf("%s\n", reply.c_str());
+  return 0;
+}
+
+int cmd_shutdown(const std::string& socket) {
+  serve::Client client;
+  std::string err;
+  if (!client.connect(socket, &err)) {
+    std::fprintf(stderr, "ro-serve: %s\n", err.c_str());
+    return 1;
+  }
+  if (!client.shutdown()) {
+    std::fprintf(stderr, "ro-serve: shutdown not acknowledged\n");
+    return 1;
+  }
+  std::printf("ro-serve: shutdown acknowledged\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  if (cli.positional().empty()) return usage();
+  const std::string cmd = cli.positional()[0];
+  const std::string socket = cli.get_str("socket", "/tmp/ro-serve.sock");
+  if (cmd == "start") return cmd_start(cli, socket);
+  if (cmd == "submit") return cmd_submit(cli, socket);
+  if (cmd == "stats") return cmd_stats(socket);
+  if (cmd == "shutdown") return cmd_shutdown(socket);
+  return usage();
+}
