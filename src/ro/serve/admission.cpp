@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 
 #include "ro/util/check.h"
 
@@ -17,21 +18,33 @@ uint64_t estimate_job_bytes(const JobSpec& spec) {
   // it never bills actual allocations against them.
   constexpr uint64_t kBytesPerRecord = 16;
   constexpr uint64_t kBytesPerElement = 64;
+  // The factors come off the wire: multiply saturating so a crafted spec
+  // (e.g. segment_tasks = 2^60) pins the estimate at UINT64_MAX — over
+  // any finite budget — instead of wrapping to a tiny number that slips
+  // past admission.  Saturation keeps the estimate monotone too.
+  const auto sat_mul = [](uint64_t a, uint64_t b) {
+    if (a != 0 && b > std::numeric_limits<uint64_t>::max() / a)
+      return std::numeric_limits<uint64_t>::max();
+    return a * b;
+  };
   const uint64_t shards = std::max<uint32_t>(1, spec.shards);
   const StreamOptions& tr = spec.opt.trace;
   if (tr.segment_tasks > 0 && tr.max_resident_segments > 0) {
     // Streaming: each shard keeps at most the resident window in memory,
     // everything else spills.
-    return shards * tr.segment_tasks * tr.max_resident_segments *
-           kBytesPerRecord;
+    return sat_mul(sat_mul(sat_mul(shards, tr.segment_tasks),
+                           tr.max_resident_segments),
+                   kBytesPerRecord);
   }
-  return shards * std::max<uint64_t>(1, spec.n) * kBytesPerElement;
+  return sat_mul(sat_mul(shards, std::max<uint64_t>(1, spec.n)),
+                 kBytesPerElement);
 }
 
 bool Admission::admit(const std::string& tenant, uint64_t bytes,
                       double* queue_ms) {
   if (queue_ms != nullptr) *queue_ms = 0;
   std::unique_lock<std::mutex> lk(mu_);
+  if (shutdown_) return false;  // refused, not "rejected": books nothing
   if (opt_.tenant_budget_bytes > 0 && bytes > opt_.tenant_budget_bytes) {
     // The job can never fit, no matter what drains: reject now, before
     // any waiting, so the decision depends only on (spec, options).
@@ -48,6 +61,7 @@ bool Admission::admit(const std::string& tenant, uint64_t bytes,
   while (!fits()) {
     waited = true;
     cv_.wait(lk);
+    if (shutdown_) return false;  // woken by shutdown(): fail fast
   }
   if (waited) {
     ++st_.queued;
@@ -79,6 +93,19 @@ void Admission::release(const std::string& tenant, uint64_t bytes) {
     --st_.inflight;
   }
   cv_.notify_all();
+}
+
+void Admission::shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool Admission::shutting_down() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return shutdown_;
 }
 
 Admission::Stats Admission::stats() const {

@@ -64,6 +64,15 @@ class Admission {
   /// Returns an admitted job's resources and wakes waiters.
   void release(const std::string& tenant, uint64_t bytes);
 
+  /// Makes every queued and future admit() return false immediately and
+  /// wakes all waiters, so server teardown never has to drain in-flight
+  /// jobs before queued connections can exit.  Shutdown refusals are not
+  /// counted in Stats::rejected — that counter stays a deterministic
+  /// function of (spec, budget).  release() keeps working so admitted
+  /// jobs still balance the books.
+  void shutdown();
+  bool shutting_down() const;
+
   Stats stats() const;
 
  private:
@@ -72,6 +81,7 @@ class Admission {
   std::condition_variable cv_;
   std::map<std::string, uint64_t> resident_;  // per-tenant admitted bytes
   Stats st_;
+  bool shutdown_ = false;
 };
 
 }  // namespace ro::serve

@@ -77,45 +77,82 @@ void Server::stop() {
   // running_: joining is guarded by joinability, not by the flag.
   running_.store(false);
   stopping_.store(true);
-  if (listen_fd_ >= 0) {
-    // shutdown() wakes the blocked accept(); close() then releases the fd.
-    ::shutdown(listen_fd_, SHUT_RDWR);
+  // Fail queued admits fast — a connection waiting inside admit() would
+  // otherwise only wake once every in-flight job drained.
+  admission_.shutdown();
+  {
+    std::lock_guard<std::mutex> lk(listen_mu_);
+    // shutdown() wakes the blocked accept(); close() waits until the
+    // accept loop is joined so it never runs on a recycled fd.
+    if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
   }
   if (accept_thread_.joinable()) accept_thread_.join();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  {
+    std::lock_guard<std::mutex> lk(listen_mu_);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
   }
-  std::vector<std::thread> conns;
+  std::vector<std::unique_ptr<Conn>> conns;
   {
     std::lock_guard<std::mutex> lk(conn_mu_);
-    conns.swap(conn_threads_);
+    conns.swap(conns_);
   }
-  for (std::thread& t : conns)
-    if (t.joinable()) t.join();
+  // Wake idle-but-open connections blocked in read(); their fds are
+  // still ours (closed only after the join below), so this cannot hit a
+  // recycled descriptor even if the thread already exited.
+  for (const auto& c : conns) ::shutdown(c->fd, SHUT_RDWR);
+  for (const auto& c : conns) {
+    if (c->thread.joinable()) c->thread.join();
+    ::close(c->fd);
+  }
   ::unlink(opt_.socket_path.c_str());
 }
 
 void Server::accept_loop() {
+  // listen_fd_ needs no lock here: stop() closes it only after joining
+  // this thread, and the remote shutdown op only ever shutdown()s it.
   while (!stopping_.load()) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
       break;  // stop() shut the listener down (or it died)
     }
+    if (stopping_.load()) {
+      ::close(fd);
+      break;
+    }
     std::lock_guard<std::mutex> lk(conn_mu_);
-    conn_threads_.emplace_back([this, fd] { serve_connection(fd); });
+    reap_finished_locked();  // bounded tracking for a long-lived daemon
+    conns_.push_back(std::make_unique<Conn>(fd));
+    Conn& c = *conns_.back();
+    c.thread = std::thread([this, &c] { serve_connection(c); });
   }
 }
 
-void Server::serve_connection(int fd) {
+void Server::reap_finished_locked() {
+  auto it = conns_.begin();
+  while (it != conns_.end()) {
+    if ((*it)->done.load()) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      ::close((*it)->fd);
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::serve_connection(Conn& conn) {
   std::string buf;
   char chunk[4096];
-  for (;;) {
-    const ssize_t r = ::read(fd, chunk, sizeof chunk);
+  bool open = true;
+  while (open && !stopping_.load()) {
+    const ssize_t r = ::read(conn.fd, chunk, sizeof chunk);
     if (r <= 0) {
       if (r < 0 && errno == EINTR) continue;
-      break;  // peer closed (or stop() is tearing the process down)
+      break;  // peer closed, or stop() shut this connection down
     }
     buf.append(chunk, static_cast<size_t>(r));
     size_t nl;
@@ -123,23 +160,27 @@ void Server::serve_connection(int fd) {
       const std::string line = buf.substr(0, nl);
       buf.erase(0, nl + 1);
       if (line.size() > kMaxLineBytes) {  // protocol violation: hang up
-        ::close(fd);
-        return;
+        open = false;
+        break;
       }
       if (line.empty()) continue;
       const std::string reply = handle_line(line);
-      if (!write_line(fd, reply)) {
-        ::close(fd);
-        return;
+      if (!write_line(conn.fd, reply)) {
+        open = false;
+        break;
       }
       if (stopping_.load()) {  // the line was a shutdown op
-        ::close(fd);
-        return;
+        open = false;
+        break;
       }
     }
-    if (buf.size() > kMaxLineBytes) break;  // protocol violation
+    if (buf.size() > kMaxLineBytes) open = false;  // protocol violation
   }
-  ::close(fd);
+  // Hang up now (the peer sees EOF) but leave the fd open: the reaper or
+  // stop() closes it after joining this thread, which is what lets them
+  // safely shutdown() the fd of a connection in any state.
+  ::shutdown(conn.fd, SHUT_RDWR);
+  conn.done.store(true);
 }
 
 std::string Server::handle_line(const std::string& line) {
@@ -167,8 +208,11 @@ std::string Server::handle_line(const std::string& line) {
   if (op == "shutdown") {
     stopping_.store(true);
     running_.store(false);
+    admission_.shutdown();  // queued submits on other connections fail fast
     // Wake the accept loop; stop() (called by the owner) joins the rest.
-    ::shutdown(listen_fd_, SHUT_RDWR);
+    // listen_mu_ keeps this shutdown() from racing stop()'s close/reset.
+    std::lock_guard<std::mutex> lk(listen_mu_);
+    if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
     return "{\"ok\":1}";
   }
   if (op != "submit") return error_line("unknown op \"" + op + "\"");
@@ -185,10 +229,15 @@ std::string Server::handle_line(const std::string& line) {
     jr.tenant = spec.tenant;
     jr.tag = spec.tag;
     jr.kind = spec.kind;
-    jr.status = JobStatus::kRejected;
-    jr.error = "tenant budget exceeded: job needs " + std::to_string(bytes) +
-               " bytes, budget is " +
-               std::to_string(opt_.admission.tenant_budget_bytes);
+    if (admission_.shutting_down()) {
+      jr.status = JobStatus::kError;
+      jr.error = "server shutting down";
+    } else {
+      jr.status = JobStatus::kRejected;
+      jr.error = "tenant budget exceeded: job needs " + std::to_string(bytes) +
+                 " bytes, budget is " +
+                 std::to_string(opt_.admission.tenant_budget_bytes);
+    }
     return jr.to_json();
   }
   JobResult jr = engine_.submit(spec);

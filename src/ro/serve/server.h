@@ -25,6 +25,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -68,11 +69,32 @@ class Server {
 
   Admission::Stats admission_stats() const { return admission_.stats(); }
 
+  /// Tracked connection slots.  Finished connections are reaped on the
+  /// next accept (and on stop), so this is a bound on live connections,
+  /// not an exact count — it must not grow with total connections served.
+  size_t open_connections() const {
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    return conns_.size();
+  }
+
  private:
+  /// One client connection.  The fd stays open until the serving thread
+  /// has been joined: stop() and the reaper only ::shutdown() a live fd
+  /// (waking a blocked read) and close it strictly after the join, so a
+  /// recycled fd number can never be hit.
+  struct Conn {
+    explicit Conn(int fd) : fd(fd) {}
+    const int fd;
+    std::atomic<bool> done{false};  // serve_connection returned
+    std::thread thread;
+  };
+
   void accept_loop();
-  void serve_connection(int fd);
+  void serve_connection(Conn& conn);
   /// One request line in, one response line out (no trailing newline).
   std::string handle_line(const std::string& line);
+  /// Joins and closes every finished connection; conn_mu_ must be held.
+  void reap_finished_locked();
 
   Options opt_;
   Engine engine_;
@@ -80,10 +102,11 @@ class Server {
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> jobs_served_{0};
+  std::mutex listen_mu_;  // serializes shutdown/close/reset of listen_fd_
   int listen_fd_ = -1;
   std::thread accept_thread_;
-  std::mutex conn_mu_;
-  std::vector<std::thread> conn_threads_;
+  mutable std::mutex conn_mu_;
+  std::vector<std::unique_ptr<Conn>> conns_;
 };
 
 }  // namespace ro::serve

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <limits>
 #include <memory>
 #include <string>
 #include <thread>
@@ -90,6 +91,54 @@ TEST(Admission, BudgetIsPerTenantAndInflightIsGlobal) {
   EXPECT_EQ(adm.stats().inflight_peak, 2u);
   adm.release("b", 900);
   adm.release("c", 100);
+}
+
+TEST(Admission, ShutdownWakesQueuedWaitersAndFailsFast) {
+  serve::Admission::Options opt;
+  opt.max_inflight = 1;
+  serve::Admission adm(opt);
+  ASSERT_TRUE(adm.admit("a", 10));
+  std::atomic<bool> refused{false};
+  std::thread waiter([&] {
+    // Queued behind the in-flight job; shutdown() must wake it with a
+    // refusal instead of making it wait for the job to drain.
+    EXPECT_FALSE(adm.admit("b", 10));
+    refused.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(refused.load());  // genuinely queued
+  adm.shutdown();
+  waiter.join();
+  EXPECT_TRUE(refused.load());
+  EXPECT_TRUE(adm.shutting_down());
+  EXPECT_FALSE(adm.admit("c", 10));  // refused immediately from now on
+  const serve::Admission::Stats st = adm.stats();
+  EXPECT_EQ(st.admitted, 1u);
+  EXPECT_EQ(st.rejected, 0u);  // shutdown refusals are not "rejected"
+  adm.release("a", 10);        // admitted work still balances the books
+  EXPECT_EQ(adm.stats().resident_bytes, 0u);
+}
+
+TEST(Admission, EstimateSaturatesInsteadOfWrapping) {
+  // Wire-controlled factors must not wrap uint64 into a tiny estimate
+  // that slips an over-budget job past admission.
+  JobSpec s;
+  s.workload = "msum";
+  s.shards = 0xffffffffu;
+  s.opt.trace.segment_tasks = uint64_t{1} << 60;
+  s.opt.trace.max_resident_segments = 0xffffffffu;
+  EXPECT_EQ(serve::estimate_job_bytes(s),
+            std::numeric_limits<uint64_t>::max());
+  serve::Admission::Options opt;
+  opt.tenant_budget_bytes = uint64_t{1} << 40;  // generous, still finite
+  serve::Admission adm(opt);
+  EXPECT_FALSE(adm.admit("t", serve::estimate_job_bytes(s)));
+  EXPECT_EQ(adm.stats().rejected, 1u);
+  // The classic (non-streaming) path saturates too.
+  s.opt.trace.segment_tasks = 0;
+  s.n = std::numeric_limits<uint64_t>::max();
+  EXPECT_EQ(serve::estimate_job_bytes(s),
+            std::numeric_limits<uint64_t>::max());
 }
 
 TEST(Admission, EstimateIsDeterministicAndMonotone) {
@@ -277,6 +326,55 @@ TEST_F(ServeSocketTest, ShutdownOpStopsTheServer) {
   }
   EXPECT_TRUE(refused);
   EXPECT_FALSE(server_->running());
+}
+
+TEST_F(ServeSocketTest, StopReturnsWhileClientsSitIdleOnOpenConnections) {
+  // The high-severity hang: a client that keeps its connection open but
+  // sends nothing leaves the serving thread blocked in read().  stop()
+  // must shut those fds down and join promptly, not wait forever.
+  serve::Client idle1, idle2;
+  ASSERT_TRUE(idle1.connect(server_->socket_path()));
+  ASSERT_TRUE(idle2.connect(server_->socket_path()));
+  serve::Admission::Stats st;
+  ASSERT_TRUE(idle1.stats(st));  // both connections are live and served...
+  ASSERT_TRUE(idle2.stats(st));  // ...and now sit idle in the server read
+  server_->stop();
+  EXPECT_FALSE(server_->running());
+}
+
+TEST_F(ServeSocketTest, ShutdownOpWorksWhileAnotherClientIsIdle) {
+  serve::Client idle;
+  ASSERT_TRUE(idle.connect(server_->socket_path()));
+  serve::Admission::Stats st;
+  ASSERT_TRUE(idle.stats(st));
+  serve::Client c;
+  ASSERT_TRUE(c.connect(server_->socket_path()));
+  EXPECT_TRUE(c.shutdown());
+  server_->stop();  // joins the idle connection without draining anything
+  EXPECT_FALSE(server_->running());
+}
+
+TEST_F(ServeSocketTest, FinishedConnectionsAreReapedNotAccumulated) {
+  for (int i = 0; i < 8; ++i) {
+    serve::Client c;
+    ASSERT_TRUE(c.connect(server_->socket_path()));
+    serve::Admission::Stats st;
+    ASSERT_TRUE(c.stats(st));
+  }  // each client hangs up here
+  // New accepts prune finished connections, so the tracked set shrinks
+  // back to roughly the live probes instead of growing per connection
+  // served.  Disconnect detection is asynchronous: poll.
+  size_t open = 1000;
+  for (int i = 0; i < 200 && open > 2; ++i) {
+    serve::Client probe;
+    ASSERT_TRUE(probe.connect(server_->socket_path()));
+    serve::Admission::Stats st;
+    ASSERT_TRUE(probe.stats(st));
+    probe.close();
+    open = server_->open_connections();
+    if (open > 2) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_LE(open, 2u);
 }
 
 TEST(ServeBudget, OverBudgetTenantGetsDeterministicRejectionLine) {
