@@ -3,8 +3,6 @@
 #include <chrono>
 #include <deque>
 #include <thread>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "ro/core/remap.h"
@@ -13,6 +11,7 @@
 #include "ro/sim/cache.h"
 #include "ro/sim/contention.h"
 #include "ro/sim/directory.h"
+#include "ro/sim/flat_index.h"
 #include "ro/util/bits.h"
 #include "ro/util/check.h"
 #include "ro/util/rng.h"
@@ -133,7 +132,12 @@ SpanLayout layout_spans(const std::vector<ShardSpan>& spans,
 /// `Source` (VecSource / StreamSource above), never by walking a resident
 /// array directly, so the same scheduling loop serves both the in-memory
 /// and the bounded-memory streaming representations.
-template <class Source>
+///
+/// `Cache` selects the simulated-cache implementation (SimConfig::flat_lru):
+/// FlatLru, the allocation-free flat data plane, or the legacy node-based
+/// LruCache.  Both implement exact LRU, so the choice never shows in
+/// Metrics — only in host replay throughput (docs/perf.md).
+template <class Source, class Cache>
 class ShardReplayer {
  public:
   ShardReplayer(const TaskGraph& g, std::vector<ShardSpan> spans,
@@ -231,18 +235,15 @@ class ShardReplayer {
     // classic single-span unit has exactly one).
     std::vector<typename Source::Cursor> curs;
     std::deque<uint32_t> dq;  // stealable right children; back = bottom
-    LruCache cache;                            // private L1
-    LruCache l2;                               // L2 partition (§5.2)
-    std::unordered_set<uint64_t> invalidated;  // blocks lost to coherence
-    std::vector<uint64_t> ever;                // ever-loaded bitset
+    Cache cache;                 // private L1
+    Cache l2;                    // L2 partition (§5.2)
+    FlatBlockSet invalidated;    // blocks lost to coherence
+    std::vector<uint64_t> ever;  // ever-loaded bitset
     CoreMetrics m;
     // Profiling only (SimConfig::profile): last (word, task) this core
-    // touched per held data block — the victim side of an invalidation.
-    struct LastTouch {
-      uint16_t word = 0;
-      uint32_t act = kNoAct;
-    };
-    std::unordered_map<uint64_t, LastTouch> last_touch;
+    // touched per held data block — the victim side of an invalidation
+    // (contention.h).
+    FlatBlockMap<LastTouch> last_touch;
   };
 
   struct ActState {
@@ -482,27 +483,34 @@ class ShardReplayer {
       }
       addr = layout_.off[c.fr.span] + span_rebase(a, sp.base);
     }
+    // One directory probe (and at most one growth check) for the whole
+    // access: the hold barrier and the touch below index the same entry
+    // span instead of calling dir_.at() once each per block.
+    const uint64_t b0 = addr / cfg_.B;
+    const uint64_t b1 = (addr + acc.len - 1) / cfg_.B;
+    Directory::Entry* const ents = dir_.span(b0, b1);
     if (cfg_.write_hold != 0) {
-      const uint64_t until = hold_barrier(c, addr, acc.len, acc.is_write());
+      const uint64_t until =
+          hold_barrier(c, ents, b0, b1, acc.is_write());
       if (until > c.time) {
         c.m.hold_waits += until - c.time;
         c.time = until;
         return false;
       }
     }
-    touch(c, addr, acc.len, acc.is_write(), stack, c.fr.act);
+    touch_span(c, ents, addr, b0, b1, acc.len, acc.is_write(), stack,
+               c.fr.act);
     return true;
   }
 
   /// Latest active hold (by another core) over the blocks this access needs
-  /// to transfer or invalidate; 0 when the access may proceed.
-  uint64_t hold_barrier(const Core& c, vaddr_t addr, uint16_t len,
-                        bool write) {
+  /// to transfer or invalidate; 0 when the access may proceed.  `ents` is
+  /// the directory span for [b0, b1] (fetched once by replay_access).
+  uint64_t hold_barrier(const Core& c, const Directory::Entry* ents,
+                        uint64_t b0, uint64_t b1, bool write) {
     uint64_t until = 0;
-    const uint64_t b0 = addr / cfg_.B;
-    const uint64_t b1 = (addr + len - 1) / cfg_.B;
     for (uint64_t b = b0; b <= b1; ++b) {
-      const Directory::Entry& d = dir_.at(b);
+      const Directory::Entry& d = ents[b - b0];
       if (d.hold_owner == 0xFF || d.hold_owner == c.id) continue;
       if (d.hold_until <= c.time) continue;
       // A hold only gates actions that would disturb the holder: taking a
@@ -516,31 +524,56 @@ class ShardReplayer {
 
   void touch(Core& c, vaddr_t addr, uint16_t len, bool write, bool stack,
              uint32_t act = kNoAct) {
+    const uint64_t b0 = addr / cfg_.B;
+    const uint64_t b1 = (addr + len - 1) / cfg_.B;
+    touch_span(c, dir_.span(b0, b1), addr, b0, b1, len, write, stack, act);
+  }
+
+  void touch_span(Core& c, Directory::Entry* ents, vaddr_t addr, uint64_t b0,
+                  uint64_t b1, uint16_t len, bool write, bool stack,
+                  uint32_t act) {
     c.time += len;
     c.m.compute += len;
     if (shares_) (*shares_)[c.fr.span].compute += len;
-    const uint64_t b0 = addr / cfg_.B;
-    const uint64_t b1 = (addr + len - 1) / cfg_.B;
     for (uint64_t b = b0; b <= b1; ++b) {
       const uint16_t word =
           b == b0 ? static_cast<uint16_t>(addr % cfg_.B) : uint16_t{0};
-      touch_block(c, b, word, write, stack, act);
+      touch_block(c, b, word, write, stack, ents[b - b0], act);
     }
   }
 
   void touch_block(Core& c, uint64_t block, uint16_t word, bool write,
-                   bool stack, uint32_t act = kNoAct) {
+                   bool stack, Directory::Entry& d, uint32_t act) {
     // Attribution is for data lines only: stack frames are padded per
     // arena (Lemma 3.1), so their sharing is by design, not a bug to fix.
     const bool prof = cfg_.profile != nullptr && !stack;
-    Directory::Entry& d = dir_.at(block);
     const uint64_t me = uint64_t{1} << c.id;
-    if (c.cache.contains(block)) {
-      c.cache.touch(block);
+    bool hit;
+    bool evicted = false;
+    uint64_t victim = 0;
+    if (cfg_.M2 == 0) {
+      // Single-level machine (the default): the combined op resolves
+      // hit / miss / eviction in one cache probe.  Performing the eviction
+      // before the classification below is observationally identical —
+      // classification reads only `invalidated` and the ever-loaded bitset,
+      // and the victim's directory bit is cleared at the same point as the
+      // discrete sequence would.
+      const CacheAccess res = c.cache.access(block);
+      hit = res.hit;
+      evicted = res.evicted;
+      victim = res.victim;
     } else {
+      // §5.2 hierarchy: keep the discrete op sequence — the inclusive L2
+      // eviction must drop its victim from L1 *before* the L1 insert picks
+      // its own victim, so a combined access-first order would change which
+      // line is LRU at the insert.
+      hit = c.cache.contains(block);
+      if (hit) c.cache.touch(block);
+    }
+    if (!hit) {
       // Miss: classify.
       MissClass cls;
-      if (c.invalidated.erase(block) > 0) {
+      if (c.invalidated.erase(block)) {
         cls = MissClass::kCoherence;
         if (prof) cfg_.profile->record_coherence_miss(line_addr(block), word, act);
       } else if (ever_loaded(c, block)) {
@@ -564,13 +597,11 @@ class ShardReplayer {
       } else {
         c.time += cfg_.miss_latency;
         if (cfg_.M2) {
-          if (auto l2victim = c.l2.insert(block)) {
+          if (auto l2res = c.l2.access(block); l2res.evicted) {
             // Inclusive hierarchy: dropping from L2 drops from L1 too.
-            if (*l2victim != block) {
-              c.cache.invalidate(*l2victim);
-              if (!c.l2.contains(*l2victim)) {
-                dir_.at(*l2victim).holders &= ~me;
-              }
+            c.cache.invalidate(l2res.victim);
+            if (!c.l2.contains(l2res.victim)) {
+              dir_.at(l2res.victim).holders &= ~me;
             }
           }
         }
@@ -580,11 +611,16 @@ class ShardReplayer {
         if (shares_) ++(*shares_)[c.fr.span].transfers;
         if (prof) cfg_.profile->record_transfer(line_addr(block), word);
       }
-      if (auto victim = c.cache.insert(block)) {
+      if (cfg_.M2) {
+        const CacheAccess res = c.cache.access(block);
+        evicted = res.evicted;
+        victim = res.victim;
+      }
+      if (evicted) {
         // With a hierarchy the L2 still holds the victim; without one the
         // core no longer holds it at all.
-        if (!cfg_.M2 || !c.l2.contains(*victim)) {
-          dir_.at(*victim).holders &= ~me;
+        if (!cfg_.M2 || !c.l2.contains(victim)) {
+          dir_.at(victim).holders &= ~me;
         }
       }
       d.holders |= me;
@@ -603,10 +639,9 @@ class ShardReplayer {
           // edge), the same word is true sharing a remap cannot remove.
           uint16_t vword = word;
           uint32_t vact = act;
-          auto it = cores_[h].last_touch.find(block);
-          if (it != cores_[h].last_touch.end()) {
-            vword = it->second.word;
-            vact = it->second.act;
+          if (const LastTouch* lt = cores_[h].last_touch.find(block)) {
+            vword = lt->word;
+            vact = lt->act;
           }
           cfg_.profile->record_invalidation(line_addr(block), word, act,
                                             vword, vact);
@@ -618,7 +653,7 @@ class ShardReplayer {
         d.hold_until = c.time + cfg_.write_hold;
       }
     }
-    if (prof) c.last_touch[block] = typename Core::LastTouch{word, act};
+    if (prof) c.last_touch.put(block, LastTouch{word, act});
   }
 
   /// Recorded (global) address of the line holding a rebased block —
@@ -684,15 +719,30 @@ SimConfig effective_cfg(SchedKind kind, SimConfig cfg) {
   return cfg;
 }
 
+/// Data-plane dispatch (SimConfig::flat_lru): one walk, either cache class.
+template <class Source>
+Metrics run_spans(const TaskGraph& g, std::vector<ShardSpan> spans,
+                  SchedKind kind, const SimConfig& cfg,
+                  std::vector<Source> srcs,
+                  std::vector<TenantShare>* shares = nullptr) {
+  if (cfg.flat_lru) {
+    return ShardReplayer<Source, FlatLru>(g, std::move(spans), kind, cfg,
+                                          std::move(srcs), shares)
+        .run();
+  }
+  return ShardReplayer<Source, LruCache>(g, std::move(spans), kind, cfg,
+                                         std::move(srcs), shares)
+      .run();
+}
+
 Metrics run_unit(const Unit& u) {
   if (u.part >= 0) {
     const StreamPart& part = u.g->streams[static_cast<size_t>(u.part)];
     StreamSource src{part.store.get(), part.acc_base, u.span.first_act};
-    return ShardReplayer<StreamSource>(*u.g, {u.span}, u.kind, u.cfg, {src})
-        .run();
+    return run_spans<StreamSource>(*u.g, {u.span}, u.kind, u.cfg, {src});
   }
   VecSource src{u.g->accesses.data()};
-  return ShardReplayer<VecSource>(*u.g, {u.span}, u.kind, u.cfg, {src}).run();
+  return run_spans<VecSource>(*u.g, {u.span}, u.kind, u.cfg, {src});
 }
 
 /// Host pool for the parallel replay phase.  A flat random-stealing pool
@@ -817,14 +867,11 @@ Metrics simulate_shared(const TaskGraph& g, SchedKind kind,
                                   g.streams[k].acc_base,
                                   spans[k].first_act});
     }
-    return ShardReplayer<StreamSource>(g, spans, kind, ecfg, std::move(srcs),
-                                       shares)
-        .run();
+    return run_spans<StreamSource>(g, spans, kind, ecfg, std::move(srcs),
+                                   shares);
   }
   std::vector<VecSource> srcs(spans.size(), VecSource{g.accesses.data()});
-  return ShardReplayer<VecSource>(g, spans, kind, ecfg, std::move(srcs),
-                                  shares)
-      .run();
+  return run_spans<VecSource>(g, spans, kind, ecfg, std::move(srcs), shares);
 }
 
 std::vector<std::vector<Metrics>> simulate_shards_all(

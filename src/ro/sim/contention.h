@@ -35,9 +35,22 @@
 #include <map>
 #include <utility>
 
+#include "ro/mem/varray.h"  // kNoAct
 #include "ro/mem/vspace.h"
 
 namespace ro {
+
+/// Victim-side attribution record: the last (word, task) a core touched in
+/// a data block it holds.  The replayer keeps one per (core, block) — in a
+/// flat open-addressed table (sim/flat_index.h), updated on every profiled
+/// touch — and reads it back when a write by another core invalidates the
+/// line: a *different* word than the writer's makes the event false
+/// sharing, the same word is true sharing.  Profiling-only state: it never
+/// influences Metrics, only what record_invalidation is told.
+struct LastTouch {
+  uint16_t word = 0;
+  uint32_t act = kNoAct;
+};
 
 class ContentionProfile {
  public:

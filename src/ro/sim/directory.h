@@ -46,6 +46,17 @@ class Directory {
     return entries_[block];
   }
 
+  /// Entries for the block range [b0, b1] as one contiguous pointer: one
+  /// growth check for the whole range instead of one at() per block, and
+  /// the caller may index the result repeatedly (the replay hot loop uses
+  /// the same entries for its hold check and its touch, halving the
+  /// directory lookups on the write-hold path).  The pointer is valid
+  /// until the next at()/span() call with a block beyond the current size.
+  Entry* span(uint64_t b0, uint64_t b1) {
+    at(b1);
+    return entries_.data() + b0;
+  }
+
   uint64_t size() const { return entries_.size(); }
 
   /// Highest transfer count over all blocks, and the total.

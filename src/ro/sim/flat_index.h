@@ -1,0 +1,145 @@
+// Flat open-addressed block-id containers for the replay data plane.
+//
+// The replay inner loop (sched/replay.cpp) keys several per-core side
+// tables by block id: the set of blocks lost to coherence invalidations
+// (probed on every miss) and the profiling last-touch attribution map.
+// Node-based std containers pay 2–3 hash probes plus an allocation per
+// mutation there; these are single-probe linear-probing tables over one
+// contiguous array — the same layout discipline as sim/cache.h's FlatLru,
+// with backward-shift deletion so no tombstones accumulate.
+//
+// Both grow geometrically and keep load factor <= 0.5.  Block ids are
+// rebased dense addresses (never ~0), so ~0 serves as the empty marker.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ro/sim/cache.h"  // flat_block_hash
+#include "ro/util/check.h"
+
+namespace ro {
+
+/// Open-addressed set of block ids with erase (backward-shift deletion).
+class FlatBlockSet {
+ public:
+  FlatBlockSet() : keys_(kMinTable, kEmpty), mask_(kMinTable - 1) {}
+
+  bool insert(uint64_t block) {
+    RO_DCHECK(block != kEmpty);
+    uint32_t i = find_pos(block);
+    if (keys_[i] != kEmpty) return false;  // already present
+    keys_[i] = block;
+    if (++size_ * 2 > keys_.size()) grow();
+    return true;
+  }
+
+  /// Removes `block`; returns whether it was present.
+  bool erase(uint64_t block) {
+    uint32_t hole = find_pos(block);
+    if (keys_[hole] == kEmpty) return false;
+    uint32_t i = hole;
+    for (;;) {
+      i = (i + 1) & mask_;
+      if (keys_[i] == kEmpty) break;
+      const uint32_t home = flat_block_hash(keys_[i]) & mask_;
+      if (((i - home) & mask_) >= ((i - hole) & mask_)) {
+        keys_[hole] = keys_[i];
+        hole = i;
+      }
+    }
+    keys_[hole] = kEmpty;
+    --size_;
+    return true;
+  }
+
+  bool contains(uint64_t block) const {
+    return keys_[find_pos(block)] != kEmpty;
+  }
+
+  size_t size() const { return size_; }
+
+ private:
+  static constexpr uint64_t kEmpty = ~uint64_t{0};
+  static constexpr size_t kMinTable = 16;
+
+  uint32_t find_pos(uint64_t block) const {
+    uint32_t i = flat_block_hash(block) & mask_;
+    while (keys_[i] != kEmpty && keys_[i] != block) i = (i + 1) & mask_;
+    return i;
+  }
+
+  void grow() {
+    std::vector<uint64_t> old = std::move(keys_);
+    keys_.assign(old.size() * 2, kEmpty);
+    mask_ = static_cast<uint32_t>(keys_.size() - 1);
+    for (const uint64_t k : old) {
+      if (k != kEmpty) keys_[find_pos(k)] = k;
+    }
+  }
+
+  std::vector<uint64_t> keys_;
+  uint32_t mask_;
+  size_t size_ = 0;
+};
+
+/// Open-addressed block-id -> V map without erase (the last-touch table
+/// only ever overwrites), values inline next to their keys.
+template <class V>
+class FlatBlockMap {
+ public:
+  FlatBlockMap() : slots_(kMinTable), mask_(kMinTable - 1) {}
+
+  /// Inserts or overwrites.
+  void put(uint64_t block, const V& v) {
+    RO_DCHECK(block != kEmpty);
+    const uint32_t i = find_pos(block);
+    if (slots_[i].key == kEmpty) {
+      slots_[i].key = block;
+      slots_[i].value = v;
+      if (++size_ * 2 > slots_.size()) grow();
+    } else {
+      slots_[i].value = v;
+    }
+  }
+
+  /// Pointer to the value, or nullptr when absent.
+  const V* find(uint64_t block) const {
+    const uint32_t i = find_pos(block);
+    return slots_[i].key == kEmpty ? nullptr : &slots_[i].value;
+  }
+
+  size_t size() const { return size_; }
+
+ private:
+  static constexpr uint64_t kEmpty = ~uint64_t{0};
+  static constexpr size_t kMinTable = 16;
+
+  struct Slot {
+    uint64_t key = kEmpty;
+    V value{};
+  };
+
+  uint32_t find_pos(uint64_t block) const {
+    uint32_t i = flat_block_hash(block) & mask_;
+    while (slots_[i].key != kEmpty && slots_[i].key != block) {
+      i = (i + 1) & mask_;
+    }
+    return i;
+  }
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    mask_ = static_cast<uint32_t>(slots_.size() - 1);
+    for (const Slot& s : old) {
+      if (s.key != kEmpty) slots_[find_pos(s.key)] = s;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  uint32_t mask_;
+  size_t size_ = 0;
+};
+
+}  // namespace ro

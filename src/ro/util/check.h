@@ -27,3 +27,15 @@ namespace ro {
   do {                                                        \
     if (!(expr)) ::ro::check_fail(#expr, __FILE__, __LINE__, msg); \
   } while (0)
+
+// Debug-only assert for invariants on hot paths whose violation is already
+// caught (more slowly) by the release-mode checks around them.  Active in
+// Debug builds — including the CI sanitizer legs — and compiled out under
+// NDEBUG, so a per-access re-probe never taxes the Release replay loop.
+#ifdef NDEBUG
+#define RO_DCHECK(expr) \
+  do {                  \
+  } while (0)
+#else
+#define RO_DCHECK(expr) RO_CHECK(expr)
+#endif

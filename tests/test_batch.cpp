@@ -262,6 +262,52 @@ TEST(Batch, ReplayThreadsAreMetricsDeterministic) {
   }
 }
 
+TEST(Batch, FlatAndLegacyDataPlanesAreBitIdentical) {
+  // The flat-LRU acceptance criterion (docs/perf.md): SimConfig::flat_lru
+  // selects a host implementation, never a machine — Metrics must be
+  // bit-identical flat-vs-legacy on every workload, scheduler, host
+  // thread count, and on machines exercising the §5.1 write-hold and the
+  // §5.2 partitioned-L2 paths (whose discrete cache-op order the flat
+  // plane must reproduce exactly).
+  const size_t n = 160;
+  Engine& eng = testing::engine();
+  std::vector<TaskGraph> parts;
+  parts.push_back(eng.record(prog_route(n), false, 4096, 0).graph);
+  parts.push_back(eng.record(prog_listrank(n), false, 4096, 1).graph);
+  parts.push_back(eng.record(prog_spms(4 * n), false, 4096, 2).graph);
+
+  std::vector<std::pair<const char*, SimConfig>> machines;
+  machines.emplace_back("plain", small_machine(1));
+  machines.emplace_back("threads2", small_machine(2));
+  SimConfig hold = small_machine(1);
+  hold.write_hold = 24;
+  machines.emplace_back("write_hold", hold);
+  SimConfig l2 = small_machine(1);
+  l2.M2 = l2.M * 4;
+  machines.emplace_back("l2", l2);
+
+  const auto both = [](SimConfig cfg, bool flat) {
+    cfg.flat_lru = flat;
+    return cfg;
+  };
+  for (const SchedKind kind :
+       {SchedKind::kSeq, SchedKind::kPws, SchedKind::kRws}) {
+    for (const auto& [mname, mcfg] : machines) {
+      for (const TaskGraph& g : parts) {
+        EXPECT_EQ(simulate(g, kind, both(mcfg, true)),
+                  simulate(g, kind, both(mcfg, false)))
+            << sched_name(kind) << " machine=" << mname;
+      }
+    }
+  }
+  const TaskGraph merged = merge_shards(std::move(parts));
+  for (const auto& [mname, mcfg] : machines) {
+    EXPECT_EQ(simulate(merged, SchedKind::kPws, both(mcfg, true)),
+              simulate(merged, SchedKind::kPws, both(mcfg, false)))
+        << "merged machine=" << mname;
+  }
+}
+
 TEST(Batch, RunBatchReportShape) {
   const size_t n = 128;
   std::vector<std::function<void(detail::EngineCtx<TraceCtx>&)>> progs;

@@ -2,19 +2,30 @@
 // false-sharing dynamics of the replay engine on hand-crafted computations.
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "ro/alg/scan.h"
 #include "ro/core/trace_ctx.h"
 #include "ro/sched/run.h"
 #include "ro/sim/cache.h"
 #include "ro/sim/directory.h"
+#include "ro/sim/flat_index.h"
+#include "ro/util/rng.h"
 
 namespace ro {
 namespace {
 
 using alg::i64;
 
-TEST(LruCache, HitMissEvict) {
-  LruCache c(2);
+// Both data planes (docs/perf.md) implement the same exact-LRU contract;
+// every directed cache test runs against each.
+template <class C>
+class LruImpl : public ::testing::Test {};
+using LruImpls = ::testing::Types<FlatLru, LruCache>;
+TYPED_TEST_SUITE(LruImpl, LruImpls);
+
+TYPED_TEST(LruImpl, HitMissEvict) {
+  TypeParam c(2);
   EXPECT_FALSE(c.contains(1));
   EXPECT_FALSE(c.insert(1).has_value());
   EXPECT_FALSE(c.insert(2).has_value());
@@ -27,8 +38,8 @@ TEST(LruCache, HitMissEvict) {
   EXPECT_TRUE(c.contains(3));
 }
 
-TEST(LruCache, InvalidateRemoves) {
-  LruCache c(4);
+TYPED_TEST(LruImpl, InvalidateRemoves) {
+  TypeParam c(4);
   c.insert(7);
   EXPECT_TRUE(c.invalidate(7));
   EXPECT_FALSE(c.contains(7));
@@ -36,8 +47,8 @@ TEST(LruCache, InvalidateRemoves) {
   EXPECT_EQ(c.size(), 0u);
 }
 
-TEST(LruCache, ExactLruOrder) {
-  LruCache c(3);
+TYPED_TEST(LruImpl, ExactLruOrder) {
+  TypeParam c(3);
   c.insert(1);
   c.insert(2);
   c.insert(3);
@@ -45,6 +56,125 @@ TEST(LruCache, ExactLruOrder) {
   c.touch(2);  // LRU order now: 3, 1, 2
   EXPECT_EQ(*c.insert(4), 3u);
   EXPECT_EQ(*c.insert(5), 1u);
+}
+
+TYPED_TEST(LruImpl, CombinedAccessMatchesDiscreteOps) {
+  TypeParam c(2);
+  CacheAccess r = c.access(1);  // cold miss, no eviction
+  EXPECT_FALSE(r.hit);
+  EXPECT_FALSE(r.evicted);
+  r = c.access(1);  // hit
+  EXPECT_TRUE(r.hit);
+  c.access(2);
+  r = c.access(3);  // miss evicting LRU = 1 (2 was touched after it)
+  EXPECT_FALSE(r.hit);
+  ASSERT_TRUE(r.evicted);
+  EXPECT_EQ(r.victim, 1u);
+}
+
+TEST(FlatLru, InvalidateMruLruAndAbsent) {
+  FlatLru c(3);
+  c.insert(1);
+  c.insert(2);
+  c.insert(3);  // LRU order: 1, 2, 3 (1 is LRU, 3 MRU)
+  EXPECT_TRUE(c.invalidate(3));   // MRU
+  EXPECT_TRUE(c.invalidate(1));   // LRU
+  EXPECT_FALSE(c.invalidate(9));  // absent: no-op
+  EXPECT_EQ(c.size(), 1u);
+  c.insert(4);  // refills through the invalidated-slot free list
+  c.insert(5);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(*c.insert(6), 2u);  // 2 is the surviving LRU
+}
+
+TEST(FlatLru, CapacityOneChurn) {
+  FlatLru c(1);
+  EXPECT_FALSE(c.insert(10).has_value());
+  for (uint64_t b = 11; b < 600; ++b) {
+    const CacheAccess r = c.access(b);
+    EXPECT_FALSE(r.hit);
+    ASSERT_TRUE(r.evicted);
+    EXPECT_EQ(r.victim, b - 1);
+    EXPECT_EQ(c.size(), 1u);
+  }
+}
+
+// Randomized property test: FlatLru against the legacy list+map cache as
+// oracle, over op sequences mixing combined accesses, touches (present and
+// absent) and invalidations (MRU / LRU / middle / absent), at capacities
+// down to 1 and with enough universe pressure for sustained full-cache
+// eviction churn.  Every outcome — hit, eviction, victim identity, size,
+// membership — must match op for op.
+TEST(FlatLru, MatchesLegacyOracleOnRandomOpSequences) {
+  for (const uint32_t cap : {1u, 2u, 3u, 8u, 64u}) {
+    Rng rng(uint64_t{cap} * 977 + 11);
+    FlatLru f(cap);
+    LruCache l(cap);
+    const uint64_t universe = uint64_t{cap} * 4;
+    for (int i = 0; i < 20000; ++i) {
+      const uint64_t b = rng.next_below(universe);
+      switch (rng.next_below(4)) {
+        case 0:
+        case 1: {
+          const CacheAccess fa = f.access(b);
+          const CacheAccess la = l.access(b);
+          ASSERT_EQ(fa.hit, la.hit) << "cap " << cap << " op " << i;
+          ASSERT_EQ(fa.evicted, la.evicted) << "cap " << cap << " op " << i;
+          if (fa.evicted) {
+            ASSERT_EQ(fa.victim, la.victim) << "cap " << cap << " op " << i;
+          }
+          break;
+        }
+        case 2:
+          f.touch(b);
+          l.touch(b);
+          break;
+        case 3:
+          ASSERT_EQ(f.invalidate(b), l.invalidate(b))
+              << "cap " << cap << " op " << i;
+          break;
+      }
+      ASSERT_EQ(f.size(), l.size()) << "cap " << cap << " op " << i;
+      ASSERT_EQ(f.contains(b), l.contains(b)) << "cap " << cap << " op " << i;
+    }
+  }
+}
+
+TEST(FlatBlockSet, InsertEraseContains) {
+  FlatBlockSet s;
+  EXPECT_TRUE(s.insert(5));
+  EXPECT_FALSE(s.insert(5));  // already present
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_FALSE(s.contains(6));
+  EXPECT_TRUE(s.erase(5));
+  EXPECT_FALSE(s.erase(5));
+  EXPECT_EQ(s.size(), 0u);
+  // Growth + backward-shift under churn, against a simple mirror.
+  Rng rng(42);
+  std::set<uint64_t> mirror;
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t b = rng.next_below(512);
+    if (rng.next_below(3) == 0) {
+      ASSERT_EQ(s.erase(b), mirror.erase(b) > 0);
+    } else {
+      ASSERT_EQ(s.insert(b), mirror.insert(b).second);
+    }
+    ASSERT_EQ(s.size(), mirror.size());
+    ASSERT_EQ(s.contains(b), mirror.count(b) > 0);
+  }
+}
+
+TEST(FlatBlockMap, PutOverwritesAndGrows) {
+  FlatBlockMap<uint32_t> m;
+  EXPECT_EQ(m.find(3), nullptr);
+  for (uint64_t b = 0; b < 300; ++b) m.put(b, static_cast<uint32_t>(b * 2));
+  m.put(7, 99);  // overwrite
+  EXPECT_EQ(m.size(), 300u);
+  ASSERT_NE(m.find(7), nullptr);
+  EXPECT_EQ(*m.find(7), 99u);
+  ASSERT_NE(m.find(299), nullptr);
+  EXPECT_EQ(*m.find(299), 598u);
+  EXPECT_EQ(m.find(300), nullptr);
 }
 
 TEST(Directory, GrowsAndTracksTransfers) {

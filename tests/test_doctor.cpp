@@ -151,6 +151,29 @@ TEST(ContentionProfile, DeterministicAcrossReplayThreads) {
   }
 }
 
+TEST(ContentionProfile, FlatAndLegacyDataPlanesProfileIdentically) {
+  // The profile — like Metrics — must not see the cache implementation:
+  // last-touch attribution now lives in a flat open-addressed table, and
+  // the flat-vs-legacy cache swap must leave every recorded invalidation,
+  // coherence miss and transfer bit-identical on the packed-counter
+  // adversary (the doctor's diagnostic input).
+  const Recording rec = engine().record(prog_counters(8, 16, 1));
+  ContentionProfile flat, legacy;
+  {
+    SimConfig cfg = doctor_cfg();
+    cfg.profile = &flat;
+    engine().replay(rec, Backend::kSimPws, cfg, false);
+  }
+  {
+    SimConfig cfg = doctor_cfg();
+    cfg.flat_lru = false;
+    cfg.profile = &legacy;
+    engine().replay(rec, Backend::kSimPws, cfg, false);
+  }
+  ASSERT_FALSE(flat.empty());
+  EXPECT_EQ(flat, legacy);
+}
+
 TEST(ContentionProfile, DeterministicAcrossStreamWindows) {
   // The same trace through the chunked TraceStore at resident windows
   // 1 / 2 / unbounded profiles identically to the in-memory walk.

@@ -181,6 +181,21 @@ TEST(JobSchema, NewerMinorWithUnknownKeysParses) {
   EXPECT_EQ(out.schema_version, "1.7");  // echoed, not rewritten
 }
 
+TEST(JobSchema, FlatLruKnobRoundTrips) {
+  // The data-plane selector rides the wire like any other sim knob, and
+  // its default (flat on) survives a spec that omits the key entirely.
+  JobSpec base;
+  base.workload = "msum";
+  base.opt.sim.flat_lru = false;
+  JobSpec out;
+  std::string err;
+  ASSERT_TRUE(jobspec_from_json(base.to_json(), out, &err)) << err;
+  EXPECT_FALSE(out.opt.sim.flat_lru);
+  JobSpec dflt;
+  ASSERT_TRUE(jobspec_from_json("{\"workload\":\"msum\"}", dflt, &err)) << err;
+  EXPECT_TRUE(dflt.opt.sim.flat_lru);
+}
+
 TEST(JobSchema, NewerMajorIsRejectedWithReason) {
   JobSpec base;
   std::string j = base.to_json();
